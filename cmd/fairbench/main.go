@@ -1,0 +1,66 @@
+// Command fairbench regenerates every experiment in DESIGN.md §3 as text
+// tables and CSV files — the reproduction of all figures and quantitative
+// claims of the paper.
+//
+// Usage:
+//
+//	fairbench [-seed N] [-small] [-out results/] [-only EXP-F1,EXP-A3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"fairgossip/internal/experiment"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		seed   = flag.Int64("seed", 1, "random seed (same seed = identical output)")
+		small  = flag.Bool("small", false, "bench-scale parameters (fast)")
+		outDir = flag.String("out", "results", "directory for CSV output (empty = no CSV)")
+		only   = flag.String("only", "", "comma-separated experiment IDs to run (e.g. EXP-F1,EXP-A3)")
+	)
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, id := range strings.Split(*only, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			want[strings.ToUpper(id)] = true
+		}
+	}
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "fairbench: %v\n", err)
+			return 1
+		}
+	}
+	opts := experiment.Options{Seed: *seed, Small: *small}
+	for _, spec := range experiment.All() {
+		if len(want) > 0 && !want[spec.ID] {
+			continue
+		}
+		start := time.Now()
+		tables := spec.Run(opts)
+		fmt.Printf("\n########## %s — %s  (%.1fs)\n\n", spec.ID, spec.Title, time.Since(start).Seconds())
+		for ti, t := range tables {
+			fmt.Println(t.String())
+			if *outDir != "" {
+				name := fmt.Sprintf("%s_%d.csv", strings.ToLower(strings.ReplaceAll(spec.ID, "-", "_")), ti)
+				if err := os.WriteFile(filepath.Join(*outDir, name), []byte(t.CSV()), 0o644); err != nil {
+					fmt.Fprintf(os.Stderr, "fairbench: %v\n", err)
+					return 1
+				}
+			}
+		}
+	}
+	return 0
+}

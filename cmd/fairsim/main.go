@@ -1,0 +1,124 @@
+// Command fairsim runs a single FairGossip scenario and prints its
+// fairness report — the quickest way to poke at the system's parameters.
+//
+// Example:
+//
+//	fairsim -n 256 -mode topics -controller aimd -target 2000 -rounds 300
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"fairgossip/internal/core"
+	"fairgossip/internal/fairness"
+	"fairgossip/internal/pubsub"
+	"fairgossip/internal/simnet"
+	"fairgossip/internal/workload"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		n          = flag.Int("n", 256, "number of peers")
+		mode       = flag.String("mode", "content", "selectivity mode: content | topics")
+		controller = flag.String("controller", "static", "participation: static | aimd | prop")
+		target     = flag.Float64("target", 2000, "fairness target f (contribution bytes per benefit unit)")
+		fanout     = flag.Int("fanout", 5, "initial/static fanout F")
+		batch      = flag.Int("batch", 8, "initial/static gossip message size N (events)")
+		topics     = flag.Int("topics", 64, "number of topics (Zipf 1.01 popularity)")
+		maxSubs    = flag.Int("maxsubs", 8, "max subscriptions per peer")
+		rounds     = flag.Int("rounds", 200, "publishing rounds (1 event/round)")
+		payload    = flag.Int("payload", 64, "event payload bytes")
+		loss       = flag.Float64("loss", 0, "message loss probability")
+		seed       = flag.Int64("seed", 1, "random seed")
+		top        = flag.Int("top", 5, "top contributors to list")
+	)
+	flag.Parse()
+
+	cfg := core.Config{
+		Fanout: *fanout,
+		Batch:  *batch,
+	}
+	switch *mode {
+	case "content":
+		cfg.Mode = core.ModeContent
+	case "topics":
+		cfg.Mode = core.ModeTopics
+	default:
+		fmt.Fprintf(os.Stderr, "fairsim: unknown mode %q\n", *mode)
+		return 2
+	}
+	switch *controller {
+	case "static":
+		cfg.Controller = core.ControllerSpec{Kind: core.ControllerStatic}
+	case "aimd":
+		cfg.Controller = core.ControllerSpec{Kind: core.ControllerAIMD, TargetRatio: *target}
+	case "prop":
+		cfg.Controller = core.ControllerSpec{Kind: core.ControllerProportional, TargetRatio: *target}
+	default:
+		fmt.Fprintf(os.Stderr, "fairsim: unknown controller %q\n", *controller)
+		return 2
+	}
+
+	cluster := core.NewCluster(*n, cfg, core.ClusterOptions{
+		Seed: *seed,
+		NetConfig: simnet.Config{
+			Latency: simnet.ConstantLatency(2 * time.Millisecond),
+			Loss:    *loss,
+		},
+	})
+
+	tp := workload.NewTopics(*topics, 1.01)
+	rng := rand.New(rand.NewSource(*seed + 99))
+	subsOf := make(map[string][]int)
+	for i := 0; i < *n; i++ {
+		for _, topic := range tp.SampleSet(rng, workload.SubCount(rng, 1, *maxSubs)) {
+			cluster.Node(i).Subscribe(pubsub.Topic(topic))
+			subsOf[topic] = append(subsOf[topic], i)
+		}
+	}
+
+	start := time.Now()
+	cluster.RunRounds(15)
+	for r := 0; r < *rounds; r++ {
+		topic := tp.Sample(rng)
+		pub := rng.Intn(*n)
+		if subs := subsOf[topic]; len(subs) > 0 {
+			pub = subs[rng.Intn(len(subs))]
+		}
+		cluster.Node(pub).Publish(topic, nil, make([]byte, *payload))
+		cluster.RunRounds(1)
+	}
+	cluster.RunRounds(15)
+	elapsed := time.Since(start)
+
+	fmt.Printf("fairgossip: n=%d mode=%s controller=%s target=%.0f seed=%d\n",
+		*n, *mode, *controller, *target, *seed)
+	fmt.Printf("simulated %d publishing rounds in %.2fs wall (%d events fired)\n\n",
+		*rounds, elapsed.Seconds(), cluster.Sim.Steps())
+	fmt.Println(cluster.Report().String())
+
+	tot := cluster.Net.TotalTraffic()
+	fmt.Printf("network              %d msgs, %.2f MB, %d dropped\n",
+		tot.MsgsSent, float64(tot.BytesSent)/1e6, tot.Dropped)
+	fmt.Printf("events delivered     %d\n\n", cluster.DeliveredTotal())
+
+	fmt.Printf("top %d contributors:\n", *top)
+	for _, id := range cluster.Ledger.TopContributors(*top) {
+		a := cluster.Ledger.Account(id)
+		fmt.Printf("  node %-4d contribution %-12.0f benefit %-8.0f ratio %.1f (F=%d N=%d)\n",
+			id,
+			fairness.Contribution(a, cluster.Ledger.Weights()),
+			fairness.Benefit(a, cluster.Ledger.Weights()),
+			fairness.Ratio(a, cluster.Ledger.Weights()),
+			cluster.Node(id).Fanout(), cluster.Node(id).Batch())
+	}
+	return 0
+}

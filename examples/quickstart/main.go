@@ -1,0 +1,58 @@
+// Quickstart: a 16-peer live (goroutine-per-peer) FairGossip cluster.
+// Half the peers subscribe to "news.eu", half to "news.us"; one event is
+// published on each topic and every interested peer prints its delivery.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"fairgossip"
+)
+
+func main() {
+	const n = 16
+	cluster := fairgossip.NewLive(fairgossip.LiveConfig{
+		N:           n,
+		RoundPeriod: 10 * time.Millisecond,
+		Seed:        1,
+	})
+
+	var delivered atomic.Int64
+	for i := 0; i < n; i++ {
+		i := i
+		topic := "news.eu"
+		if i%2 == 1 {
+			topic = "news.us"
+		}
+		if _, ok := cluster.Subscribe(i, fairgossip.TopicFilter(topic)); !ok {
+			panic("subscribe failed")
+		}
+		cluster.OnDeliver(i, func(ev *fairgossip.Event) {
+			delivered.Add(1)
+			fmt.Printf("peer %2d delivered %-8s %q\n", i, ev.Topic, ev.Payload)
+		})
+	}
+
+	cluster.Start()
+	defer cluster.Stop()
+
+	cluster.Publish(0, "news.eu", nil, []byte("ECB holds rates"))
+	cluster.Publish(1, "news.us", nil, []byte("Fed minutes released"))
+
+	// Each event is interesting to n/2 peers.
+	for delivered.Load() < n && !timedOut() {
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	fmt.Printf("\n%d deliveries (expected %d)\n\n", delivered.Load(), n)
+	fmt.Println("fairness report:")
+	fmt.Println(cluster.Report().String())
+}
+
+var deadline = time.Now().Add(10 * time.Second)
+
+func timedOut() bool { return time.Now().After(deadline) }

@@ -1,0 +1,140 @@
+// Package fairgossip is a fairness-aware selective event dissemination
+// library — a full implementation of the system sketched in "Towards Fair
+// Event Dissemination" (Baehni, Guerraoui, Koldehofe, Monod; ICDCS 2007).
+//
+// The paper's position: decentralised publish/subscribe is only
+// meaningful if it is *fair* — each participant's contribution (messages
+// forwarded and published) should track its benefit (events delivered,
+// subscriptions held), so that the ratio contribution/benefit is the same
+// constant f for every peer (the paper's Fig. 1). This library provides:
+//
+//   - The selective-information model of §2: typed events, a subscription
+//     language with topic and content filters, and per-process interest.
+//   - The basic push gossip dissemination algorithm of Fig. 4.
+//   - Fairness accounting per Figs. 1–3 (contribution/benefit ledger,
+//     Jain/Gini/Lorenz reports).
+//   - The §5.2 adaptive participation controllers that steer each peer's
+//     fanout and gossip message size toward the fairness target.
+//   - Topic-based gossip groups with random-walk subscriptions (§5.1).
+//   - The baselines the paper measures itself against: Scribe-style
+//     rendezvous trees over a prefix-routing DHT, data-aware multicast
+//     over topic hierarchies, and load-balanced (SplitStream-flavoured)
+//     forwarding.
+//
+// Two runtimes are provided. NewSim builds a deterministic
+// discrete-event-simulated cluster (what the experiments in
+// cmd/fairbench use); NewLive builds a real-concurrency cluster with one
+// goroutine per peer, suitable for embedding in applications.
+//
+// Quick start (live runtime):
+//
+//	c := fairgossip.NewLive(fairgossip.LiveConfig{N: 16, TargetRatio: 2000})
+//	c.Subscribe(3, fairgossip.MustParseFilter(`price > 100`))
+//	c.Start()
+//	defer c.Stop()
+//	c.Publish(0, "ticks", []fairgossip.Attr{{Key: "price", Val: fairgossip.Num(250)}}, nil)
+package fairgossip
+
+import (
+	"fairgossip/internal/core"
+	"fairgossip/internal/fairness"
+	"fairgossip/internal/live"
+	"fairgossip/internal/pubsub"
+)
+
+// Core data model (see internal/pubsub).
+type (
+	// Event is a published notification.
+	Event = pubsub.Event
+	// EventID identifies an event as (publisher, sequence).
+	EventID = pubsub.EventID
+	// Attr is a typed event attribute.
+	Attr = pubsub.Attr
+	// Value is a typed attribute value (string, number or bool).
+	Value = pubsub.Value
+	// Filter is a compiled subscription-language expression.
+	Filter = pubsub.Filter
+	// SubID identifies an active subscription within one peer.
+	SubID = pubsub.SubID
+)
+
+// Fairness accounting (see internal/fairness).
+type (
+	// Report summarises the contribution/benefit ratio distribution.
+	Report = fairness.Report
+	// Weights parameterises the contribution and benefit formulas.
+	Weights = fairness.Weights
+)
+
+// Runtimes.
+type (
+	// LiveCluster is the goroutine-per-peer runtime.
+	LiveCluster = live.Cluster
+	// LiveConfig parameterises NewLive.
+	LiveConfig = live.Config
+	// SimCluster is the deterministic simulated runtime.
+	SimCluster = core.Cluster
+	// SimConfig parameterises a simulated cluster's protocol.
+	SimConfig = core.Config
+	// SimOptions parameterises a simulated cluster's environment.
+	SimOptions = core.ClusterOptions
+	// ControllerSpec selects static or adaptive participation.
+	ControllerSpec = core.ControllerSpec
+)
+
+// Selectivity modes (SimConfig.Mode).
+const (
+	// ModeContent is expressive content-based selection over one flat
+	// overlay (§5.2).
+	ModeContent = core.ModeContent
+	// ModeTopics is topic-based selection with per-topic gossip groups
+	// (§5.1).
+	ModeTopics = core.ModeTopics
+)
+
+// Controller kinds (ControllerSpec.Kind).
+const (
+	// ControllerStatic pins fanout and batch (classic gossip).
+	ControllerStatic = core.ControllerStatic
+	// ControllerAIMD adapts with additive-increase/multiplicative-decrease.
+	ControllerAIMD = core.ControllerAIMD
+	// ControllerProportional adapts with a damped P-controller.
+	ControllerProportional = core.ControllerProportional
+)
+
+// NewLive builds a real-concurrency cluster. Call Start to launch the
+// peer goroutines and Stop to terminate them.
+func NewLive(cfg LiveConfig) *LiveCluster { return live.NewCluster(cfg) }
+
+// NewSim builds a deterministic simulated cluster of n peers.
+func NewSim(n int, cfg SimConfig, opts SimOptions) *SimCluster {
+	return core.NewCluster(n, cfg, opts)
+}
+
+// ParseFilter compiles subscription-language source text, e.g.
+// `price > 100 && symbol in ["ACME", "GLOBEX"]`.
+func ParseFilter(src string) (Filter, error) { return pubsub.Parse(src) }
+
+// MustParseFilter is ParseFilter for constant filters; it panics on error.
+func MustParseFilter(src string) Filter { return pubsub.MustParse(src) }
+
+// TopicFilter matches events published on exactly the given topic.
+func TopicFilter(topic string) Filter { return pubsub.Topic(topic) }
+
+// TopicPrefixFilter matches a topic and all its dot-separated descendants.
+func TopicPrefixFilter(prefix string) Filter { return pubsub.TopicPrefix(prefix) }
+
+// MatchAll matches every event.
+func MatchAll() Filter { return pubsub.MatchAll() }
+
+// String returns a string attribute value.
+func String(s string) Value { return pubsub.String(s) }
+
+// Num returns a numeric attribute value.
+func Num(f float64) Value { return pubsub.Num(f) }
+
+// Bool returns a boolean attribute value.
+func Bool(b bool) Value { return pubsub.Bool(b) }
+
+// DefaultWeights returns the paper's Fig. 2 accounting weights.
+func DefaultWeights() Weights { return fairness.DefaultWeights() }

@@ -1,0 +1,77 @@
+package fairgossip_test
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fairgossip"
+)
+
+func TestFacadeLiveRoundTrip(t *testing.T) {
+	c := fairgossip.NewLive(fairgossip.LiveConfig{
+		N: 8, RoundPeriod: 5 * time.Millisecond, Seed: 1,
+	})
+	var got atomic.Int64
+	for i := 0; i < 8; i++ {
+		if _, ok := c.Subscribe(i, fairgossip.MustParseFilter(`price > 100`)); !ok {
+			t.Fatal("subscribe failed")
+		}
+		c.OnDeliver(i, func(*fairgossip.Event) { got.Add(1) })
+	}
+	c.Start()
+	defer c.Stop()
+	c.Publish(0, "ticks", []fairgossip.Attr{{Key: "price", Val: fairgossip.Num(250)}}, nil)
+	deadline := time.Now().Add(5 * time.Second)
+	for got.Load() != 8 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got.Load() != 8 {
+		t.Fatalf("delivered %d of 8", got.Load())
+	}
+	if r := c.Report(); r.N != 8 {
+		t.Fatalf("report N = %d", r.N)
+	}
+}
+
+func TestFacadeSimRoundTrip(t *testing.T) {
+	c := fairgossip.NewSim(32, fairgossip.SimConfig{
+		Mode:       fairgossip.ModeContent,
+		Fanout:     5,
+		Controller: fairgossip.ControllerSpec{Kind: fairgossip.ControllerAIMD, TargetRatio: 2000},
+	}, fairgossip.SimOptions{Seed: 42})
+	for _, nd := range c.Nodes {
+		nd.Subscribe(fairgossip.MatchAll())
+	}
+	c.RunRounds(5)
+	c.Node(0).Publish("t", nil, []byte("x"))
+	c.RunRounds(20)
+	if got := c.DeliveredTotal(); got != 32 {
+		t.Fatalf("delivered %d of 32", got)
+	}
+}
+
+func TestFacadeFilterHelpers(t *testing.T) {
+	ev := &fairgossip.Event{Topic: "sports.f1"}
+	if !fairgossip.TopicFilter("sports.f1").Match(ev) {
+		t.Fatal("TopicFilter")
+	}
+	if !fairgossip.TopicPrefixFilter("sports").Match(ev) {
+		t.Fatal("TopicPrefixFilter")
+	}
+	if !fairgossip.MatchAll().Match(ev) {
+		t.Fatal("MatchAll")
+	}
+	if _, err := fairgossip.ParseFilter(`broken ==`); err == nil {
+		t.Fatal("ParseFilter must propagate errors")
+	}
+	if fairgossip.String("x").Kind() == fairgossip.Num(1).Kind() {
+		t.Fatal("value kinds collapsed")
+	}
+	if !fairgossip.Bool(true).BoolVal() {
+		t.Fatal("Bool")
+	}
+	if fairgossip.DefaultWeights().Kappa != 1 {
+		t.Fatal("DefaultWeights")
+	}
+}

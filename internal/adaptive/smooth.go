@@ -1,0 +1,51 @@
+package adaptive
+
+// Smoothed wraps a controller with exponentially weighted moving-average
+// smoothing of its input samples: s_t = α·x_t + (1−α)·s_{t−1}. Windowed
+// benefit measurements are noisy (a peer may deliver nothing for one
+// window purely by publish-schedule luck); smoothing keeps the controller
+// from thrashing on that noise at the cost of slower reaction — the
+// stability/agility trade-off the §5.2 convergence questions circle
+// around.
+type Smoothed struct {
+	inner Controller
+	alpha float64
+
+	init         bool
+	benefit      float64
+	contribution float64
+}
+
+// NewSmoothed wraps inner with EWMA factor alpha ∈ (0, 1]; alpha = 1
+// means no smoothing, smaller means smoother/slower. Out-of-range alphas
+// are clamped.
+func NewSmoothed(inner Controller, alpha float64) *Smoothed {
+	if alpha <= 0 {
+		alpha = 0.1
+	}
+	if alpha > 1 {
+		alpha = 1
+	}
+	return &Smoothed{inner: inner, alpha: alpha}
+}
+
+// Update implements Controller.
+func (s *Smoothed) Update(sample Sample) (int, int) {
+	if !s.init {
+		s.benefit = sample.Benefit
+		s.contribution = sample.Contribution
+		s.init = true
+	} else {
+		s.benefit = s.alpha*sample.Benefit + (1-s.alpha)*s.benefit
+		s.contribution = s.alpha*sample.Contribution + (1-s.alpha)*s.contribution
+	}
+	return s.inner.Update(Sample{Benefit: s.benefit, Contribution: s.contribution})
+}
+
+// Fanout implements Controller.
+func (s *Smoothed) Fanout() int { return s.inner.Fanout() }
+
+// Batch implements Controller.
+func (s *Smoothed) Batch() int { return s.inner.Batch() }
+
+var _ Controller = (*Smoothed)(nil)

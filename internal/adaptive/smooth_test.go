@@ -1,0 +1,67 @@
+package adaptive
+
+import "testing"
+
+func TestSmoothedAbsorbsOneOffSpike(t *testing.T) {
+	// A controller at equilibrium hit by a single benefit outage: the raw
+	// AIMD cuts immediately; the smoothed one holds.
+	mk := func(alpha float64) Controller {
+		inner := NewAIMD(cfg(), LeverFanout, 8, 8)
+		if alpha >= 1 {
+			return inner
+		}
+		return NewSmoothed(inner, alpha)
+	}
+	steady := Sample{Benefit: 10, Contribution: 100} // exactly on target 10×
+	spike := Sample{Benefit: 5, Contribution: 100}   // one bad window
+
+	raw := mk(1)
+	smooth := mk(0.1)
+	for i := 0; i < 10; i++ {
+		raw.Update(steady)
+		smooth.Update(steady)
+	}
+	fRaw0, fSmooth0 := raw.Fanout(), smooth.Fanout()
+	raw.Update(spike)
+	smooth.Update(spike)
+	if raw.Fanout() >= fRaw0 {
+		t.Fatalf("raw AIMD should cut on the spike: %d -> %d", fRaw0, raw.Fanout())
+	}
+	if smooth.Fanout() != fSmooth0 {
+		t.Fatalf("smoothed AIMD should hold through one spike: %d -> %d", fSmooth0, smooth.Fanout())
+	}
+}
+
+func TestSmoothedTracksSustainedChange(t *testing.T) {
+	s := NewSmoothed(NewAIMD(cfg(), LeverFanout, 8, 8), 0.3)
+	// Sustained over-contribution must eventually cut the lever.
+	for i := 0; i < 30; i++ {
+		s.Update(Sample{Benefit: 0, Contribution: 1000})
+	}
+	if s.Fanout() != 2 {
+		t.Fatalf("smoothed controller never reached the floor: %d", s.Fanout())
+	}
+	if s.Batch() != 8 {
+		t.Fatalf("LeverFanout moved the batch: %d", s.Batch())
+	}
+}
+
+func TestSmoothedAlphaClamping(t *testing.T) {
+	if NewSmoothed(Static{F: 1, N: 1}, -5).alpha != 0.1 {
+		t.Fatal("negative alpha not clamped")
+	}
+	if NewSmoothed(Static{F: 1, N: 1}, 7).alpha != 1 {
+		t.Fatal("alpha > 1 not clamped")
+	}
+}
+
+func TestSmoothedFirstSampleSeedsState(t *testing.T) {
+	s := NewSmoothed(NewProportional(cfg(), LeverFanout, 8, 8), 0.1)
+	// First sample must not be diluted by a zero initial state: a first
+	// window exactly on target must not move anything.
+	f0 := s.Fanout()
+	f1, _ := s.Update(Sample{Benefit: 10, Contribution: 100})
+	if f1 != f0 {
+		t.Fatalf("on-target first sample moved the lever: %d -> %d", f0, f1)
+	}
+}

@@ -1,0 +1,78 @@
+// Package balance models the load-balancing baseline of §3.1: a
+// SplitStream-flavoured dissemination that equalises *work* across all
+// processes by rotating interior-node duty across per-event spanning
+// trees. It demonstrates the paper's §3.2 point: perfectly balanced work
+// under unequal interest is still unfair, because work no longer tracks
+// benefit.
+package balance
+
+import (
+	"fairgossip/internal/fairness"
+)
+
+// EventOverhead is the per-event wire overhead used for accounting.
+const EventOverhead = 16
+
+// Balanced disseminates each event down a fresh arity-ary spanning tree
+// whose node order is rotated per event, so that over many events every
+// process does the same total forwarding work (SplitStream's "every node
+// is interior in exactly one stripe" idea, flattened to rotation).
+type Balanced struct {
+	n      int
+	arity  int
+	ledger *fairness.Ledger
+	events int
+}
+
+// New builds a balanced disseminator over n processes with the given
+// tree arity (minimum 2).
+func New(n, arity int, ledger *fairness.Ledger) *Balanced {
+	if arity < 2 {
+		arity = 2
+	}
+	return &Balanced{n: n, arity: arity, ledger: ledger}
+}
+
+// Events returns how many events have been disseminated.
+func (b *Balanced) Events() int { return b.events }
+
+// Disseminate delivers one event from publisher to every process,
+// charging forwarding work along the rotated tree and recording
+// deliveries for processes where interested(i) is true. It returns the
+// number of deliveries.
+func (b *Balanced) Disseminate(publisher, eventSize int, interested func(int) bool) int {
+	if b.n == 0 {
+		return 0
+	}
+	size := eventSize + EventOverhead
+	rot := b.events
+	b.events++
+	b.ledger.AddPublish(publisher, eventSize)
+
+	// order[k] = (k + rot) mod n is this event's tree layout: order[0]
+	// is the root; order[k]'s children are order[k*arity+1 .. k*arity+arity].
+	pos := func(k int) int { return (k + rot) % b.n }
+
+	// The publisher hands the event to the root (one charged send),
+	// unless it happens to be the root.
+	root := pos(0)
+	if publisher != root {
+		b.ledger.AddSend(publisher, fairness.ClassApp, size)
+	}
+	delivered := 0
+	for k := 0; k < b.n; k++ {
+		node := pos(k)
+		// Forwarding: one send per child in the tree.
+		firstChild := k*b.arity + 1
+		for c := 0; c < b.arity; c++ {
+			if firstChild+c < b.n {
+				b.ledger.AddSend(node, fairness.ClassApp, size)
+			}
+		}
+		if interested != nil && interested(node) {
+			b.ledger.AddDelivery(node)
+			delivered++
+		}
+	}
+	return delivered
+}

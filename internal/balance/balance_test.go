@@ -1,0 +1,100 @@
+package balance
+
+import (
+	"testing"
+
+	"fairgossip/internal/fairness"
+	"fairgossip/internal/stats"
+)
+
+func TestEveryoneReachedEachEvent(t *testing.T) {
+	const n = 50
+	led := fairness.NewLedger(n, fairness.DefaultWeights())
+	b := New(n, 3, led)
+	got := b.Disseminate(7, 64, func(int) bool { return true })
+	if got != n {
+		t.Fatalf("delivered %d, want %d", got, n)
+	}
+	for i := 0; i < n; i++ {
+		if led.Account(i).Delivered != 1 {
+			t.Fatalf("node %d delivered %d", i, led.Account(i).Delivered)
+		}
+	}
+}
+
+func TestWorkIsBalancedAcrossManyEvents(t *testing.T) {
+	const n = 64
+	led := fairness.NewLedger(n, fairness.DefaultWeights())
+	b := New(n, 3, led)
+	for k := 0; k < 10*n; k++ { // full rotation ×10
+		b.Disseminate(k%n, 64, nil)
+	}
+	work := make([]float64, n)
+	for i := 0; i < n; i++ {
+		work[i] = float64(led.Account(i).BytesSent[fairness.ClassApp])
+	}
+	if cov := stats.CoV(work); cov > 0.05 {
+		t.Fatalf("work CoV %.4f — rotation failed to balance", cov)
+	}
+	if b.Events() != 10*n {
+		t.Fatalf("Events() = %d", b.Events())
+	}
+}
+
+func TestBalancedButUnfairUnderSkewedInterest(t *testing.T) {
+	// The §3.1-vs-§3.2 punchline: equal work, unequal benefit → unfair
+	// ratios despite perfect balance.
+	const n = 64
+	led := fairness.NewLedger(n, fairness.DefaultWeights())
+	b := New(n, 3, led)
+	for k := 0; k < 10*n; k++ {
+		k := k
+		// Graded interest: node i wants ≈ i/n of all events, so benefit
+		// spans the whole population while work stays flat.
+		b.Disseminate(k%n, 64, func(i int) bool { return (i+k)%n < i })
+	}
+	r := led.Report()
+	if r.WorkCoV > 0.05 {
+		t.Fatalf("work CoV %.4f, expected balanced", r.WorkCoV)
+	}
+	if r.RatioJain > 0.5 {
+		t.Fatalf("ratio Jain %.3f — should be clearly unfair", r.RatioJain)
+	}
+	if r.ContribBenefitCorr > 0.1 {
+		t.Fatalf("corr %.3f — balanced work cannot track benefit", r.ContribBenefitCorr)
+	}
+}
+
+func TestPublisherChargedHandoff(t *testing.T) {
+	const n = 16
+	led := fairness.NewLedger(n, fairness.DefaultWeights())
+	b := New(n, 2, led)
+	// First event: root is node 0; publisher 5 pays a hand-off send.
+	b.Disseminate(5, 10, nil)
+	if led.Account(5).Published != 1 {
+		t.Fatal("publish not recorded")
+	}
+	if led.Account(5).BytesSent[fairness.ClassApp] == 0 {
+		t.Fatal("hand-off send not charged")
+	}
+}
+
+func TestTinyPopulations(t *testing.T) {
+	led := fairness.NewLedger(1, fairness.DefaultWeights())
+	b := New(1, 3, led)
+	if got := b.Disseminate(0, 10, func(int) bool { return true }); got != 1 {
+		t.Fatalf("singleton delivered %d", got)
+	}
+	led0 := fairness.NewLedger(0, fairness.DefaultWeights())
+	if got := New(0, 3, led0).Disseminate(0, 10, nil); got != 0 {
+		t.Fatalf("empty population delivered %d", got)
+	}
+}
+
+func TestArityFloor(t *testing.T) {
+	led := fairness.NewLedger(4, fairness.DefaultWeights())
+	b := New(4, 0, led) // coerced to 2
+	if b.arity != 2 {
+		t.Fatalf("arity = %d", b.arity)
+	}
+}

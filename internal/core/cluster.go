@@ -1,0 +1,136 @@
+package core
+
+import (
+	"math/rand"
+	"time"
+
+	"fairgossip/internal/eventsim"
+	"fairgossip/internal/fairness"
+	"fairgossip/internal/simnet"
+)
+
+// Cluster wires n FairGossip nodes onto one simulated network with a
+// shared fairness ledger. It is the unit experiments (and the public
+// facade) drive.
+type Cluster struct {
+	Sim    *eventsim.Sim
+	Net    *simnet.Network
+	Ledger *fairness.Ledger
+	Nodes  []*Node
+
+	cfg     Config
+	tickers []*eventsim.Ticker
+}
+
+// ClusterOptions bundles the environment knobs of a cluster.
+type ClusterOptions struct {
+	// Seed drives all randomness (simulator and per-node streams).
+	Seed int64
+	// NetConfig configures latency and loss (zero value: 1ms, lossless).
+	NetConfig simnet.Config
+	// Weights configures the fairness ledger (zero value: defaults).
+	Weights fairness.Weights
+}
+
+// NewCluster builds a stopped cluster of n nodes. Call Start (or use
+// RunRounds, which starts lazily) to begin gossip rounds.
+func NewCluster(n int, cfg Config, opts ClusterOptions) *Cluster {
+	cfg = cfg.withDefaults()
+	sim := eventsim.New(opts.Seed)
+	net := simnet.New(sim, opts.NetConfig)
+	ledger := fairness.NewLedger(n, opts.Weights)
+
+	c := &Cluster{
+		Sim:    sim,
+		Net:    net,
+		Ledger: ledger,
+		cfg:    cfg,
+		Nodes:  make([]*Node, 0, n),
+	}
+	for i := 0; i < n; i++ {
+		nd := newNode(simnet.NodeID(i), net, ledger, cfg, n, rand.New(rand.NewSource(opts.Seed^int64(0x9e3779b9*uint32(i+1)))))
+		net.AddNode(nd)
+		c.Nodes = append(c.Nodes, nd)
+	}
+	// Bootstrap overlay views with random contacts (a join service in a
+	// deployed system; free here, like handing out a seed-peer list).
+	if cfg.Membership == MemberCyclon {
+		boot := rand.New(rand.NewSource(opts.Seed + 7))
+		for _, nd := range c.Nodes {
+			k := cfg.ViewCap / 2
+			if k < 3 {
+				k = 3
+			}
+			ids := make([]simnet.NodeID, 0, k)
+			for len(ids) < k && n > 1 {
+				cand := simnet.NodeID(boot.Intn(n))
+				if cand != nd.id {
+					ids = append(ids, cand)
+				}
+			}
+			nd.bootstrapView(ids)
+		}
+	}
+	return c
+}
+
+// Config returns the cluster's (defaulted) configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Start launches the per-node round tickers. Idempotent.
+func (c *Cluster) Start() {
+	if len(c.tickers) > 0 {
+		return
+	}
+	for _, nd := range c.Nodes {
+		nd := nd
+		c.tickers = append(c.tickers, c.Sim.Every(c.cfg.RoundPeriod, c.cfg.Jitter, nd.Round))
+	}
+}
+
+// Stop halts the round tickers (the simulator can still drain in-flight
+// messages with Sim.Run).
+func (c *Cluster) Stop() {
+	for _, t := range c.tickers {
+		t.Stop()
+	}
+	c.tickers = nil
+}
+
+// RunRounds advances virtual time by r round periods, starting the
+// cluster if needed.
+func (c *Cluster) RunRounds(r int) {
+	c.Start()
+	c.Sim.RunUntil(c.Sim.Now() + time.Duration(r)*c.cfg.RoundPeriod)
+}
+
+// Node returns the i-th node.
+func (c *Cluster) Node(i int) *Node { return c.Nodes[i] }
+
+// Report computes the fairness report over the whole population.
+func (c *Cluster) Report() fairness.Report { return c.Ledger.Report() }
+
+// DeliveredTotal sums deliveries across all nodes.
+func (c *Cluster) DeliveredTotal() uint64 {
+	var total uint64
+	for i := range c.Nodes {
+		total += c.Ledger.Account(i).Delivered
+	}
+	return total
+}
+
+// DeliveryRatio returns, for an event expected at `interested` many
+// nodes, the fraction of them that delivered at least `minEach` events.
+// Experiments use it as the reliability metric.
+func (c *Cluster) DeliveryRatio(interested []int, minEach uint64) float64 {
+	if len(interested) == 0 {
+		return 1
+	}
+	ok := 0
+	for _, id := range interested {
+		if c.Ledger.Account(id).Delivered >= minEach {
+			ok++
+		}
+	}
+	return float64(ok) / float64(len(interested))
+}

@@ -1,0 +1,255 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"fairgossip/internal/fairness"
+	"fairgossip/internal/pubsub"
+	"fairgossip/internal/simnet"
+)
+
+func contentCluster(n int, seed int64, spec ControllerSpec) *Cluster {
+	return NewCluster(n, Config{
+		Mode:       ModeContent,
+		Controller: spec,
+		Fanout:     5,
+		Batch:      8,
+	}, ClusterOptions{
+		Seed:      seed,
+		NetConfig: simnet.Config{Latency: simnet.ConstantLatency(2 * time.Millisecond)},
+	})
+}
+
+func TestContentDisseminationReachesEveryone(t *testing.T) {
+	c := contentCluster(64, 1, ControllerSpec{Kind: ControllerStatic})
+	for _, nd := range c.Nodes {
+		nd.Subscribe(pubsub.MatchAll())
+	}
+	c.RunRounds(5) // let cyclon warm up
+	c.Node(0).Publish("news", nil, []byte("payload"))
+	c.RunRounds(20)
+
+	all := make([]int, len(c.Nodes))
+	for i := range all {
+		all[i] = i
+	}
+	if ratio := c.DeliveryRatio(all, 1); ratio < 0.99 {
+		t.Fatalf("delivery ratio %.3f, want ≈1", ratio)
+	}
+}
+
+func TestContentModeUninterestedStillForward(t *testing.T) {
+	// The classic-gossip pathology (§4.2): non-interested nodes carry
+	// app traffic anyway.
+	c := contentCluster(48, 2, ControllerSpec{Kind: ControllerStatic})
+	for i, nd := range c.Nodes {
+		if i < 8 {
+			nd.Subscribe(pubsub.Topic("hot"))
+		}
+	}
+	c.RunRounds(5)
+	for i := 0; i < 10; i++ {
+		c.Node(0).Publish("hot", nil, nil)
+		c.RunRounds(2)
+	}
+	c.RunRounds(10)
+
+	forwarders := 0
+	for i := 8; i < 48; i++ {
+		a := c.Ledger.Account(i)
+		if a.Delivered != 0 {
+			t.Fatalf("uninterested node %d delivered", i)
+		}
+		if a.BytesSent[fairness.ClassApp] > 0 {
+			forwarders++
+		}
+	}
+	if forwarders < 30 {
+		t.Fatalf("only %d/40 uninterested nodes forwarded — not classic gossip", forwarders)
+	}
+}
+
+func TestAdaptiveImprovesFairnessUnderSkewedInterest(t *testing.T) {
+	// EXP-F1 in miniature: half the nodes interested in everything, half
+	// in (almost) nothing. Static gossip spreads work evenly → unfair
+	// ratios; the adaptive controller must narrow the spread.
+	run := func(spec ControllerSpec) fairness.Report {
+		c := contentCluster(64, 3, spec)
+		for i, nd := range c.Nodes {
+			if i%2 == 0 {
+				nd.Subscribe(pubsub.MatchAll())
+			} else {
+				nd.Subscribe(pubsub.Topic("rare-topic-never-published"))
+			}
+		}
+		c.RunRounds(5)
+		for r := 0; r < 60; r++ {
+			c.Node(r%64).Publish("bulk", nil, make([]byte, 32))
+			c.RunRounds(1)
+		}
+		c.RunRounds(10)
+		return c.Report()
+	}
+	static := run(ControllerSpec{Kind: ControllerStatic})
+	adaptive := run(ControllerSpec{Kind: ControllerAIMD, TargetRatio: 2000})
+
+	if adaptive.RatioJain <= static.RatioJain {
+		t.Fatalf("adaptive Jain %.3f not better than static %.3f",
+			adaptive.RatioJain, static.RatioJain)
+	}
+	if adaptive.ContribBenefitCorr < 0.3 || adaptive.ContribBenefitCorr <= static.ContribBenefitCorr {
+		t.Fatalf("adaptive corr %.3f (static %.3f): adaptation did not align work with benefit",
+			adaptive.ContribBenefitCorr, static.ContribBenefitCorr)
+	}
+}
+
+func TestAdaptiveFanoutActuallyMoves(t *testing.T) {
+	c := contentCluster(64, 4, ControllerSpec{Kind: ControllerAIMD, TargetRatio: 50})
+	for i, nd := range c.Nodes {
+		if i%4 == 0 {
+			nd.Subscribe(pubsub.MatchAll())
+		} else {
+			nd.Subscribe(pubsub.Topic("nothing"))
+		}
+	}
+	c.RunRounds(5)
+	initial := c.Node(1).Fanout()*1000 + c.Node(1).Batch()
+	for r := 0; r < 20; r++ {
+		c.Node(0).Publish("x", nil, make([]byte, 64))
+		c.RunRounds(3)
+	}
+	moved := false
+	for _, nd := range c.Nodes {
+		if nd.Fanout()*1000+nd.Batch() != initial {
+			moved = true
+			break
+		}
+	}
+	if !moved {
+		t.Fatal("no node's levers moved under adaptation")
+	}
+}
+
+func TestClusterDeterminism(t *testing.T) {
+	run := func() (uint64, fairness.Report) {
+		c := contentCluster(32, 42, ControllerSpec{Kind: ControllerAIMD, TargetRatio: 100})
+		for _, nd := range c.Nodes {
+			nd.Subscribe(pubsub.MatchAll())
+		}
+		c.RunRounds(5)
+		for i := 0; i < 5; i++ {
+			c.Node(i).Publish("t", nil, nil)
+		}
+		c.RunRounds(20)
+		return c.DeliveredTotal(), c.Report()
+	}
+	d1, r1 := run()
+	d2, r2 := run()
+	if d1 != d2 {
+		t.Fatalf("delivered totals differ: %d vs %d", d1, d2)
+	}
+	if r1.RatioJain != r2.RatioJain || r1.WorkCoV != r2.WorkCoV {
+		t.Fatalf("reports differ: %+v vs %+v", r1, r2)
+	}
+}
+
+func TestClusterStartStopIdempotent(t *testing.T) {
+	c := contentCluster(8, 5, ControllerSpec{Kind: ControllerStatic})
+	c.Start()
+	c.Start() // no double tickers
+	if len(c.tickers) != 8 {
+		t.Fatalf("tickers = %d, want 8", len(c.tickers))
+	}
+	c.Stop()
+	if len(c.tickers) != 0 {
+		t.Fatal("stop did not clear tickers")
+	}
+	c.RunRounds(1) // restarts lazily
+	if len(c.tickers) != 8 {
+		t.Fatal("RunRounds did not restart")
+	}
+}
+
+func TestDeliveryRatioHelper(t *testing.T) {
+	c := contentCluster(4, 6, ControllerSpec{Kind: ControllerStatic})
+	if got := c.DeliveryRatio(nil, 1); got != 1 {
+		t.Fatalf("empty interested = %v", got)
+	}
+	c.Node(0).Subscribe(pubsub.MatchAll())
+	c.Node(0).Publish("t", nil, nil)
+	if got := c.DeliveryRatio([]int{0, 1}, 1); got != 0.5 {
+		t.Fatalf("ratio = %v, want 0.5", got)
+	}
+}
+
+func TestFullMembershipMode(t *testing.T) {
+	c := NewCluster(32, Config{
+		Mode:       ModeContent,
+		Membership: MemberFull,
+		Fanout:     5,
+	}, ClusterOptions{Seed: 7})
+	for _, nd := range c.Nodes {
+		nd.Subscribe(pubsub.MatchAll())
+	}
+	c.Node(0).Publish("t", nil, nil)
+	c.RunRounds(15)
+	all := make([]int, 32)
+	for i := range all {
+		all[i] = i
+	}
+	if ratio := c.DeliveryRatio(all, 1); ratio < 0.99 {
+		t.Fatalf("full-membership delivery %.3f", ratio)
+	}
+	// No infra traffic with the free sampler.
+	for i := range c.Nodes {
+		if c.Ledger.Account(i).BytesSent[fairness.ClassInfra] != 0 {
+			t.Fatal("MemberFull should charge no infrastructure traffic")
+		}
+	}
+}
+
+func TestSmoothedControllerConfigured(t *testing.T) {
+	// Smoothing must keep the cluster functional and still adapt under
+	// sustained pressure.
+	c := NewCluster(32, Config{
+		Mode:   ModeContent,
+		Fanout: 8,
+		Batch:  16,
+		Controller: ControllerSpec{
+			Kind:        ControllerAIMD,
+			TargetRatio: 10, // absurdly tight: must shed
+			Smoothing:   0.3,
+		},
+	}, ClusterOptions{Seed: 9})
+	for _, nd := range c.Nodes {
+		nd.Subscribe(pubsub.MatchAll())
+	}
+	for r := 0; r < 20; r++ {
+		c.Node(r%32).Publish("t", nil, make([]byte, 32))
+		c.RunRounds(3)
+	}
+	shed := 0
+	for _, nd := range c.Nodes {
+		if nd.Fanout()*nd.Batch() < 8*16 {
+			shed++
+		}
+	}
+	if shed < 16 {
+		t.Fatalf("only %d/32 smoothed controllers shed load", shed)
+	}
+}
+
+func TestCyclonGeneratesInfraTraffic(t *testing.T) {
+	c := contentCluster(32, 8, ControllerSpec{Kind: ControllerStatic})
+	c.RunRounds(20)
+	withInfra := 0
+	for i := range c.Nodes {
+		if c.Ledger.Account(i).BytesSent[fairness.ClassInfra] > 0 {
+			withInfra++
+		}
+	}
+	if withInfra < 30 {
+		t.Fatalf("only %d/32 nodes paid membership costs", withInfra)
+	}
+}

@@ -1,0 +1,592 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+
+	"fairgossip/internal/adaptive"
+	"fairgossip/internal/fairness"
+	"fairgossip/internal/gossip"
+	"fairgossip/internal/membership"
+	"fairgossip/internal/pubsub"
+	"fairgossip/internal/simnet"
+)
+
+// Node is one FairGossip process. It implements simnet.Handler; the
+// cluster drives its Round method from a jittered per-node ticker.
+//
+// Nodes are single-threaded: all methods run on the simulator goroutine.
+type Node struct {
+	id     simnet.NodeID
+	net    *simnet.Network
+	cfg    Config
+	rng    *rand.Rand
+	ledger *fairness.Ledger
+
+	interest   pubsub.Interest
+	seen       *gossip.SeenSet
+	buffer     *gossip.Buffer         // content-mode event buffer
+	groups     map[string]*topicGroup // topic-mode groups this node is in
+	groupOrder []string               // sorted group topics (deterministic rounds)
+
+	cyclon *membership.Cyclon // nil when MemberFull
+	full   membership.FullSampler
+
+	ctrl     adaptive.Controller
+	lastAcct fairness.Account
+	fanout   int
+	batch    int
+
+	round  int
+	pubSeq uint32
+	active bool
+
+	// OnDeliver, when set, observes every delivered event.
+	OnDeliver func(*pubsub.Event)
+
+	// Cheat makes this node pad every outgoing gossip message with
+	// cfg.JunkPadding bytes of worthless data (EXP-A6).
+	Cheat bool
+
+	// walkRelays counts subscription/publication walks this node relayed
+	// for others — §5.1's maintenance burden.
+	walkRelays uint64
+	// walksSent counts walks this node originated.
+	walksSent uint64
+
+	// peerFPs remembers other peers' interest fingerprints for semantic
+	// partner bias (semantic.go).
+	peerFPs map[simnet.NodeID]uint64
+}
+
+// topicGroup is this node's slice of one per-topic gossip group.
+type topicGroup struct {
+	view    *membership.View
+	buffer  *gossip.Buffer
+	retryIn int // rounds until the join walk is retried while the view is empty
+}
+
+func newNode(id simnet.NodeID, net *simnet.Network, ledger *fairness.Ledger, cfg Config, n int, rng *rand.Rand) *Node {
+	nd := &Node{
+		id:     id,
+		net:    net,
+		cfg:    cfg,
+		rng:    rng,
+		ledger: ledger,
+		seen:   gossip.NewSeenSet(cfg.SeenCap),
+		buffer: gossip.NewBuffer(cfg.BufferCap, cfg.BufferMaxAge),
+		groups: make(map[string]*topicGroup),
+		ctrl:   buildController(cfg, n),
+		active: true,
+	}
+	nd.fanout = nd.ctrl.Fanout()
+	nd.batch = nd.ctrl.Batch()
+	if cfg.Membership == MemberCyclon {
+		nd.cyclon = membership.NewCyclon(membership.NewView(id, cfg.ViewCap), cfg.ShuffleLen)
+	} else {
+		nd.full = membership.FullSampler{Self: id, N: n}
+	}
+	return nd
+}
+
+// ID returns the node's network identity.
+func (nd *Node) ID() simnet.NodeID { return nd.id }
+
+// Fanout returns the current fanout lever F_i.
+func (nd *Node) Fanout() int { return nd.fanout }
+
+// Batch returns the current gossip-message-size lever N_i.
+func (nd *Node) Batch() int { return nd.batch }
+
+// Active reports whether the node is participating.
+func (nd *Node) Active() bool { return nd.active }
+
+// WalkRelays returns how many subscription/publication walks this node
+// relayed on behalf of others.
+func (nd *Node) WalkRelays() uint64 { return nd.walkRelays }
+
+// Interest exposes the node's interest function (read-only use).
+func (nd *Node) Interest() *pubsub.Interest { return &nd.interest }
+
+// bootstrapView seeds the overlay view (cluster wiring).
+func (nd *Node) bootstrapView(ids []simnet.NodeID) {
+	if nd.cyclon == nil {
+		return
+	}
+	for _, id := range ids {
+		nd.cyclon.View().Add(id)
+	}
+}
+
+// overlayPeers samples k partners from the overlay substrate.
+func (nd *Node) overlayPeers(k int) []simnet.NodeID {
+	if nd.cyclon != nil {
+		return nd.cyclon.View().Sample(nd.rng, k)
+	}
+	return nd.full.SamplePeers(nd.rng, k)
+}
+
+// send transmits a wire message and charges the ledger.
+func (nd *Node) send(to simnet.NodeID, m *wireMsg, class fairness.Class) {
+	size := m.size()
+	nd.net.Send(nd.id, to, m, size)
+	nd.ledger.AddSend(int(nd.id), class, size)
+}
+
+// --- Public API: the three operations of §2 -------------------------------
+
+// Subscribe registers a filter and returns its subscription ID. In topic
+// mode, plain topic filters additionally join the topic's gossip group
+// through a random-walk subscription (§5.1).
+func (nd *Node) Subscribe(f pubsub.Filter) pubsub.SubID {
+	id := nd.interest.Subscribe(f)
+	nd.ledger.SetFilters(int(nd.id), nd.interest.Count())
+	if nd.cfg.Mode == ModeTopics {
+		if topic, ok := pubsub.TopicOf(f); ok {
+			nd.joinGroup(topic)
+		}
+	}
+	return id
+}
+
+// Unsubscribe removes a subscription. In topic mode the node drops out of
+// gossip groups no remaining filter selects; its stale view entries age
+// out of other members' views.
+func (nd *Node) Unsubscribe(id pubsub.SubID) bool {
+	ok := nd.interest.Unsubscribe(id)
+	if !ok {
+		return false
+	}
+	nd.ledger.SetFilters(int(nd.id), nd.interest.Count())
+	if nd.cfg.Mode == ModeTopics {
+		for _, topic := range nd.groupOrder {
+			if !nd.interest.HasTopic(topic) {
+				delete(nd.groups, topic)
+			}
+		}
+		nd.rebuildGroupOrder()
+	}
+	return true
+}
+
+// rebuildGroupOrder re-derives the sorted topic list from the group map.
+func (nd *Node) rebuildGroupOrder() {
+	nd.groupOrder = nd.groupOrder[:0]
+	for topic := range nd.groups {
+		nd.groupOrder = append(nd.groupOrder, topic)
+	}
+	sort.Strings(nd.groupOrder)
+}
+
+// Publish originates an event on the given topic. In topic mode a
+// publisher that is not itself subscribed hands the event to a group
+// member via a publication walk.
+func (nd *Node) Publish(topic string, attrs []pubsub.Attr, payload []byte) pubsub.EventID {
+	nd.pubSeq++
+	ev := &pubsub.Event{
+		ID:      pubsub.EventID{Publisher: uint32(nd.id), Seq: nd.pubSeq},
+		Topic:   topic,
+		Attrs:   attrs,
+		Payload: payload,
+	}
+	nd.ledger.AddPublish(int(nd.id), ev.WireSize())
+	nd.seen.Add(ev.ID)
+	nd.deliverIfInterested(ev)
+
+	if nd.cfg.Mode == ModeTopics {
+		if g, ok := nd.groups[topic]; ok {
+			g.buffer.Insert(ev)
+		} else {
+			nd.publishWalk(ev)
+		}
+	} else {
+		nd.buffer.Insert(ev)
+	}
+	return ev.ID
+}
+
+// --- Round logic -----------------------------------------------------------
+
+// Round executes one gossip period: membership maintenance, dissemination
+// in every group (or the flat overlay), buffer aging, and periodically a
+// controller update.
+func (nd *Node) Round() {
+	if !nd.active {
+		return
+	}
+	nd.round++
+
+	if nd.cyclon != nil && nd.round%nd.cfg.ShuffleEvery == 0 {
+		nd.initiateShuffle()
+	}
+
+	switch nd.cfg.Mode {
+	case ModeTopics:
+		nd.roundTopics()
+	default:
+		nd.roundContent()
+	}
+
+	if nd.round%nd.cfg.ControlWindow == 0 {
+		nd.updateController()
+	}
+}
+
+func (nd *Node) roundContent() {
+	events := nd.buffer.Select(nd.rng, nd.batch, nd.cfg.Policy)
+	switch {
+	case len(events) == 0:
+	case nd.cfg.SemanticBias > 0:
+		// Semantic mode sends topic-coherent sub-batches: a mixed batch
+		// has a blurred fingerprint that matches everyone, so the bias
+		// needs per-topic messages to have a signal.
+		for _, group := range splitByTopic(events) {
+			fp := batchFingerprint(group)
+			for _, q := range nd.biasedPeers(nd.fanout, fp) {
+				nd.sendGossip(q, "", group, nil)
+			}
+		}
+	default:
+		for _, q := range nd.overlayPeers(nd.fanout) {
+			nd.sendGossip(q, "", events, nil)
+		}
+	}
+	nd.buffer.Tick()
+}
+
+// splitByTopic partitions a batch into per-topic groups, in sorted topic
+// order for determinism.
+func splitByTopic(events []*pubsub.Event) [][]*pubsub.Event {
+	byTopic := make(map[string][]*pubsub.Event)
+	topics := make([]string, 0, 4)
+	for _, ev := range events {
+		if _, ok := byTopic[ev.Topic]; !ok {
+			topics = append(topics, ev.Topic)
+		}
+		byTopic[ev.Topic] = append(byTopic[ev.Topic], ev)
+	}
+	sort.Strings(topics)
+	out := make([][]*pubsub.Event, 0, len(topics))
+	for _, t := range topics {
+		out = append(out, byTopic[t])
+	}
+	return out
+}
+
+func (nd *Node) roundTopics() {
+	minView := nd.cfg.TopicViewCap / 4
+	if minView < 1 {
+		minView = 1
+	}
+	for _, topic := range nd.groupOrder {
+		g := nd.groups[topic]
+		// Keep walking while the group view is undersized: a join that
+		// terminated at another isolated newcomer would otherwise leave
+		// a disconnected clique that never merges with the main group.
+		if g.view.Len() < minView {
+			if g.retryIn <= 0 {
+				nd.subscribeWalk(topic)
+				if g.view.Len() == 0 {
+					g.retryIn = 4
+				} else {
+					g.retryIn = 8
+				}
+			} else {
+				g.retryIn--
+			}
+		}
+		events := g.buffer.Select(nd.rng, nd.batch, nd.cfg.Policy)
+		heartbeat := nd.round%4 == 0
+		if len(events) == 0 && !heartbeat {
+			g.buffer.Tick()
+			continue
+		}
+		ads := nd.groupAds(g)
+		for _, q := range g.view.Sample(nd.rng, nd.fanout) {
+			nd.sendGossip(q, topic, events, ads)
+		}
+		g.buffer.Tick()
+	}
+}
+
+// groupAds samples a few known members (plus self) to piggyback, keeping
+// group views alive without a directory service.
+func (nd *Node) groupAds(g *topicGroup) []membership.Entry {
+	ads := make([]membership.Entry, 0, nd.cfg.AdLen+1)
+	for _, id := range g.view.Sample(nd.rng, nd.cfg.AdLen) {
+		ads = append(ads, membership.Entry{ID: id, Age: 1})
+	}
+	return append(ads, membership.Entry{ID: nd.id, Age: 0})
+}
+
+func (nd *Node) sendGossip(to simnet.NodeID, topic string, events []*pubsub.Event, ads []membership.Entry) {
+	m := &wireMsg{Kind: kindGossip, Topic: topic, Events: events, Ads: ads}
+	if nd.Cheat && nd.cfg.JunkPadding > 0 {
+		m.Junk = nd.cfg.JunkPadding
+	}
+	if nd.cfg.SemanticBias > 0 {
+		m.FP = interestFingerprint(&nd.interest)
+		m.FPAds = nd.fpAds(2)
+	}
+	nd.send(to, m, fairness.ClassApp)
+}
+
+func (nd *Node) updateController() {
+	acct := nd.ledger.Account(int(nd.id))
+	delta := fairness.Delta(acct, nd.lastAcct)
+	nd.lastAcct = acct
+	w := nd.ledger.Weights()
+	sample := adaptive.Sample{
+		Benefit:      fairness.Benefit(delta, w),
+		Contribution: fairness.Contribution(delta, w),
+	}
+	nd.fanout, nd.batch = nd.ctrl.Update(sample)
+}
+
+// --- Membership ------------------------------------------------------------
+
+func (nd *Node) initiateShuffle() {
+	target, offer, ok := nd.cyclon.InitiateShuffle(nd.rng)
+	if !ok {
+		return
+	}
+	nd.send(target, &wireMsg{Kind: kindShuffle, Entries: offer}, fairness.ClassInfra)
+}
+
+// --- Topic-group joining (§5.1) ---------------------------------------------
+
+func (nd *Node) joinGroup(topic string) {
+	if _, ok := nd.groups[topic]; ok {
+		return
+	}
+	nd.groups[topic] = &topicGroup{
+		view:   membership.NewView(nd.id, nd.cfg.TopicViewCap),
+		buffer: gossip.NewBuffer(nd.cfg.BufferCap, nd.cfg.BufferMaxAge),
+	}
+	nd.rebuildGroupOrder()
+	nd.subscribeWalk(topic)
+}
+
+// subscribeWalk launches a random walk that terminates at some subscriber
+// of the topic, which replies with group-bootstrap entries.
+func (nd *Node) subscribeWalk(topic string) {
+	contacts := nd.overlayPeers(1)
+	if len(contacts) == 0 {
+		return
+	}
+	nd.walksSent++
+	nd.send(contacts[0], &wireMsg{
+		Kind:   kindSubWalk,
+		Topic:  topic,
+		Origin: nd.id,
+		Hops:   nd.cfg.WalkHopLimit,
+	}, fairness.ClassInfra)
+}
+
+// publishWalk hands an event from a non-subscribed publisher to the
+// topic's group.
+func (nd *Node) publishWalk(ev *pubsub.Event) {
+	contacts := nd.overlayPeers(1)
+	if len(contacts) == 0 {
+		return
+	}
+	nd.walksSent++
+	nd.send(contacts[0], &wireMsg{
+		Kind:   kindPubWalk,
+		Topic:  ev.Topic,
+		Events: []*pubsub.Event{ev},
+		Origin: nd.id,
+		Hops:   nd.cfg.WalkHopLimit,
+	}, fairness.ClassInfra)
+}
+
+// --- Churn (§3.2 penalty) ----------------------------------------------------
+
+// Leave takes the node offline without notice.
+func (nd *Node) Leave() {
+	nd.active = false
+	nd.net.SetUp(nd.id, false)
+}
+
+// Rejoin brings the node back, repairing its overlay view through the
+// bootstrap contact and charging the configured instability penalty.
+func (nd *Node) Rejoin(bootstrap simnet.NodeID) {
+	nd.active = true
+	nd.net.SetUp(nd.id, true)
+	if nd.cfg.RepairPenalty > 0 {
+		nd.ledger.AddChurnPenalty(int(nd.id), nd.cfg.RepairPenalty)
+	}
+	if nd.cyclon != nil {
+		nd.send(bootstrap, &wireMsg{Kind: kindViewRepair}, fairness.ClassInfra)
+	}
+	// Re-join all topic groups (stale views may point to departed peers).
+	for _, topic := range nd.groupOrder {
+		if nd.groups[topic].view.Len() == 0 {
+			nd.subscribeWalk(topic)
+		}
+	}
+}
+
+// --- Receive path ------------------------------------------------------------
+
+// HandleMessage implements simnet.Handler.
+func (nd *Node) HandleMessage(msg simnet.Message) {
+	m, ok := msg.Payload.(*wireMsg)
+	if !ok || !nd.active {
+		return
+	}
+	switch m.Kind {
+	case kindGossip:
+		nd.handleGossip(msg.From, m)
+	case kindShuffle:
+		if nd.cyclon == nil {
+			return
+		}
+		reply := nd.cyclon.HandleShuffle(nd.rng, msg.From, m.Entries)
+		nd.send(msg.From, &wireMsg{Kind: kindShuffleReply, Entries: reply}, fairness.ClassInfra)
+	case kindShuffleReply:
+		if nd.cyclon == nil {
+			return
+		}
+		nd.cyclon.HandleReply(msg.From, m.Entries)
+	case kindSubWalk:
+		nd.handleSubWalk(msg.From, m)
+	case kindSubAck:
+		nd.handleSubAck(m)
+	case kindPubWalk:
+		nd.handlePubWalk(msg.From, m)
+	case kindViewRepair:
+		if nd.cyclon == nil {
+			return
+		}
+		nd.send(msg.From, &wireMsg{
+			Kind:    kindViewRepairAck,
+			Entries: nd.cyclon.View().Entries(),
+		}, fairness.ClassInfra)
+	case kindViewRepairAck:
+		if nd.cyclon == nil {
+			return
+		}
+		for _, e := range m.Entries {
+			nd.cyclon.View().AddAged(e)
+		}
+	}
+}
+
+func (nd *Node) handleGossip(from simnet.NodeID, m *wireMsg) {
+	if nd.cfg.SemanticBias > 0 {
+		nd.rememberFingerprint(from, m.FP)
+		for _, ad := range m.FPAds {
+			nd.rememberFingerprint(ad.ID, ad.FP)
+		}
+	}
+	novel, dup := 0, m.Junk
+	var g *topicGroup
+	if nd.cfg.Mode == ModeTopics {
+		g = nd.groups[m.Topic]
+		if g != nil {
+			for _, ad := range m.Ads {
+				g.view.AddAged(ad)
+			}
+		}
+	}
+	for _, ev := range m.Events {
+		if !nd.seen.Add(ev.ID) {
+			dup += ev.WireSize()
+			continue
+		}
+		novel += ev.WireSize()
+		switch {
+		case nd.cfg.Mode == ModeTopics:
+			// Fair-by-structure: only group members re-forward. Events
+			// for groups we are not in are delivered (if interesting)
+			// but never buffered for forwarding.
+			if g != nil {
+				g.buffer.Insert(ev)
+			}
+		default:
+			nd.buffer.Insert(ev)
+		}
+		nd.deliverIfInterested(ev)
+	}
+	// Novelty audit (§5.2 bias resistance): grade the sender's bytes.
+	nd.ledger.AddAudit(int(from), novel, dup)
+}
+
+func (nd *Node) handleSubWalk(from simnet.NodeID, m *wireMsg) {
+	if g, ok := nd.groups[m.Topic]; ok {
+		// We are a subscriber: answer with bootstrap entries and adopt
+		// the new member.
+		entries := make([]membership.Entry, 0, nd.cfg.ShuffleLen+1)
+		for _, id := range g.view.Sample(nd.rng, nd.cfg.ShuffleLen) {
+			entries = append(entries, membership.Entry{ID: id, Age: 1})
+		}
+		entries = append(entries, membership.Entry{ID: nd.id, Age: 0})
+		nd.send(m.Origin, &wireMsg{Kind: kindSubAck, Topic: m.Topic, Entries: entries}, fairness.ClassInfra)
+		g.view.Add(m.Origin)
+		return
+	}
+	// Not interested: relay — the §5.1 maintenance burden.
+	if m.Hops <= 1 {
+		return // walk dies
+	}
+	nd.walkRelays++
+	next := nd.overlayPeers(1)
+	if len(next) == 0 || next[0] == from {
+		next = nd.overlayPeers(1)
+	}
+	if len(next) == 0 {
+		return
+	}
+	fwd := *m
+	fwd.Hops = m.Hops - 1
+	nd.send(next[0], &fwd, fairness.ClassInfra)
+}
+
+func (nd *Node) handleSubAck(m *wireMsg) {
+	g, ok := nd.groups[m.Topic]
+	if !ok {
+		return // unsubscribed while the walk was in flight
+	}
+	for _, e := range m.Entries {
+		g.view.AddAged(e)
+	}
+}
+
+func (nd *Node) handlePubWalk(from simnet.NodeID, m *wireMsg) {
+	if g, ok := nd.groups[m.Topic]; ok {
+		for _, ev := range m.Events {
+			if nd.seen.Add(ev.ID) {
+				g.buffer.Insert(ev)
+				nd.deliverIfInterested(ev)
+			}
+		}
+		return
+	}
+	if m.Hops <= 1 {
+		return
+	}
+	nd.walkRelays++
+	next := nd.overlayPeers(1)
+	if len(next) == 0 || next[0] == from {
+		next = nd.overlayPeers(1)
+	}
+	if len(next) == 0 {
+		return
+	}
+	fwd := *m
+	fwd.Hops = m.Hops - 1
+	nd.send(next[0], &fwd, fairness.ClassInfra)
+}
+
+func (nd *Node) deliverIfInterested(ev *pubsub.Event) {
+	if !nd.interest.Match(ev) {
+		return
+	}
+	nd.ledger.AddDelivery(int(nd.id))
+	if nd.OnDeliver != nil {
+		nd.OnDeliver(ev)
+	}
+}
+
+var _ simnet.Handler = (*Node)(nil)

@@ -1,0 +1,192 @@
+package dam
+
+import (
+	"testing"
+
+	"fairgossip/internal/fairness"
+)
+
+func newDAM(n int) (*DAM, *fairness.Ledger) {
+	h := NewHierarchy("sports.football", "sports.tennis", "news.eu", "news.us")
+	led := fairness.NewLedger(n, fairness.DefaultWeights())
+	return New(h, led, 3, 2, 1), led
+}
+
+func TestHierarchy(t *testing.T) {
+	h := NewHierarchy("a.b.c")
+	for _, topic := range []string{"a", "a.b", "a.b.c"} {
+		if !h.Contains(topic) {
+			t.Fatalf("missing implied topic %q", topic)
+		}
+	}
+	anc := h.Ancestors("a.b.c")
+	if len(anc) != 2 || anc[0] != "a.b" || anc[1] != "a" {
+		t.Fatalf("ancestors = %v", anc)
+	}
+	if h.Ancestors("a") != nil {
+		t.Fatal("root has ancestors")
+	}
+	if got := h.Topics(); len(got) != 3 {
+		t.Fatalf("Topics = %v", got)
+	}
+}
+
+func TestSubscribeUnknownTopic(t *testing.T) {
+	d, _ := newDAM(8)
+	if err := d.Subscribe(0, "nonexistent"); err == nil {
+		t.Fatal("unknown topic accepted")
+	}
+	if _, err := d.Publish(0, "nonexistent", 10); err == nil {
+		t.Fatal("publish to unknown topic accepted")
+	}
+}
+
+func TestLeafDeliveryAndInterest(t *testing.T) {
+	d, led := newDAM(16)
+	for i := 0; i < 4; i++ {
+		if err := d.Subscribe(i, "sports.football"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Supertopic subscriber is interested in descendants too.
+	if err := d.Subscribe(10, "sports"); err != nil {
+		t.Fatal(err)
+	}
+	delivered, err := d.Publish(0, "sports.football", 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delivered != 5 {
+		t.Fatalf("delivered %d, want 5 (4 leaf + 1 supertopic)", delivered)
+	}
+	if led.Account(10).Delivered != 1 {
+		t.Fatal("supertopic subscriber missed a descendant event")
+	}
+	// Tennis event must not reach football-only subscribers.
+	if err := d.Subscribe(8, "sports.tennis"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Publish(8, "sports.tennis", 50); err != nil {
+		t.Fatal(err)
+	}
+	if led.Account(1).Delivered != 1 { // only the football event
+		t.Fatalf("football subscriber delivered %d", led.Account(1).Delivered)
+	}
+}
+
+func TestForcedSupertopicMembersCarryWithoutBenefit(t *testing.T) {
+	d, led := newDAM(32)
+	// Only leaf subscribers — the glue must force some of them upward.
+	for i := 0; i < 8; i++ {
+		if err := d.Subscribe(i, "sports.football"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 8; i < 16; i++ {
+		if err := d.Subscribe(i, "sports.tennis"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	forced := d.ForcedMembers()
+	if len(forced) == 0 {
+		t.Fatal("no forced supertopic members — glue invariant broken")
+	}
+
+	// A tennis event is carried by the sports group too, i.e. by forced
+	// football bridges that do not deliver it.
+	if _, err := d.Publish(8, "sports.tennis", 64); err != nil {
+		t.Fatal(err)
+	}
+	sawUnrequitedCarrier := false
+	for node, topics := range forced {
+		if led.Account(node).BytesSent[fairness.ClassApp] == 0 {
+			t.Fatalf("forced member %d (into %v) carried nothing", node, topics)
+		}
+		// Football-only bridges deliver 0 tennis events.
+		if !d.interested(node, "sports.tennis") && led.Account(node).Delivered == 0 {
+			sawUnrequitedCarrier = true
+		}
+	}
+	if !sawUnrequitedCarrier {
+		t.Fatal("no forced member carried foreign traffic without delivering")
+	}
+}
+
+func TestSupertopicBrokerLoad(t *testing.T) {
+	// EXP-T2 in miniature: supertopic members' contribution grows with
+	// every descendant topic's traffic; leaf members pay only their own.
+	d, led := newDAM(64)
+	for i := 0; i < 10; i++ {
+		if err := d.Subscribe(i, "news.eu"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 10; i < 20; i++ {
+		if err := d.Subscribe(i, "news.us"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Subscribe(40, "news"); err != nil { // the "broker"
+		t.Fatal(err)
+	}
+	for k := 0; k < 10; k++ {
+		if _, err := d.Publish(0, "news.eu", 64); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := d.Publish(10, "news.us", 64); err != nil {
+			t.Fatal(err)
+		}
+	}
+	brokerWork := led.Account(40).BytesSent[fairness.ClassApp]
+	leafWork := led.Account(5).BytesSent[fairness.ClassApp]
+	if brokerWork <= leafWork {
+		t.Fatalf("supertopic member work %d not above leaf work %d", brokerWork, leafWork)
+	}
+	// The broker carried both topics: ≈2× a leaf's event count.
+	if brokerWork < 2*leafWork {
+		t.Fatalf("broker work %d, want ≥2× leaf %d", brokerWork, leafWork)
+	}
+}
+
+func TestDuplicateSubscribeIdempotent(t *testing.T) {
+	d, led := newDAM(8)
+	if err := d.Subscribe(1, "sports.football"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Subscribe(1, "sports.football"); err != nil {
+		t.Fatal(err)
+	}
+	if got := led.Account(1).Filters; got != 1 {
+		t.Fatalf("filters = %d", got)
+	}
+	if got := d.GroupSize("sports.football"); got != 1 {
+		t.Fatalf("group size = %d", got)
+	}
+	if subs := d.Subscribers("sports.football"); len(subs) != 1 || subs[0] != 1 {
+		t.Fatalf("subscribers = %v", subs)
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	run := func() uint64 {
+		d, led := newDAM(32)
+		for i := 0; i < 12; i++ {
+			if err := d.Subscribe(i, "sports.football"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for k := 0; k < 5; k++ {
+			if _, err := d.Publish(0, "sports.football", 64); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var total uint64
+		for i := 0; i < 32; i++ {
+			total += led.Account(i).BytesSent[fairness.ClassApp] * uint64(i+1)
+		}
+		return total
+	}
+	if run() != run() {
+		t.Fatal("DAM accounting not deterministic")
+	}
+}

@@ -1,0 +1,217 @@
+// Package eventsim implements a deterministic discrete-event simulation
+// kernel: a virtual clock, a time-ordered event queue, and a seeded random
+// number generator. All higher-level simulation packages (simnet, the
+// protocol experiments) are driven by this kernel, which makes every
+// experiment reproducible from a single seed.
+//
+// Virtual time is expressed as a time.Duration measured from the start of
+// the simulation. Two events scheduled for the same instant fire in the
+// order they were scheduled (FIFO tie-breaking), which keeps runs
+// deterministic.
+package eventsim
+
+import (
+	"container/heap"
+	"math/rand"
+	"time"
+)
+
+// Sim is a discrete-event simulator. The zero value is not usable; call New.
+//
+// Sim is not safe for concurrent use: the simulation model is
+// single-threaded by design (determinism), and all callbacks run on the
+// caller's goroutine inside Run/Step.
+type Sim struct {
+	now    time.Duration
+	seq    uint64
+	queue  eventQueue
+	rng    *rand.Rand
+	steps  uint64
+	halted bool
+}
+
+// New returns a simulator whose random stream is derived from seed.
+// The same seed always yields the same execution.
+func New(seed int64) *Sim {
+	return &Sim{
+		rng: rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Now returns the current virtual time (duration since simulation start).
+func (s *Sim) Now() time.Duration { return s.now }
+
+// Rand returns the simulator's deterministic random source. Protocol code
+// must draw all randomness from this stream (or from streams seeded by it)
+// to keep runs reproducible.
+func (s *Sim) Rand() *rand.Rand { return s.rng }
+
+// Steps reports how many events have fired so far.
+func (s *Sim) Steps() uint64 { return s.steps }
+
+// Pending reports how many scheduled events are waiting, including timers
+// that were stopped but not yet drained from the queue.
+func (s *Sim) Pending() int { return s.queue.Len() }
+
+// Timer is a handle to a scheduled event. A Timer can be stopped before it
+// fires; stopping a fired or already-stopped timer is a no-op.
+type Timer struct {
+	ev *event
+}
+
+// Stop cancels the timer. It reports whether the call prevented the event
+// from firing (false if it already fired or was already stopped).
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.stopped || t.ev.fired {
+		return false
+	}
+	t.ev.stopped = true
+	t.ev.fn = nil // release the closure eagerly
+	return true
+}
+
+// At schedules fn to run at absolute virtual time at. Scheduling in the
+// past (at < Now) coerces to Now: the event fires before any later event,
+// which mirrors "as soon as possible" semantics.
+func (s *Sim) At(at time.Duration, fn func()) *Timer {
+	if at < s.now {
+		at = s.now
+	}
+	ev := &event{at: at, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, ev)
+	return &Timer{ev: ev}
+}
+
+// After schedules fn to run d after the current virtual time. Negative d
+// coerces to zero.
+func (s *Sim) After(d time.Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now+d, fn)
+}
+
+// Halt stops Run/RunUntil after the currently firing event returns.
+// It is intended to be called from inside an event callback (for example
+// when an experiment has reached its stopping condition).
+func (s *Sim) Halt() { s.halted = true }
+
+// Step fires the single next event, advancing the clock to its timestamp.
+// It reports whether an event fired (false when the queue is empty).
+func (s *Sim) Step() bool {
+	for s.queue.Len() > 0 {
+		ev := heap.Pop(&s.queue).(*event)
+		if ev.stopped {
+			continue
+		}
+		s.now = ev.at
+		ev.fired = true
+		s.steps++
+		fn := ev.fn
+		ev.fn = nil
+		fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until the queue is empty or Halt is called.
+// It returns the number of events fired during this call.
+func (s *Sim) Run() uint64 {
+	s.halted = false
+	var fired uint64
+	for !s.halted && s.Step() {
+		fired++
+	}
+	return fired
+}
+
+// RunUntil fires every event scheduled at or before deadline, then advances
+// the clock to deadline (even if no event was scheduled exactly there).
+// Events scheduled after deadline remain queued. It returns the number of
+// events fired during this call.
+func (s *Sim) RunUntil(deadline time.Duration) uint64 {
+	s.halted = false
+	var fired uint64
+	for !s.halted {
+		ev := s.queue.peekLive()
+		if ev == nil || ev.at > deadline {
+			break
+		}
+		s.Step()
+		fired++
+	}
+	if !s.halted && s.now < deadline {
+		s.now = deadline
+	}
+	return fired
+}
+
+// RunSteps fires at most n events and returns how many actually fired
+// (fewer when the queue drains first).
+func (s *Sim) RunSteps(n uint64) uint64 {
+	s.halted = false
+	var fired uint64
+	for fired < n && !s.halted && s.Step() {
+		fired++
+	}
+	return fired
+}
+
+// event is a queue entry. stopped entries are skipped lazily on pop.
+type event struct {
+	at      time.Duration
+	seq     uint64
+	fn      func()
+	stopped bool
+	fired   bool
+	index   int
+}
+
+// eventQueue is a binary heap ordered by (at, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// peekLive returns the earliest non-stopped event without removing it,
+// discarding stopped entries along the way.
+func (q *eventQueue) peekLive() *event {
+	for q.Len() > 0 {
+		ev := (*q)[0]
+		if !ev.stopped {
+			return ev
+		}
+		heap.Pop(q)
+	}
+	return nil
+}

@@ -1,0 +1,324 @@
+package eventsim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestFiresInTimeOrder(t *testing.T) {
+	s := New(1)
+	var got []time.Duration
+	for _, d := range []time.Duration{30, 10, 20, 10, 0} {
+		d := d
+		s.After(d*time.Millisecond, func() {
+			got = append(got, s.Now())
+		})
+	}
+	s.Run()
+	want := []time.Duration{0, 10 * time.Millisecond, 10 * time.Millisecond, 20 * time.Millisecond, 30 * time.Millisecond}
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d fired at %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	s := New(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(5*time.Millisecond, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-instant events fired out of scheduling order: %v", order)
+		}
+	}
+}
+
+func TestPastSchedulingCoercesToNow(t *testing.T) {
+	s := New(1)
+	var at time.Duration = -1
+	s.After(10*time.Millisecond, func() {
+		s.At(0, func() { at = s.Now() }) // in the past relative to 10ms
+	})
+	s.Run()
+	if at != 10*time.Millisecond {
+		t.Fatalf("past event fired at %v, want %v", at, 10*time.Millisecond)
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	s := New(1)
+	fired := false
+	tm := s.After(time.Millisecond, func() { fired = true })
+	if !tm.Stop() {
+		t.Fatal("first Stop should report true")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop should report false")
+	}
+	s.Run()
+	if fired {
+		t.Fatal("stopped timer fired")
+	}
+}
+
+func TestTimerStopAfterFire(t *testing.T) {
+	s := New(1)
+	tm := s.After(time.Millisecond, func() {})
+	s.Run()
+	if tm.Stop() {
+		t.Fatal("Stop after firing should report false")
+	}
+}
+
+func TestRunUntilAdvancesClock(t *testing.T) {
+	s := New(1)
+	var fired []time.Duration
+	s.After(5*time.Millisecond, func() { fired = append(fired, s.Now()) })
+	s.After(15*time.Millisecond, func() { fired = append(fired, s.Now()) })
+
+	n := s.RunUntil(10 * time.Millisecond)
+	if n != 1 {
+		t.Fatalf("RunUntil fired %d events, want 1", n)
+	}
+	if s.Now() != 10*time.Millisecond {
+		t.Fatalf("clock at %v after RunUntil, want 10ms", s.Now())
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", s.Pending())
+	}
+	s.Run()
+	if len(fired) != 2 || fired[1] != 15*time.Millisecond {
+		t.Fatalf("remaining event mishandled: %v", fired)
+	}
+}
+
+func TestRunUntilExactDeadlineInclusive(t *testing.T) {
+	s := New(1)
+	fired := false
+	s.After(10*time.Millisecond, func() { fired = true })
+	s.RunUntil(10 * time.Millisecond)
+	if !fired {
+		t.Fatal("event at exactly the deadline did not fire")
+	}
+}
+
+func TestHalt(t *testing.T) {
+	s := New(1)
+	count := 0
+	for i := 0; i < 10; i++ {
+		s.After(time.Duration(i)*time.Millisecond, func() {
+			count++
+			if count == 3 {
+				s.Halt()
+			}
+		})
+	}
+	fired := s.Run()
+	if fired != 3 || count != 3 {
+		t.Fatalf("Run fired %d (count %d), want 3", fired, count)
+	}
+	// Run can resume after a halt.
+	s.Run()
+	if count != 10 {
+		t.Fatalf("resume after halt: count = %d, want 10", count)
+	}
+}
+
+func TestRunSteps(t *testing.T) {
+	s := New(1)
+	count := 0
+	for i := 0; i < 5; i++ {
+		s.After(time.Duration(i)*time.Millisecond, func() { count++ })
+	}
+	if n := s.RunSteps(3); n != 3 || count != 3 {
+		t.Fatalf("RunSteps(3) fired %d (count %d)", n, count)
+	}
+	if n := s.RunSteps(100); n != 2 || count != 5 {
+		t.Fatalf("RunSteps(100) fired %d (count %d), want 2 (5)", n, count)
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	trace := func(seed int64) []int64 {
+		s := New(seed)
+		var out []int64
+		// A self-rescheduling process that consumes randomness.
+		var step func()
+		step = func() {
+			out = append(out, int64(s.Now()), s.Rand().Int63n(1000))
+			if len(out) < 40 {
+				s.After(time.Duration(1+s.Rand().Intn(5))*time.Millisecond, step)
+			}
+		}
+		s.After(0, step)
+		s.Run()
+		return out
+	}
+	a, b := trace(42), trace(42)
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	c := trace(43)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestEvery(t *testing.T) {
+	s := New(1)
+	var at []time.Duration
+	tk := s.Every(10*time.Millisecond, 0, func() {
+		at = append(at, s.Now())
+	})
+	s.RunUntil(55 * time.Millisecond)
+	tk.Stop()
+	s.Run()
+	want := []time.Duration{10, 20, 30, 40, 50}
+	if len(at) != len(want) {
+		t.Fatalf("ticker fired %d times (%v), want %d", len(at), at, len(want))
+	}
+	for i, w := range want {
+		if at[i] != w*time.Millisecond {
+			t.Fatalf("tick %d at %v, want %v", i, at[i], w*time.Millisecond)
+		}
+	}
+	if tk.Ticks() != 5 {
+		t.Fatalf("Ticks() = %d, want 5", tk.Ticks())
+	}
+}
+
+func TestEveryJitterStaysInBounds(t *testing.T) {
+	s := New(7)
+	var gaps []time.Duration
+	last := time.Duration(0)
+	s.Every(10*time.Millisecond, 5*time.Millisecond, func() {
+		gaps = append(gaps, s.Now()-last)
+		last = s.Now()
+	})
+	s.RunUntil(2 * time.Second)
+	if len(gaps) < 50 {
+		t.Fatalf("too few ticks: %d", len(gaps))
+	}
+	for i, g := range gaps {
+		if g < 10*time.Millisecond || g >= 15*time.Millisecond+10*time.Millisecond {
+			// Successive gaps can range in [interval, interval+jitter) relative
+			// to the previous *fire*; allow the analytic bound.
+			t.Fatalf("gap %d = %v outside [10ms,15ms) tolerance", i, g)
+		}
+	}
+}
+
+func TestEveryStopFromCallback(t *testing.T) {
+	s := New(1)
+	count := 0
+	var tk *Ticker
+	tk = s.Every(time.Millisecond, 0, func() {
+		count++
+		if count == 3 {
+			tk.Stop()
+		}
+	})
+	s.Run()
+	if count != 3 {
+		t.Fatalf("ticker fired %d times after in-callback stop, want 3", count)
+	}
+}
+
+func TestEveryNonPositiveInterval(t *testing.T) {
+	s := New(1)
+	tk := s.Every(0, 0, func() { t.Fatal("must not fire") })
+	s.Run()
+	tk.Stop() // must not panic
+}
+
+// Property: regardless of insertion order, events fire in non-decreasing
+// time order and every non-stopped event fires exactly once.
+func TestQuickOrderingInvariant(t *testing.T) {
+	f := func(seed int64, raw []uint16) bool {
+		s := New(seed)
+		if len(raw) > 200 {
+			raw = raw[:200]
+		}
+		fired := make([]time.Duration, 0, len(raw))
+		for _, r := range raw {
+			d := time.Duration(r) * time.Microsecond
+			s.After(d, func() { fired = append(fired, s.Now()) })
+		}
+		s.Run()
+		if len(fired) != len(raw) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: stopping a random subset prevents exactly that subset.
+func TestQuickStopSubset(t *testing.T) {
+	f := func(seed int64, raw []uint8) bool {
+		s := New(seed)
+		if len(raw) > 100 {
+			raw = raw[:100]
+		}
+		firedCount := 0
+		timers := make([]*Timer, len(raw))
+		for i, r := range raw {
+			timers[i] = s.After(time.Duration(r)*time.Microsecond, func() { firedCount++ })
+		}
+		stopped := 0
+		for i := range timers {
+			if i%2 == 0 {
+				if timers[i].Stop() {
+					stopped++
+				}
+			}
+		}
+		s.Run()
+		return firedCount == len(raw)-stopped
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(2))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := New(1)
+		for j := 0; j < 1000; j++ {
+			s.After(time.Duration(j%97)*time.Microsecond, func() {})
+		}
+		s.Run()
+	}
+}

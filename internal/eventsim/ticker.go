@@ -1,0 +1,62 @@
+package eventsim
+
+import "time"
+
+// Ticker repeatedly invokes a callback at a fixed virtual-time interval,
+// optionally with bounded uniform jitter. Gossip rounds are driven by
+// tickers; per-node jitter desynchronises rounds the way real clocks do.
+type Ticker struct {
+	sim      *Sim
+	interval time.Duration
+	jitter   time.Duration
+	fn       func()
+	timer    *Timer
+	stopped  bool
+	ticks    uint64
+}
+
+// Every schedules fn to run every interval, starting one interval from
+// now. If jitter > 0 each firing is displaced by a uniform random offset
+// in [0, jitter). interval must be positive; a non-positive interval
+// returns a stopped ticker that never fires.
+func (s *Sim) Every(interval, jitter time.Duration, fn func()) *Ticker {
+	t := &Ticker{sim: s, interval: interval, jitter: jitter, fn: fn}
+	if interval <= 0 {
+		t.stopped = true
+		return t
+	}
+	t.schedule()
+	return t
+}
+
+func (t *Ticker) schedule() {
+	d := t.interval
+	if t.jitter > 0 {
+		d += time.Duration(t.sim.rng.Int63n(int64(t.jitter)))
+	}
+	t.timer = t.sim.After(d, func() {
+		if t.stopped {
+			return
+		}
+		t.ticks++
+		t.fn()
+		if !t.stopped {
+			t.schedule()
+		}
+	})
+}
+
+// Ticks reports how many times the ticker has fired.
+func (t *Ticker) Ticks() uint64 { return t.ticks }
+
+// Stop halts the ticker. It is safe to call from inside the callback and
+// is idempotent.
+func (t *Ticker) Stop() {
+	if t.stopped {
+		return
+	}
+	t.stopped = true
+	if t.timer != nil {
+		t.timer.Stop()
+	}
+}

@@ -1,0 +1,375 @@
+package experiment
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var small = Options{Seed: 1, Small: true}
+
+// cell parses a table cell as a float.
+func cell(t *testing.T, tb Table, row, col int) float64 {
+	t.Helper()
+	if row >= len(tb.Rows) || col >= len(tb.Rows[row]) {
+		t.Fatalf("table %s has no cell (%d,%d):\n%s", tb.ID, row, col, tb.String())
+	}
+	v, err := strconv.ParseFloat(tb.Rows[row][col], 64)
+	if err != nil {
+		t.Fatalf("cell (%d,%d) of %s is not numeric: %q", row, col, tb.ID, tb.Rows[row][col])
+	}
+	return v
+}
+
+// findRow returns the index of the first row whose first cell equals key.
+func findRow(t *testing.T, tb Table, key string) int {
+	t.Helper()
+	for i, r := range tb.Rows {
+		if r[0] == key {
+			return i
+		}
+	}
+	t.Fatalf("table %s has no row %q:\n%s", tb.ID, key, tb.String())
+	return -1
+}
+
+func TestExpF1ShapeAdaptiveFairer(t *testing.T) {
+	tb := ExpF1(small)[0]
+	static := findRow(t, tb, "static")
+	jainCol := 1
+	for _, variant := range []string{"aimd", "proportional"} {
+		row := findRow(t, tb, variant)
+		if cell(t, tb, row, jainCol) <= cell(t, tb, static, jainCol) {
+			t.Errorf("%s Jain %.3f not above static %.3f", variant,
+				cell(t, tb, row, jainCol), cell(t, tb, static, jainCol))
+		}
+		// Work must track benefit under adaptation (corr column 4).
+		if cell(t, tb, row, 4) < 0.5 {
+			t.Errorf("%s contribution~benefit corr %.3f < 0.5", variant, cell(t, tb, row, 4))
+		}
+	}
+	if cell(t, tb, static, 4) > 0.3 {
+		t.Errorf("static corr %.3f unexpectedly high", cell(t, tb, static, 4))
+	}
+}
+
+func TestExpF2ShapeTopicGroupsAlignWorkWithBenefit(t *testing.T) {
+	tb := ExpF2(small)[0]
+	flat := findRow(t, tb, "flat-gossip")
+	groups := findRow(t, tb, "topic-groups")
+	// corr (col 2): groups ≈ 1, flat ≈ 0.
+	if cell(t, tb, groups, 2) < 0.8 {
+		t.Errorf("topic groups corr %.3f < 0.8", cell(t, tb, groups, 2))
+	}
+	if cell(t, tb, flat, 2) > 0.5 {
+		t.Errorf("flat corr %.3f > 0.5", cell(t, tb, flat, 2))
+	}
+	// Topic groups use less total app traffic (col 4).
+	if cell(t, tb, groups, 4) >= cell(t, tb, flat, 4) {
+		t.Errorf("topic groups traffic %.1f not below flat %.1f",
+			cell(t, tb, groups, 4), cell(t, tb, flat, 4))
+	}
+	// Both deliver comparably (col 5, within 20%).
+	fd, gd := cell(t, tb, flat, 5), cell(t, tb, groups, 5)
+	if gd < 0.8*fd {
+		t.Errorf("topic groups delivered %.0f << flat %.0f", gd, fd)
+	}
+}
+
+func TestExpF3ShapeLeversImproveCorrelation(t *testing.T) {
+	tables := ExpF3(small)
+	final := tables[1]
+	static := findRow(t, final, "static")
+	for _, variant := range []string{"adaptive-fanout", "adaptive-batch", "adaptive-both"} {
+		row := findRow(t, final, variant)
+		if cell(t, final, row, 3) <= cell(t, final, static, 3) {
+			t.Errorf("%s corr %.3f not above static %.3f", variant,
+				cell(t, final, row, 3), cell(t, final, static, 3))
+		}
+	}
+	// Deliveries must not collapse under adaptation (within 15% of static).
+	sd := cell(t, final, static, 4)
+	for _, variant := range []string{"adaptive-fanout", "adaptive-batch", "adaptive-both"} {
+		row := findRow(t, final, variant)
+		if cell(t, final, row, 4) < 0.85*sd {
+			t.Errorf("%s deliveries %.0f dropped below 85%% of static %.0f",
+				variant, cell(t, final, row, 4), sd)
+		}
+	}
+}
+
+func TestExpF4ShapeThresholdAndLoss(t *testing.T) {
+	tables := ExpF4(small)
+	sweep := tables[0]
+	// Fanout 1 must be far from full coverage; fanout ≥ ln n + 2 ≈ 7 full.
+	if got := cell(t, sweep, 0, 1); got > 0.6 {
+		t.Errorf("fanout 1 coverage %.3f, want << 1", got)
+	}
+	last := len(sweep.Rows) - 1
+	if got := cell(t, sweep, last, 1); got < 0.99 {
+		t.Errorf("fanout 10 coverage %.3f, want ≈1", got)
+	}
+	// Monotone-ish: each row ≥ previous − 0.05.
+	for i := 1; i < len(sweep.Rows); i++ {
+		if cell(t, sweep, i, 1) < cell(t, sweep, i-1, 1)-0.05 {
+			t.Errorf("coverage not monotone at fanout %d", i+1)
+		}
+	}
+	// Rounds to coverage grow slowly (≤ 2× from n=64 to n=256).
+	growth := tables[1]
+	first := cell(t, growth, 0, 2)
+	lastG := cell(t, growth, len(growth.Rows)-1, 2)
+	if lastG > 2*first+1 {
+		t.Errorf("rounds-to-coverage grew too fast: %v -> %v", first, lastG)
+	}
+	// 20% loss stays near full delivery.
+	loss := tables[2]
+	if got := cell(t, loss, len(loss.Rows)-1, 1); got < 0.95 {
+		t.Errorf("delivery under 20%% loss %.3f", got)
+	}
+}
+
+func TestExpT1ShapeScribeConscriptsOutsiders(t *testing.T) {
+	tables := ExpT1(small)
+	tb := tables[0]
+	scribe := findRow(t, tb, "scribe")
+	fg := findRow(t, tb, "fairgossip-topics")
+	if got := cell(t, tb, scribe, 1); got < 10 {
+		t.Errorf("scribe foreign forwarding %.1f%% (all sends), want >10%%", got)
+	}
+	if got := cell(t, tb, fg, 1); got != 0 {
+		t.Errorf("fairgossip foreign forwarding %.1f%%, want 0", got)
+	}
+	// FairGossip ratio fairness far above Scribe's.
+	if cell(t, tb, fg, 3) <= cell(t, tb, scribe, 3) {
+		t.Errorf("fairgossip Jain %.3f not above scribe %.3f",
+			cell(t, tb, fg, 3), cell(t, tb, scribe, 3))
+	}
+}
+
+func TestExpT2ShapeForcedBridgesAreBrokers(t *testing.T) {
+	tb := ExpT2(small)[0]
+	leaf := findRow(t, tb, "leaf-subscriber")
+	bridge := findRow(t, tb, "forced-bridge")
+	// Bridges carry ≥2× a leaf's traffic at equal benefit: ratio column 4.
+	if cell(t, tb, bridge, 4) < 2*cell(t, tb, leaf, 4) {
+		t.Errorf("bridge ratio %.1f not ≥ 2× leaf ratio %.1f",
+			cell(t, tb, bridge, 4), cell(t, tb, leaf, 4))
+	}
+}
+
+func TestExpT3ShapeOutsidersDoPureMaintenance(t *testing.T) {
+	tables := ExpT3(small)
+	burden, share := tables[0], tables[1]
+	// Walks were relayed in both join patterns.
+	for i := range burden.Rows {
+		if cell(t, burden, i, 1) == 0 {
+			t.Errorf("scenario %s relayed no walks", burden.Rows[i][0])
+		}
+		// Relay load is uneven: max well above mean.
+		if cell(t, burden, i, 2) < 2*cell(t, burden, i, 3) {
+			t.Errorf("scenario %s: relay max %.1f not >> mean %.1f",
+				burden.Rows[i][0], cell(t, burden, i, 2), cell(t, burden, i, 3))
+		}
+	}
+	relay := findRow(t, share, "outsider-relay")
+	if got := cell(t, share, relay, 4); got < 99 {
+		t.Errorf("outsider-relay infra share %.1f%%, want ≈100", got)
+	}
+	sub := findRow(t, share, "subscriber")
+	if got := cell(t, share, sub, 4); got > 20 {
+		t.Errorf("subscriber infra share %.1f%%, want small", got)
+	}
+}
+
+func TestExpT4ShapeBalancedIsNotFair(t *testing.T) {
+	tb := ExpT4(small)[0]
+	bal := findRow(t, tb, "splitstream-balanced")
+	fg := findRow(t, tb, "fairgossip-adaptive")
+	if cell(t, tb, bal, 1) > 0.05 {
+		t.Errorf("balanced work CoV %.3f, want ≈0", cell(t, tb, bal, 1))
+	}
+	if cell(t, tb, bal, 2) > 0.5 {
+		t.Errorf("balanced ratio Jain %.3f, want low", cell(t, tb, bal, 2))
+	}
+	if cell(t, tb, fg, 3) < 0.7 {
+		t.Errorf("adaptive corr %.3f, want high", cell(t, tb, fg, 3))
+	}
+	if cell(t, tb, fg, 2) <= cell(t, tb, bal, 2) {
+		t.Errorf("adaptive Jain %.3f not above balanced %.3f",
+			cell(t, tb, fg, 2), cell(t, tb, bal, 2))
+	}
+}
+
+func TestExpT5ShapeAdaptationStopsChurn(t *testing.T) {
+	tb := ExpT5(small)[0]
+	static := findRow(t, tb, "static")
+	adaptiveRow := findRow(t, tb, "adaptive")
+	if cell(t, tb, static, 1) == 0 {
+		t.Error("static produced no rage-quits — the loop is not modeled")
+	}
+	if got := cell(t, tb, adaptiveRow, 1); got > cell(t, tb, static, 1)/4 {
+		t.Errorf("adaptive rage-quits %.0f not well below static %.0f",
+			got, cell(t, tb, static, 1))
+	}
+	// Quitting costs the light nodes deliveries.
+	if cell(t, tb, adaptiveRow, 3) <= cell(t, tb, static, 3) {
+		t.Errorf("adaptive light delivery %.3f not above static %.3f",
+			cell(t, tb, adaptiveRow, 3), cell(t, tb, static, 3))
+	}
+}
+
+func TestExpA1A2ShapeControllersConverge(t *testing.T) {
+	for _, tb := range [][]Table{ExpA1(small), ExpA2(small)} {
+		table := tb[0]
+		windows := 20.0
+		for i := range table.Rows {
+			if got := cell(t, table, i, 2); got >= windows {
+				t.Errorf("%s row %v never settled (%.1f windows)", table.ID, table.Rows[i][:2], got)
+			}
+			if got := cell(t, table, i, 4); got <= 0 {
+				t.Errorf("%s row %v settled at lever %.1f", table.ID, table.Rows[i][:2], got)
+			}
+		}
+	}
+}
+
+func TestExpA3ShapeReliabilityCliff(t *testing.T) {
+	tb := ExpA3(small)[0]
+	// Fanout floor 1: clearly partial coverage. Floor ≥ ln n: full.
+	if got := cell(t, tb, 0, 2); got > 0.8 {
+		t.Errorf("FanoutMin 1 delivery %.3f, want < 0.8", got)
+	}
+	last := len(tb.Rows) - 1
+	if got := cell(t, tb, last, 2); got < 0.99 {
+		t.Errorf("FanoutMin ln(n)+2 delivery %.3f, want ≈1", got)
+	}
+}
+
+func TestExpA4ShapeSmallBatchesStarve(t *testing.T) {
+	tables := ExpA4(small)
+	sweep := tables[0]
+	first, last := 0, len(sweep.Rows)-1
+	if cell(t, sweep, first, 1) >= cell(t, sweep, last, 1) {
+		t.Errorf("batch 1 delivery %.3f not below batch 32 %.3f",
+			cell(t, sweep, first, 1), cell(t, sweep, last, 1))
+	}
+	if cell(t, sweep, first, 2) <= cell(t, sweep, last, 2) {
+		t.Errorf("batch 1 latency %.2f not above batch 32 %.2f",
+			cell(t, sweep, first, 2), cell(t, sweep, last, 2))
+	}
+	if got := cell(t, sweep, last, 1); got < 0.95 {
+		t.Errorf("large batch delivery %.3f, want ≈1", got)
+	}
+	// Policy table exists with 3 rows.
+	if len(tables[1].Rows) != 3 {
+		t.Errorf("policy table rows = %d", len(tables[1].Rows))
+	}
+}
+
+func TestExpA5ShapeSurvivesCrashAndLoss(t *testing.T) {
+	tb := ExpA5(small)[0]
+	for i := range tb.Rows {
+		if got := cell(t, tb, i, 2); got < 0.9 {
+			t.Errorf("%s post-failure delivery %.3f, want ≥0.9", tb.Rows[i][0], got)
+		}
+	}
+}
+
+func TestExpA6ShapeAuditDeflatesCheater(t *testing.T) {
+	tb := ExpA6(small)[0]
+	honest := findRow(t, tb, "honest-mean")
+	cheat := findRow(t, tb, "cheater")
+	// Raw contribution rewards the cheater...
+	if cell(t, tb, cheat, 1) <= cell(t, tb, honest, 1) {
+		t.Errorf("cheater raw %.0f not above honest %.0f",
+			cell(t, tb, cheat, 1), cell(t, tb, honest, 1))
+	}
+	// ...audited contribution does not.
+	if cell(t, tb, cheat, 2) > 1.5*cell(t, tb, honest, 2) {
+		t.Errorf("cheater audited %.0f still above 1.5× honest %.0f",
+			cell(t, tb, cheat, 2), cell(t, tb, honest, 2))
+	}
+	// Useful fraction collapses.
+	if cell(t, tb, cheat, 3) >= cell(t, tb, honest, 3) {
+		t.Errorf("cheater useful fraction %.3f not below honest %.3f",
+			cell(t, tb, cheat, 3), cell(t, tb, honest, 3))
+	}
+}
+
+func TestExpX1ShapeAntiEntropyRepairs(t *testing.T) {
+	tb := ExpX1(small)[0]
+	push := findRow(t, tb, "push-only")
+	pull2 := findRow(t, tb, "push-pull/2")
+	if got := cell(t, tb, push, 1); got > 0.9 {
+		t.Errorf("push-only coverage %.3f — no tail to repair", got)
+	}
+	if got := cell(t, tb, pull2, 1); got < 0.99 {
+		t.Errorf("push-pull/2 coverage %.3f, want ≈1", got)
+	}
+}
+
+func TestExpX2ShapeSparseInterestBenefits(t *testing.T) {
+	tb := ExpX2(small)[0]
+	// Find the camps=16 rows: sparse interest is where bias pays.
+	var uniform, biased int = -1, -1
+	for i, r := range tb.Rows {
+		if r[0] == "16" && r[1] == "uniform" {
+			uniform = i
+		}
+		if r[0] == "16" && r[1] == "biased-0.75" {
+			biased = i
+		}
+	}
+	if uniform < 0 || biased < 0 {
+		t.Fatalf("camps=16 rows missing:\n%s", tb.String())
+	}
+	// Near-equal delivery at well under half the traffic.
+	if cell(t, tb, biased, 2) < 0.85*cell(t, tb, uniform, 2) {
+		t.Errorf("biased delivery %.3f fell far below uniform %.3f",
+			cell(t, tb, biased, 2), cell(t, tb, uniform, 2))
+	}
+	if cell(t, tb, biased, 3) > 0.6*cell(t, tb, uniform, 3) {
+		t.Errorf("biased traffic %.2f MB not well below uniform %.2f MB",
+			cell(t, tb, biased, 3), cell(t, tb, uniform, 3))
+	}
+}
+
+func TestRegistryRunsEverythingDeterministically(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full registry run is not short")
+	}
+	specs := All()
+	if len(specs) != 17 {
+		t.Fatalf("registry has %d experiments, want 17", len(specs))
+	}
+	seen := map[string]bool{}
+	for _, s := range specs {
+		if seen[s.ID] {
+			t.Fatalf("duplicate experiment id %s", s.ID)
+		}
+		seen[s.ID] = true
+	}
+	// Determinism probe on one cheap experiment.
+	a := ExpT2(small)
+	b := ExpT2(small)
+	if a[0].String() != b[0].String() {
+		t.Fatal("ExpT2 not deterministic")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := Table{ID: "X", Title: "T", Note: "note", Cols: []string{"a", "b"}}
+	tb.AddRow("x,y", 1.23456)
+	s := tb.String()
+	if !strings.Contains(s, "1.235") || !strings.Contains(s, "expected shape") {
+		t.Fatalf("String rendering wrong:\n%s", s)
+	}
+	csv := tb.CSV()
+	if !strings.Contains(csv, `"x,y"`) {
+		t.Fatalf("CSV quoting wrong:\n%s", csv)
+	}
+	if !strings.HasPrefix(csv, "a,b\n") {
+		t.Fatalf("CSV header wrong:\n%s", csv)
+	}
+}

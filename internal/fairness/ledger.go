@@ -1,0 +1,246 @@
+// Package fairness implements the paper's accounting model (Figs. 1–3):
+// per-process contribution (messages/bytes published and forwarded, split
+// into application and infrastructure classes) and benefit (events
+// delivered, active filters), plus the derived fairness reports.
+//
+// The central definition (Fig. 1): a system is fair when every process's
+// contribution/benefit ratio equals the same constant f. The ledger
+// measures both sides; reports quantify the spread of the ratios.
+package fairness
+
+import (
+	"sync"
+)
+
+// Class distinguishes what a forwarded message was for. The paper counts
+// both: "These might include application messages as well as
+// infrastructure messages" (§2).
+type Class uint8
+
+const (
+	// ClassApp is event dissemination traffic.
+	ClassApp Class = iota + 1
+	// ClassInfra is membership/subscription maintenance traffic.
+	ClassInfra
+)
+
+const numClasses = 2
+
+// Account holds the running totals for one process.
+type Account struct {
+	MsgsSent  [numClasses + 1]uint64 // indexed by Class; slot 0 unused
+	BytesSent [numClasses + 1]uint64
+
+	Published      uint64 // events originated by this process
+	PublishedBytes uint64
+	Delivered      uint64 // events delivered (matched interest)
+	Filters        int    // currently active subscriptions
+
+	UsefulBytes uint64 // audited: bytes that were novel to the receiver
+	JunkBytes   uint64 // audited: duplicate/no-value bytes
+
+	ChurnPenalty float64 // repair work this process imposed on others
+}
+
+// Weights parameterises the contribution/benefit formulas.
+type Weights struct {
+	// Kappa weighs active filters inside the benefit term (Fig. 2 counts
+	// "# filters"; Fig. 3 omits it — set 0 for the Fig. 3 variant).
+	Kappa float64
+	// InfraWeight scales infrastructure bytes relative to application
+	// bytes in the contribution term (1 = count equally).
+	InfraWeight float64
+	// Audited switches contribution to count only bytes acknowledged as
+	// novel by receivers (the §5.2 anti-bias mechanism, EXP-A6).
+	Audited bool
+}
+
+// DefaultWeights mirror Fig. 2: filters count toward benefit, and
+// infrastructure traffic counts like application traffic.
+func DefaultWeights() Weights {
+	return Weights{Kappa: 1, InfraWeight: 1}
+}
+
+// Ledger tracks accounts for a fixed population. It is safe for
+// concurrent use (the live runtime mutates it from many goroutines).
+type Ledger struct {
+	mu       sync.Mutex
+	accounts []Account
+	w        Weights
+}
+
+// NewLedger returns a ledger for n processes.
+func NewLedger(n int, w Weights) *Ledger {
+	if w.InfraWeight == 0 && w.Kappa == 0 && !w.Audited {
+		// Allow the zero Weights value to mean "defaults".
+		w = DefaultWeights()
+	}
+	return &Ledger{accounts: make([]Account, n), w: w}
+}
+
+// Len returns the population size.
+func (l *Ledger) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.accounts)
+}
+
+// Grow extends the ledger to cover at least n processes.
+func (l *Ledger) Grow(n int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for len(l.accounts) < n {
+		l.accounts = append(l.accounts, Account{})
+	}
+}
+
+func (l *Ledger) valid(id int) bool { return id >= 0 && id < len(l.accounts) }
+
+// AddSend records a sent protocol message of the given class and size.
+func (l *Ledger) AddSend(id int, c Class, bytes int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.valid(id) || c < ClassApp || c > ClassInfra {
+		return
+	}
+	l.accounts[id].MsgsSent[c]++
+	l.accounts[id].BytesSent[c] += uint64(bytes)
+}
+
+// AddPublish records an event origination.
+func (l *Ledger) AddPublish(id int, bytes int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.valid(id) {
+		return
+	}
+	l.accounts[id].Published++
+	l.accounts[id].PublishedBytes += uint64(bytes)
+}
+
+// AddDelivery records one delivered (interesting) event.
+func (l *Ledger) AddDelivery(id int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.valid(id) {
+		return
+	}
+	l.accounts[id].Delivered++
+}
+
+// SetFilters records the current number of active subscriptions.
+func (l *Ledger) SetFilters(id, n int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.valid(id) {
+		return
+	}
+	l.accounts[id].Filters = n
+}
+
+// AddAudit records a receiver's novelty verdict about bytes previously
+// sent by id: useful bytes carried events the receiver did not have.
+func (l *Ledger) AddAudit(id int, usefulBytes, junkBytes int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.valid(id) {
+		return
+	}
+	l.accounts[id].UsefulBytes += uint64(usefulBytes)
+	l.accounts[id].JunkBytes += uint64(junkBytes)
+}
+
+// AddChurnPenalty charges repair work caused by id's instability (§3.2:
+// "it might also be wise to penalize unstable nodes").
+func (l *Ledger) AddChurnPenalty(id int, amount float64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.valid(id) || amount < 0 {
+		return
+	}
+	l.accounts[id].ChurnPenalty += amount
+}
+
+// Account returns a copy of one process's account.
+func (l *Ledger) Account(id int) Account {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.valid(id) {
+		return Account{}
+	}
+	return l.accounts[id]
+}
+
+// Weights returns the ledger's weight configuration.
+func (l *Ledger) Weights() Weights { return l.w }
+
+// Contribution computes the contribution term for one account under
+// weights w: application bytes + weighted infrastructure bytes +
+// published bytes, or audited useful bytes when w.Audited is set, plus
+// any churn penalty.
+func Contribution(a Account, w Weights) float64 {
+	var c float64
+	if w.Audited {
+		c = float64(a.UsefulBytes) + float64(a.PublishedBytes)
+	} else {
+		c = float64(a.BytesSent[ClassApp]) +
+			w.InfraWeight*float64(a.BytesSent[ClassInfra]) +
+			float64(a.PublishedBytes)
+	}
+	return c + a.ChurnPenalty
+}
+
+// Benefit computes the benefit term: delivered events + Kappa·filters.
+func Benefit(a Account, w Weights) float64 {
+	return float64(a.Delivered) + w.Kappa*float64(a.Filters)
+}
+
+// Ratio computes contribution/benefit with the convention that a process
+// with zero benefit and zero contribution has ratio 0, and a process with
+// zero benefit but positive contribution has its contribution as ratio
+// (benefit floored at 1): pure unrequited work is maximally visible.
+func Ratio(a Account, w Weights) float64 {
+	c := Contribution(a, w)
+	b := Benefit(a, w)
+	if b < 1 {
+		b = 1
+	}
+	return c / b
+}
+
+// Contribution returns the ledger's contribution for process id.
+func (l *Ledger) Contribution(id int) float64 { return Contribution(l.Account(id), l.w) }
+
+// Benefit returns the ledger's benefit for process id.
+func (l *Ledger) Benefit(id int) float64 { return Benefit(l.Account(id), l.w) }
+
+// Ratio returns the ledger's contribution/benefit ratio for process id.
+func (l *Ledger) Ratio(id int) float64 { return Ratio(l.Account(id), l.w) }
+
+// Snapshot returns copies of all accounts (for windowed controllers and
+// reports).
+func (l *Ledger) Snapshot() []Account {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Account, len(l.accounts))
+	copy(out, l.accounts)
+	return out
+}
+
+// Delta returns a-b field-wise; controllers diff snapshots to obtain
+// per-window rates.
+func Delta(a, b Account) Account {
+	var d Account
+	for c := 1; c <= numClasses; c++ {
+		d.MsgsSent[c] = a.MsgsSent[c] - b.MsgsSent[c]
+		d.BytesSent[c] = a.BytesSent[c] - b.BytesSent[c]
+	}
+	d.Published = a.Published - b.Published
+	d.PublishedBytes = a.PublishedBytes - b.PublishedBytes
+	d.Delivered = a.Delivered - b.Delivered
+	d.Filters = a.Filters // filters are a level, not a counter
+	d.UsefulBytes = a.UsefulBytes - b.UsefulBytes
+	d.JunkBytes = a.JunkBytes - b.JunkBytes
+	d.ChurnPenalty = a.ChurnPenalty - b.ChurnPenalty
+	return d
+}

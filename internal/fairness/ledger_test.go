@@ -1,0 +1,251 @@
+package fairness
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestContributionBenefitRatio(t *testing.T) {
+	l := NewLedger(2, DefaultWeights())
+	l.AddSend(0, ClassApp, 100)
+	l.AddSend(0, ClassInfra, 50)
+	l.AddPublish(0, 30)
+	l.AddDelivery(0)
+	l.AddDelivery(0)
+	l.SetFilters(0, 3)
+
+	if got := l.Contribution(0); got != 180 {
+		t.Errorf("contribution = %v, want 180", got)
+	}
+	if got := l.Benefit(0); got != 5 {
+		t.Errorf("benefit = %v, want 5 (2 delivered + 3 filters)", got)
+	}
+	if got := l.Ratio(0); got != 36 {
+		t.Errorf("ratio = %v, want 36", got)
+	}
+	// Untouched process: zero everything, ratio 0.
+	if got := l.Ratio(1); got != 0 {
+		t.Errorf("idle ratio = %v, want 0", got)
+	}
+}
+
+func TestZeroBenefitPositiveWork(t *testing.T) {
+	l := NewLedger(1, DefaultWeights())
+	l.AddSend(0, ClassApp, 500)
+	// Benefit floored at 1: ratio equals the contribution.
+	if got := l.Ratio(0); got != 500 {
+		t.Errorf("unrequited ratio = %v, want 500", got)
+	}
+}
+
+func TestWeightsVariants(t *testing.T) {
+	w := Weights{Kappa: 0, InfraWeight: 0.5}
+	l := NewLedger(1, w)
+	l.AddSend(0, ClassApp, 100)
+	l.AddSend(0, ClassInfra, 100)
+	l.SetFilters(0, 10)
+	l.AddDelivery(0)
+	if got := l.Contribution(0); got != 150 {
+		t.Errorf("weighted contribution = %v, want 150", got)
+	}
+	if got := l.Benefit(0); got != 1 {
+		t.Errorf("kappa=0 benefit = %v, want 1 (filters ignored)", got)
+	}
+}
+
+func TestAuditedContribution(t *testing.T) {
+	w := Weights{Kappa: 1, InfraWeight: 1, Audited: true}
+	l := NewLedger(1, w)
+	l.AddSend(0, ClassApp, 1000) // raw bytes: ignored when audited
+	l.AddAudit(0, 200, 800)
+	l.AddPublish(0, 50)
+	if got := l.Contribution(0); got != 250 {
+		t.Errorf("audited contribution = %v, want 250 (200 useful + 50 published)", got)
+	}
+	a := l.Account(0)
+	if a.JunkBytes != 800 {
+		t.Errorf("junk = %d", a.JunkBytes)
+	}
+}
+
+func TestChurnPenalty(t *testing.T) {
+	l := NewLedger(1, DefaultWeights())
+	l.AddChurnPenalty(0, 100)
+	l.AddChurnPenalty(0, -5) // ignored
+	if got := l.Contribution(0); got != 100 {
+		t.Errorf("churn penalty contribution = %v, want 100", got)
+	}
+}
+
+func TestInvalidIDsIgnored(t *testing.T) {
+	l := NewLedger(1, DefaultWeights())
+	l.AddSend(-1, ClassApp, 10)
+	l.AddSend(5, ClassApp, 10)
+	l.AddSend(0, Class(9), 10)
+	l.AddDelivery(-1)
+	l.AddPublish(99, 1)
+	l.SetFilters(99, 1)
+	l.AddAudit(99, 1, 1)
+	if got := l.Contribution(0); got != 0 {
+		t.Errorf("invalid ops leaked: %v", got)
+	}
+	if got := (l.Account(-3)); got != (Account{}) {
+		t.Errorf("invalid account lookup: %+v", got)
+	}
+}
+
+func TestGrow(t *testing.T) {
+	l := NewLedger(1, DefaultWeights())
+	l.Grow(5)
+	if l.Len() != 5 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	l.Grow(2) // shrink is a no-op
+	if l.Len() != 5 {
+		t.Fatalf("Len after no-op grow = %d", l.Len())
+	}
+	l.AddDelivery(4)
+	if l.Benefit(4) != 1 {
+		t.Fatal("grown account unusable")
+	}
+}
+
+func TestZeroWeightsMeansDefaults(t *testing.T) {
+	l := NewLedger(1, Weights{})
+	if l.Weights().Kappa != 1 || l.Weights().InfraWeight != 1 {
+		t.Fatalf("zero weights should default: %+v", l.Weights())
+	}
+}
+
+func TestDelta(t *testing.T) {
+	var a, b Account
+	a.BytesSent[ClassApp] = 100
+	b.BytesSent[ClassApp] = 40
+	a.Delivered, b.Delivered = 10, 4
+	a.Filters, b.Filters = 3, 2
+	d := Delta(a, b)
+	if d.BytesSent[ClassApp] != 60 || d.Delivered != 6 {
+		t.Fatalf("delta wrong: %+v", d)
+	}
+	if d.Filters != 3 {
+		t.Fatalf("filters must carry the level, got %d", d.Filters)
+	}
+}
+
+func TestReportFairVsUnfair(t *testing.T) {
+	// Fair population: contribution proportional to benefit.
+	fair := NewLedger(10, DefaultWeights())
+	for i := 0; i < 10; i++ {
+		for j := 0; j <= i; j++ {
+			fair.AddDelivery(i)
+		}
+		fair.AddSend(i, ClassApp, (i+1)*100)
+	}
+	fr := fair.Report()
+	if fr.RatioJain < 0.98 {
+		t.Errorf("fair population Jain = %.3f, want ≈1", fr.RatioJain)
+	}
+	if fr.ContribBenefitCorr < 0.95 {
+		t.Errorf("fair population corr = %.3f, want ≈1", fr.ContribBenefitCorr)
+	}
+
+	// Unfair: everyone works the same while benefit is highly skewed
+	// (the paper's classic-gossip pathology, §4.2).
+	unfair := NewLedger(10, DefaultWeights())
+	for i := 0; i < 10; i++ {
+		unfair.AddSend(i, ClassApp, 100)
+		for j := 0; j < i*i; j++ {
+			unfair.AddDelivery(i)
+		}
+	}
+	ur := unfair.Report()
+	if ur.RatioJain > 0.5 {
+		t.Errorf("unfair population Jain = %.3f, want low", ur.RatioJain)
+	}
+	if ur.WorkCoV > 0.01 {
+		t.Errorf("work is balanced, CoV = %.3f", ur.WorkCoV)
+	}
+	if len(ur.String()) == 0 {
+		t.Error("String() empty")
+	}
+
+	// Unrequited work: 9 of 10 processes forward without any benefit.
+	unreq := NewLedger(10, DefaultWeights())
+	for i := 0; i < 10; i++ {
+		unreq.AddSend(i, ClassApp, 100)
+	}
+	for j := 0; j < 50; j++ {
+		unreq.AddDelivery(0)
+	}
+	if got := unreq.Report().UnrequitedFrac; got < 0.85 || got > 0.95 {
+		t.Errorf("unrequited fraction = %.2f, want 0.9", got)
+	}
+}
+
+func TestReportSubsetAndEmpty(t *testing.T) {
+	l := NewLedger(4, DefaultWeights())
+	l.AddSend(0, ClassApp, 10)
+	l.AddDelivery(0)
+	l.AddSend(1, ClassApp, 1000)
+	r := l.ReportFor([]int{0})
+	if r.N != 1 {
+		t.Fatalf("subset N = %d", r.N)
+	}
+	empty := l.ReportFor([]int{})
+	if empty.N != 0 || empty.RatioJain != 1 {
+		t.Fatalf("empty report: %+v", empty)
+	}
+	// Out-of-range ids are skipped.
+	r2 := l.ReportFor([]int{0, 99, -1})
+	if r2.N != 1 {
+		t.Fatalf("invalid ids not skipped: N=%d", r2.N)
+	}
+}
+
+func TestTopContributors(t *testing.T) {
+	l := NewLedger(5, DefaultWeights())
+	l.AddSend(2, ClassApp, 500)
+	l.AddSend(4, ClassApp, 300)
+	l.AddSend(0, ClassApp, 100)
+	top := l.TopContributors(2)
+	if len(top) != 2 || top[0] != 2 || top[1] != 4 {
+		t.Fatalf("top = %v", top)
+	}
+	all := l.TopContributors(99)
+	if len(all) != 5 {
+		t.Fatalf("oversized k: %v", all)
+	}
+}
+
+func TestLedgerConcurrentSafety(t *testing.T) {
+	l := NewLedger(8, DefaultWeights())
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				l.AddSend(g, ClassApp, 1)
+				l.AddDelivery(g)
+				_ = l.Ratio(g)
+			}
+		}()
+	}
+	wg.Wait()
+	for g := 0; g < 8; g++ {
+		if got := l.Account(g).BytesSent[ClassApp]; got != 1000 {
+			t.Fatalf("node %d lost updates: %d", g, got)
+		}
+	}
+}
+
+func TestRatioFinite(t *testing.T) {
+	l := NewLedger(1, DefaultWeights())
+	l.AddSend(0, ClassApp, 1<<40)
+	r := l.Ratio(0)
+	if math.IsInf(r, 0) || math.IsNaN(r) {
+		t.Fatal("ratio must stay finite")
+	}
+}

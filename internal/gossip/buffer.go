@@ -1,0 +1,230 @@
+// Package gossip implements the basic push gossip-dissemination algorithm
+// of Fig. 4 of the paper: periodically, each process picks F communication
+// partners at random (SELECTPARTICIPANTS), packs up to N buffered events
+// into a gossip message (SELECTEVENTS), and pushes it. Receivers
+// deduplicate, re-buffer, and DELIVER events matching ISINTERESTED.
+//
+// The package provides the event buffer with age-based garbage collection,
+// the duplicate-suppression set, the event-selection policies (an ablation
+// axis), and a self-contained Peer used by the baseline reliability
+// experiments (EXP-F4). The full fairness-aware protocol in internal/core
+// composes the same pieces.
+package gossip
+
+import (
+	"math/rand"
+
+	"fairgossip/internal/pubsub"
+)
+
+// Policy selects which buffered events go into a gossip message — the
+// paper's SELECTEVENTS(N in events).
+type Policy uint8
+
+const (
+	// PolicyRandom picks uniformly at random among buffered events.
+	PolicyRandom Policy = iota + 1
+	// PolicyNewest prefers the events with the lowest age.
+	PolicyNewest
+	// PolicyLeastSent prefers events this process has forwarded least,
+	// spreading forwarding effort across entries (round-robin-ish).
+	PolicyLeastSent
+)
+
+type bufEntry struct {
+	ev   *pubsub.Event
+	age  int // rounds since insertion
+	sent int // times included in an outgoing gossip message
+}
+
+// Buffer is the bounded `events` set of Fig. 4 with lpbcast-style
+// age-based eviction: events older than MaxAge rounds are dropped, and
+// when capacity overflows the oldest (then most-sent) entries go first.
+type Buffer struct {
+	cap    int
+	maxAge int
+	items  map[pubsub.EventID]*bufEntry
+	order  []pubsub.EventID // insertion order, oldest first
+}
+
+// NewBuffer returns a buffer holding at most capacity events, each for at
+// most maxAge rounds. Minimums of 1 apply.
+func NewBuffer(capacity, maxAge int) *Buffer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if maxAge < 1 {
+		maxAge = 1
+	}
+	return &Buffer{
+		cap:    capacity,
+		maxAge: maxAge,
+		items:  make(map[pubsub.EventID]*bufEntry, capacity),
+	}
+}
+
+// Len returns the number of buffered events.
+func (b *Buffer) Len() int { return len(b.items) }
+
+// Contains reports whether the event id is buffered.
+func (b *Buffer) Contains(id pubsub.EventID) bool {
+	_, ok := b.items[id]
+	return ok
+}
+
+// Get returns the buffered event with the given id, if present. Serving
+// an event through Get (anti-entropy pulls) counts as a send for the
+// least-sent selection policy.
+func (b *Buffer) Get(id pubsub.EventID) (*pubsub.Event, bool) {
+	e, ok := b.items[id]
+	if !ok {
+		return nil, false
+	}
+	e.sent++
+	return e.ev, true
+}
+
+// Insert adds an event. It reports false for duplicates. When the buffer
+// is full, the oldest entry is evicted to make room.
+func (b *Buffer) Insert(ev *pubsub.Event) bool {
+	if _, dup := b.items[ev.ID]; dup {
+		return false
+	}
+	if len(b.items) >= b.cap {
+		b.evictOldest()
+	}
+	b.items[ev.ID] = &bufEntry{ev: ev}
+	b.order = append(b.order, ev.ID)
+	return true
+}
+
+func (b *Buffer) evictOldest() {
+	for len(b.order) > 0 {
+		id := b.order[0]
+		b.order = b.order[1:]
+		if _, ok := b.items[id]; ok {
+			delete(b.items, id)
+			return
+		}
+	}
+}
+
+// Tick advances every entry's age by one round and evicts expired
+// entries. Call once per gossip round.
+func (b *Buffer) Tick() {
+	if len(b.items) == 0 {
+		return
+	}
+	live := b.order[:0]
+	for _, id := range b.order {
+		e, ok := b.items[id]
+		if !ok {
+			continue
+		}
+		e.age++
+		if e.age >= b.maxAge {
+			delete(b.items, id)
+			continue
+		}
+		live = append(live, id)
+	}
+	b.order = live
+}
+
+// Select returns up to n distinct buffered events according to the
+// policy, marking them as sent once each.
+func (b *Buffer) Select(rng *rand.Rand, n int, policy Policy) []*pubsub.Event {
+	if n > len(b.items) {
+		n = len(b.items)
+	}
+	if n <= 0 {
+		return nil
+	}
+	ids := b.liveIDs()
+	switch policy {
+	case PolicyNewest:
+		// order is oldest-first; take from the tail.
+		ids = ids[len(ids)-n:]
+	case PolicyLeastSent:
+		// Partial selection by sent count; stable by age for determinism.
+		sortBySent(ids, b.items)
+		ids = ids[:n]
+	default: // PolicyRandom
+		perm := rng.Perm(len(ids))[:n]
+		picked := make([]pubsub.EventID, n)
+		for i, idx := range perm {
+			picked[i] = ids[idx]
+		}
+		ids = picked
+	}
+	out := make([]*pubsub.Event, 0, len(ids))
+	for _, id := range ids {
+		e := b.items[id]
+		e.sent++
+		out = append(out, e.ev)
+	}
+	return out
+}
+
+// liveIDs compacts b.order, dropping tombstones, and returns it.
+func (b *Buffer) liveIDs() []pubsub.EventID {
+	live := b.order[:0]
+	for _, id := range b.order {
+		if _, ok := b.items[id]; ok {
+			live = append(live, id)
+		}
+	}
+	b.order = live
+	return live
+}
+
+// sortBySent is an insertion sort by ascending sent count (buffers are
+// small; stability preserves age order among equals).
+func sortBySent(ids []pubsub.EventID, items map[pubsub.EventID]*bufEntry) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && items[ids[j]].sent < items[ids[j-1]].sent; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}
+
+// SeenSet remembers recently observed event IDs for duplicate suppression
+// (the `delivered`/`events` union of Fig. 4 outlives the buffer so that
+// expired events are not re-delivered). Eviction is FIFO.
+type SeenSet struct {
+	cap   int
+	set   map[pubsub.EventID]struct{}
+	order []pubsub.EventID
+}
+
+// NewSeenSet returns a set remembering at most capacity ids (minimum 1).
+func NewSeenSet(capacity int) *SeenSet {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &SeenSet{cap: capacity, set: make(map[pubsub.EventID]struct{}, capacity)}
+}
+
+// Add inserts the id, reporting true if it was new.
+func (s *SeenSet) Add(id pubsub.EventID) bool {
+	if _, dup := s.set[id]; dup {
+		return false
+	}
+	if len(s.set) >= s.cap {
+		victim := s.order[0]
+		s.order = s.order[1:]
+		delete(s.set, victim)
+	}
+	s.set[id] = struct{}{}
+	s.order = append(s.order, id)
+	return true
+}
+
+// Contains reports whether the id is remembered.
+func (s *SeenSet) Contains(id pubsub.EventID) bool {
+	_, ok := s.set[id]
+	return ok
+}
+
+// Len returns the number of remembered ids.
+func (s *SeenSet) Len() int { return len(s.set) }

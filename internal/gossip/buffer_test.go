@@ -1,0 +1,198 @@
+package gossip
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fairgossip/internal/pubsub"
+)
+
+func ev(pub, seq uint32) *pubsub.Event {
+	return &pubsub.Event{ID: pubsub.EventID{Publisher: pub, Seq: seq}, Topic: "t"}
+}
+
+func TestBufferInsertDedup(t *testing.T) {
+	b := NewBuffer(4, 8)
+	if !b.Insert(ev(1, 1)) {
+		t.Fatal("first insert failed")
+	}
+	if b.Insert(ev(1, 1)) {
+		t.Fatal("duplicate insert succeeded")
+	}
+	if b.Len() != 1 || !b.Contains(pubsub.EventID{Publisher: 1, Seq: 1}) {
+		t.Fatal("buffer state wrong")
+	}
+}
+
+func TestBufferCapacityEviction(t *testing.T) {
+	b := NewBuffer(3, 100)
+	for i := uint32(1); i <= 4; i++ {
+		b.Insert(ev(1, i))
+	}
+	if b.Len() != 3 {
+		t.Fatalf("len = %d, want 3", b.Len())
+	}
+	if b.Contains(pubsub.EventID{Publisher: 1, Seq: 1}) {
+		t.Fatal("oldest entry should have been evicted")
+	}
+	if !b.Contains(pubsub.EventID{Publisher: 1, Seq: 4}) {
+		t.Fatal("newest entry missing")
+	}
+}
+
+func TestBufferAgeGC(t *testing.T) {
+	b := NewBuffer(10, 3)
+	b.Insert(ev(1, 1))
+	b.Tick()
+	b.Insert(ev(1, 2))
+	b.Tick()
+	b.Tick() // first event reaches age 3 and dies
+	if b.Contains(pubsub.EventID{Publisher: 1, Seq: 1}) {
+		t.Fatal("expired event still buffered")
+	}
+	if !b.Contains(pubsub.EventID{Publisher: 1, Seq: 2}) {
+		t.Fatal("young event evicted early")
+	}
+}
+
+func TestSelectPolicies(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+
+	// Newest: returns the most recently inserted.
+	b := NewBuffer(10, 100)
+	for i := uint32(1); i <= 5; i++ {
+		b.Insert(ev(1, i))
+	}
+	got := b.Select(rng, 2, PolicyNewest)
+	if len(got) != 2 || got[0].ID.Seq != 4 || got[1].ID.Seq != 5 {
+		t.Fatalf("newest picked %v", ids(got))
+	}
+
+	// LeastSent: previously sent events deprioritised.
+	got = b.Select(rng, 2, PolicyLeastSent)
+	for _, e := range got {
+		if e.ID.Seq == 4 || e.ID.Seq == 5 {
+			t.Fatalf("least-sent picked already-sent event %v", e.ID)
+		}
+	}
+
+	// Random: correct count, distinct.
+	got = b.Select(rng, 3, PolicyRandom)
+	if len(got) != 3 {
+		t.Fatalf("random picked %d", len(got))
+	}
+	seen := map[pubsub.EventID]bool{}
+	for _, e := range got {
+		if seen[e.ID] {
+			t.Fatal("random selection repeated an event")
+		}
+		seen[e.ID] = true
+	}
+
+	// Oversized n clamps; zero/negative yields nil.
+	if len(b.Select(rng, 99, PolicyRandom)) != 5 {
+		t.Fatal("oversized n must clamp")
+	}
+	if b.Select(rng, 0, PolicyRandom) != nil {
+		t.Fatal("n=0 must return nil")
+	}
+}
+
+func TestSelectEmptyBuffer(t *testing.T) {
+	b := NewBuffer(4, 4)
+	if got := b.Select(rand.New(rand.NewSource(1)), 3, PolicyRandom); got != nil {
+		t.Fatalf("empty buffer selected %v", got)
+	}
+	b.Tick() // must not panic on empty
+}
+
+func TestSeenSetFIFO(t *testing.T) {
+	s := NewSeenSet(2)
+	idA := pubsub.EventID{Publisher: 1, Seq: 1}
+	idB := pubsub.EventID{Publisher: 1, Seq: 2}
+	idC := pubsub.EventID{Publisher: 1, Seq: 3}
+	if !s.Add(idA) || !s.Add(idB) {
+		t.Fatal("adds failed")
+	}
+	if s.Add(idA) {
+		t.Fatal("duplicate add succeeded")
+	}
+	s.Add(idC) // evicts idA
+	if s.Contains(idA) {
+		t.Fatal("FIFO eviction failed")
+	}
+	if !s.Contains(idB) || !s.Contains(idC) {
+		t.Fatal("wrong eviction victim")
+	}
+	if s.Len() != 2 {
+		t.Fatalf("len = %d", s.Len())
+	}
+}
+
+func TestMsgWireSize(t *testing.T) {
+	events := []*pubsub.Event{ev(1, 1), ev(1, 2)}
+	want := MsgHeaderSize + events[0].WireSize() + events[1].WireSize()
+	if got := MsgWireSize(events); got != want {
+		t.Fatalf("MsgWireSize = %d, want %d", got, want)
+	}
+	if MsgWireSize(nil) != MsgHeaderSize {
+		t.Fatal("empty message size wrong")
+	}
+}
+
+// Property: buffer never exceeds capacity, never holds duplicates, and
+// Select never returns evicted or duplicate events.
+func TestQuickBufferInvariants(t *testing.T) {
+	f := func(ops []uint16, capRaw, ageRaw uint8) bool {
+		capacity := int(capRaw%16) + 1
+		maxAge := int(ageRaw%8) + 1
+		b := NewBuffer(capacity, maxAge)
+		rng := rand.New(rand.NewSource(7))
+		for _, op := range ops {
+			switch op % 4 {
+			case 0, 1:
+				b.Insert(ev(1, uint32(op/4)))
+			case 2:
+				b.Tick()
+			case 3:
+				got := b.Select(rng, int(op%5), Policy(1+op%3))
+				seen := map[pubsub.EventID]bool{}
+				for _, e := range got {
+					if seen[e.ID] || !b.Contains(e.ID) {
+						return false
+					}
+					seen[e.ID] = true
+				}
+			}
+			if b.Len() > capacity {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(8))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func ids(evs []*pubsub.Event) []pubsub.EventID {
+	out := make([]pubsub.EventID, len(evs))
+	for i, e := range evs {
+		out[i] = e.ID
+	}
+	return out
+}
+
+func BenchmarkBufferInsertSelect(b *testing.B) {
+	buf := NewBuffer(256, 8)
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf.Insert(ev(1, uint32(i)))
+		buf.Select(rng, 8, PolicyRandom)
+		if i%16 == 0 {
+			buf.Tick()
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package gossip
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"fairgossip/internal/eventsim"
+	"fairgossip/internal/membership"
+	"fairgossip/internal/pubsub"
+	"fairgossip/internal/simnet"
+)
+
+// runWithAntiEntropy is runDissemination with push-pull enabled/disabled
+// and a configurable forwarding TTL (short TTLs create the uninfected
+// tail that anti-entropy exists to repair).
+func runWithAntiEntropy(seed int64, n, fanout, rounds, maxAge int, loss float64, antiEvery int) float64 {
+	sim := eventsim.New(seed)
+	net := simnet.New(sim, simnet.Config{
+		Latency: simnet.ConstantLatency(time.Millisecond),
+		Loss:    loss,
+	})
+	peers := make([]*Peer, n)
+	for i := 0; i < n; i++ {
+		peers[i] = NewPeer(
+			simnet.NodeID(i), net,
+			membership.FullSampler{Self: simnet.NodeID(i), N: n},
+			rand.New(rand.NewSource(seed*1000+int64(i))),
+			Config{Fanout: fanout, Batch: 4, BufferMaxAge: maxAge},
+		)
+		if antiEvery > 0 {
+			peers[i].EnableAntiEntropy(antiEvery, 0)
+		}
+		net.AddNode(peers[i])
+	}
+	for _, p := range peers {
+		p := p
+		sim.Every(10*time.Millisecond, time.Millisecond, p.Round)
+	}
+	peers[0].Publish(&pubsub.Event{ID: pubsub.EventID{Publisher: 0, Seq: 1}, Topic: "t"})
+	sim.RunUntil(time.Duration(rounds) * 10 * time.Millisecond)
+	covered := 0
+	for _, p := range peers {
+		if p.Delivered() > 0 {
+			covered++
+		}
+	}
+	return float64(covered) / float64(n)
+}
+
+func TestAntiEntropyRepairsLowFanoutTail(t *testing.T) {
+	// Fanout 1 with a 2-round TTL leaves a big uninfected tail under pure
+	// push; push-pull repairs it to ~full coverage.
+	avg := func(antiEvery int) float64 {
+		var s float64
+		for seed := int64(0); seed < 3; seed++ {
+			s += runWithAntiEntropy(40+seed, 192, 1, 25, 2, 0, antiEvery)
+		}
+		return s / 3
+	}
+	pushOnly := avg(0)
+	pushPull := avg(2)
+	if pushOnly > 0.9 {
+		t.Fatalf("push-only coverage %.3f — no tail to repair, test setup wrong", pushOnly)
+	}
+	if pushPull < 0.99 {
+		t.Fatalf("push-pull coverage %.3f, want ≈1 (push-only %.3f)", pushPull, pushOnly)
+	}
+}
+
+func TestAntiEntropyUnderHeavyLoss(t *testing.T) {
+	n := 128
+	fanout := int(math.Ceil(math.Log(float64(n))))
+	got := runWithAntiEntropy(7, n, fanout, 20, 3, 0.30, 2)
+	if got < 0.99 {
+		t.Fatalf("push-pull under 30%% loss: coverage %.3f", got)
+	}
+}
+
+func TestDigestWireSize(t *testing.T) {
+	if DigestWireSize(0) != digestHeaderSize {
+		t.Fatal("empty digest size")
+	}
+	if DigestWireSize(10) != digestHeaderSize+10*eventIDWireSize {
+		t.Fatal("digest size formula")
+	}
+}
+
+func TestBufferGet(t *testing.T) {
+	b := NewBuffer(4, 8)
+	e := ev(1, 1)
+	b.Insert(e)
+	got, ok := b.Get(e.ID)
+	if !ok || got != e {
+		t.Fatal("Get failed")
+	}
+	if _, ok := b.Get(pubsub.EventID{Publisher: 9, Seq: 9}); ok {
+		t.Fatal("Get returned missing event")
+	}
+	// Get counts as a send for the least-sent policy.
+	b.Insert(ev(1, 2))
+	sel := b.Select(rand.New(rand.NewSource(1)), 1, PolicyLeastSent)
+	if len(sel) != 1 || sel[0].ID.Seq != 2 {
+		t.Fatalf("least-sent should skip pulled event, picked %v", sel[0].ID)
+	}
+}
+
+func TestDigestRoundRespectsCadence(t *testing.T) {
+	sim := eventsim.New(9)
+	net := simnet.New(sim, simnet.Config{})
+	a := NewPeer(0, net, membership.FullSampler{Self: 0, N: 2}, rand.New(rand.NewSource(1)), Config{Fanout: 0, Batch: 1})
+	b := NewPeer(1, net, membership.FullSampler{Self: 1, N: 2}, rand.New(rand.NewSource(2)), Config{Fanout: 0, Batch: 1})
+	net.AddNode(a)
+	net.AddNode(b)
+	a.EnableAntiEntropy(3, 0)
+	a.Publish(&pubsub.Event{ID: pubsub.EventID{Publisher: 0, Seq: 1}, Topic: "t"})
+	// Fanout 0: only digests can move the event.
+	for r := 0; r < 2; r++ {
+		a.Round()
+		sim.Run()
+	}
+	if b.Delivered() != 0 {
+		t.Fatal("digest fired before cadence")
+	}
+	a.Round() // round 3: digest goes out
+	sim.Run()
+	if b.Delivered() != 1 {
+		t.Fatalf("pull did not deliver: %d", b.Delivered())
+	}
+}
+
+func TestPullServesOnlyBufferedEvents(t *testing.T) {
+	sim := eventsim.New(10)
+	net := simnet.New(sim, simnet.Config{})
+	a := NewPeer(0, net, membership.FullSampler{Self: 0, N: 2}, rand.New(rand.NewSource(1)), Config{Fanout: 0})
+	rec := &recorder{}
+	net.AddNode(a)
+	net.AddNode(rec)
+	// Request an event the peer does not hold: no reply at all.
+	a.HandleMessage(simnet.Message{From: 1, To: 0, Payload: PullReq{
+		IDs: []pubsub.EventID{{Publisher: 5, Seq: 5}},
+	}})
+	sim.Run()
+	if len(rec.got) != 0 {
+		t.Fatal("pull reply sent for unknown event")
+	}
+}
+
+// recorder for pushpull tests.
+type recorder struct{ got []simnet.Message }
+
+func (r *recorder) HandleMessage(m simnet.Message) { r.got = append(r.got, m) }
+
+func BenchmarkAntiEntropyRound(b *testing.B) {
+	sim := eventsim.New(1)
+	net := simnet.New(sim, simnet.Config{})
+	p := NewPeer(0, net, membership.FullSampler{Self: 0, N: 64}, rand.New(rand.NewSource(1)), Config{Fanout: 3, Batch: 8})
+	net.AddNode(p)
+	for i := 0; i < 63; i++ {
+		net.AddNode(&recorder{})
+	}
+	p.EnableAntiEntropy(1, 0)
+	for i := 0; i < 64; i++ {
+		p.Publish(&pubsub.Event{ID: pubsub.EventID{Publisher: 0, Seq: uint32(i)}, Topic: "t"})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Round()
+		if i%64 == 0 {
+			sim.Run()
+		}
+	}
+}

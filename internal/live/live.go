@@ -1,0 +1,362 @@
+// Package live is the real-concurrency runtime: one goroutine per peer,
+// buffered channels as links, and wall-clock tickers for gossip rounds.
+// It runs the same content-mode FairGossip protocol as internal/core but
+// against Go's scheduler instead of the deterministic simulator — the
+// form a deployed system (and the runnable examples) would use.
+//
+// Concurrency model: each peer's protocol state is owned by its single
+// goroutine. External calls (Subscribe, Publish) are funneled into the
+// peer loop through a command channel and executed there, so no protocol
+// state needs locks. The shared fairness.Ledger is internally
+// synchronised. A peer whose inbox overflows drops messages, which is
+// exactly how a saturated UDP socket behaves.
+package live
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"fairgossip/internal/adaptive"
+	"fairgossip/internal/fairness"
+	"fairgossip/internal/gossip"
+	"fairgossip/internal/pubsub"
+)
+
+// Config parameterises a live cluster.
+type Config struct {
+	// N is the number of peers (minimum 2).
+	N int
+	// Fanout and Batch are the initial (or static) levers. Defaults 4/8.
+	Fanout int
+	Batch  int
+	// RoundPeriod is the gossip period (default 20ms — examples want to
+	// finish quickly; a WAN deployment would use 1s+).
+	RoundPeriod time.Duration
+	// TargetRatio > 0 enables the AIMD fairness controller with that
+	// contribution-per-benefit target; 0 keeps static levers.
+	TargetRatio float64
+	// ControlWindow is rounds between controller updates (default 5).
+	ControlWindow int
+	// InboxDepth is the per-peer channel buffer (default 1024).
+	InboxDepth int
+	// BufferMaxAge is how many rounds an event stays forwardable
+	// (default 8; raise it for bursty publication loads).
+	BufferMaxAge int
+	// Seed drives per-peer randomness (peer i uses Seed^i).
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.N < 2 {
+		c.N = 2
+	}
+	if c.Fanout <= 0 {
+		c.Fanout = 4
+	}
+	if c.Batch <= 0 {
+		c.Batch = 8
+	}
+	if c.RoundPeriod <= 0 {
+		c.RoundPeriod = 20 * time.Millisecond
+	}
+	if c.ControlWindow <= 0 {
+		c.ControlWindow = 5
+	}
+	if c.InboxDepth <= 0 {
+		c.InboxDepth = 1024
+	}
+	if c.BufferMaxAge <= 0 {
+		c.BufferMaxAge = 8
+	}
+	return c
+}
+
+type envelope struct {
+	from   int
+	events []*pubsub.Event
+	size   int
+}
+
+// Cluster is a set of live peers. Create with NewCluster, then Start;
+// Stop blocks until every peer goroutine has exited.
+type Cluster struct {
+	cfg    Config
+	ledger *fairness.Ledger
+	peers  []*peer
+
+	stop    chan struct{}
+	wg      sync.WaitGroup
+	started bool
+	stopped bool
+	mu      sync.Mutex
+}
+
+type peer struct {
+	id      int
+	c       *Cluster
+	rng     *rand.Rand
+	inbox   chan envelope
+	cmds    chan func()
+	buffer  *gossip.Buffer
+	seen    *gossip.SeenSet
+	in      pubsub.Interest
+	ctrl    adaptive.Controller
+	fanout  int
+	batch   int
+	rounds  int
+	last    fairness.Account
+	pubSeq  uint32
+	deliver func(*pubsub.Event)
+}
+
+// NewCluster builds a stopped cluster.
+func NewCluster(cfg Config) *Cluster {
+	cfg = cfg.withDefaults()
+	c := &Cluster{
+		cfg:    cfg,
+		ledger: fairness.NewLedger(cfg.N, fairness.DefaultWeights()),
+		stop:   make(chan struct{}),
+	}
+	for i := 0; i < cfg.N; i++ {
+		var ctrl adaptive.Controller
+		if cfg.TargetRatio > 0 {
+			ctrl = adaptive.NewAIMD(adaptive.Config{
+				TargetRatio: cfg.TargetRatio,
+				Limits:      adaptive.DefaultLimits(cfg.N),
+			}, adaptive.LeverBoth, cfg.Fanout, cfg.Batch)
+		} else {
+			ctrl = adaptive.Static{F: cfg.Fanout, N: cfg.Batch}
+		}
+		p := &peer{
+			id:     i,
+			c:      c,
+			rng:    rand.New(rand.NewSource(cfg.Seed ^ int64(i*2654435761+1))),
+			inbox:  make(chan envelope, cfg.InboxDepth),
+			cmds:   make(chan func(), 64),
+			buffer: gossip.NewBuffer(256, cfg.BufferMaxAge),
+			seen:   gossip.NewSeenSet(8192),
+			ctrl:   ctrl,
+		}
+		p.fanout, p.batch = ctrl.Fanout(), ctrl.Batch()
+		c.peers = append(c.peers, p)
+	}
+	return c
+}
+
+// Ledger exposes the shared fairness ledger (safe for concurrent reads).
+func (c *Cluster) Ledger() *fairness.Ledger { return c.ledger }
+
+// Report returns the cluster-wide fairness report.
+func (c *Cluster) Report() fairness.Report { return c.ledger.Report() }
+
+// Start launches every peer goroutine. Idempotent.
+func (c *Cluster) Start() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.started {
+		return
+	}
+	c.started = true
+	for _, p := range c.peers {
+		p := p
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			p.loop()
+		}()
+	}
+}
+
+// Stop signals every peer to exit and waits for them. Idempotent.
+func (c *Cluster) Stop() {
+	c.mu.Lock()
+	if !c.started || c.stopped {
+		c.mu.Unlock()
+		return
+	}
+	c.stopped = true
+	c.mu.Unlock()
+	close(c.stop)
+	c.wg.Wait()
+}
+
+// do runs fn with exclusive access to peer id's state and waits for it to
+// complete: inline before Start (setup is single-threaded), through the
+// peer's command channel afterwards. It returns false if the cluster is
+// stopped or the id is invalid.
+func (c *Cluster) do(id int, fn func()) bool {
+	if id < 0 || id >= len(c.peers) {
+		return false
+	}
+	c.mu.Lock()
+	started := c.started
+	c.mu.Unlock()
+	if !started {
+		fn()
+		return true
+	}
+	done := make(chan struct{})
+	select {
+	case c.peers[id].cmds <- func() { fn(); close(done) }:
+	case <-c.stop:
+		return false
+	}
+	select {
+	case <-done:
+		return true
+	case <-c.stop:
+		return false
+	}
+}
+
+// Subscribe registers a filter on a peer and returns its subscription ID.
+func (c *Cluster) Subscribe(id int, f pubsub.Filter) (pubsub.SubID, bool) {
+	var sub pubsub.SubID
+	ok := c.do(id, func() {
+		p := c.peers[id]
+		sub = p.in.Subscribe(f)
+		c.ledger.SetFilters(id, p.in.Count())
+	})
+	return sub, ok
+}
+
+// Unsubscribe removes a subscription from a peer.
+func (c *Cluster) Unsubscribe(id int, sub pubsub.SubID) bool {
+	removed := false
+	ok := c.do(id, func() {
+		p := c.peers[id]
+		removed = p.in.Unsubscribe(sub)
+		c.ledger.SetFilters(id, p.in.Count())
+	})
+	return ok && removed
+}
+
+// OnDeliver installs a delivery observer on a peer (call before or after
+// Start; it runs on the peer's goroutine).
+func (c *Cluster) OnDeliver(id int, fn func(*pubsub.Event)) bool {
+	return c.do(id, func() { c.peers[id].deliver = fn })
+}
+
+// Levers reports a peer's current fanout and batch levers (synchronised
+// through the peer's own goroutine).
+func (c *Cluster) Levers(id int) (fanout, batch int, ok bool) {
+	ok = c.do(id, func() {
+		fanout, batch = c.peers[id].fanout, c.peers[id].batch
+	})
+	return fanout, batch, ok
+}
+
+// Publish originates an event at the given peer.
+func (c *Cluster) Publish(id int, topic string, attrs []pubsub.Attr, payload []byte) bool {
+	return c.do(id, func() {
+		p := c.peers[id]
+		p.pubSeq++
+		ev := &pubsub.Event{
+			ID:      pubsub.EventID{Publisher: uint32(id), Seq: p.pubSeq},
+			Topic:   topic,
+			Attrs:   attrs,
+			Payload: payload,
+		}
+		c.ledger.AddPublish(id, ev.WireSize())
+		p.seen.Add(ev.ID)
+		p.buffer.Insert(ev)
+		p.deliverIfInterested(ev)
+	})
+}
+
+// --- peer loop ---------------------------------------------------------------
+
+func (p *peer) loop() {
+	// The command channel must be drained before Start too; tickers with
+	// jitter desynchronise the rounds.
+	jitter := time.Duration(p.rng.Int63n(int64(p.c.cfg.RoundPeriod)))
+	timer := time.NewTimer(p.c.cfg.RoundPeriod + jitter)
+	defer timer.Stop()
+	for {
+		select {
+		case <-p.c.stop:
+			return
+		case cmd := <-p.cmds:
+			cmd()
+		case env := <-p.inbox:
+			p.receive(env)
+		case <-timer.C:
+			p.round()
+			timer.Reset(p.c.cfg.RoundPeriod)
+		}
+	}
+}
+
+func (p *peer) round() {
+	p.rounds++
+	events := p.buffer.Select(p.rng, p.batch, gossip.PolicyRandom)
+	if len(events) > 0 {
+		size := gossip.MsgWireSize(events)
+		for _, q := range p.samplePeers(p.fanout) {
+			p.send(q, events, size)
+		}
+	}
+	p.buffer.Tick()
+	if p.rounds%p.c.cfg.ControlWindow == 0 {
+		acct := p.c.ledger.Account(p.id)
+		delta := fairness.Delta(acct, p.last)
+		p.last = acct
+		w := p.c.ledger.Weights()
+		p.fanout, p.batch = p.ctrl.Update(adaptive.Sample{
+			Benefit:      fairness.Benefit(delta, w),
+			Contribution: fairness.Contribution(delta, w),
+		})
+	}
+}
+
+func (p *peer) samplePeers(k int) []int {
+	n := len(p.c.peers)
+	if k > n-1 {
+		k = n - 1
+	}
+	out := make([]int, 0, k)
+	seen := map[int]struct{}{p.id: {}}
+	for len(out) < k {
+		q := p.rng.Intn(n)
+		if _, dup := seen[q]; dup {
+			continue
+		}
+		seen[q] = struct{}{}
+		out = append(out, q)
+	}
+	return out
+}
+
+func (p *peer) send(to int, events []*pubsub.Event, size int) {
+	p.c.ledger.AddSend(p.id, fairness.ClassApp, size)
+	select {
+	case p.c.peers[to].inbox <- envelope{from: p.id, events: events, size: size}:
+	default:
+		// Inbox full: drop, like a saturated datagram socket.
+	}
+}
+
+func (p *peer) receive(env envelope) {
+	novel, dup := 0, 0
+	for _, ev := range env.events {
+		if !p.seen.Add(ev.ID) {
+			dup += ev.WireSize()
+			continue
+		}
+		novel += ev.WireSize()
+		p.buffer.Insert(ev)
+		p.deliverIfInterested(ev)
+	}
+	p.c.ledger.AddAudit(env.from, novel, dup)
+}
+
+func (p *peer) deliverIfInterested(ev *pubsub.Event) {
+	if !p.in.Match(ev) {
+		return
+	}
+	p.c.ledger.AddDelivery(p.id)
+	if p.deliver != nil {
+		p.deliver(ev)
+	}
+}

@@ -1,0 +1,217 @@
+// Package membership implements the peer-sampling substrate that gossip
+// dissemination assumes (§4.2 of the paper, citing lpbcast, Cyclon and the
+// peer-sampling service): bounded partial views with entry ages, uniform
+// sampling, and the Cyclon view-shuffling protocol logic.
+//
+// The package provides protocol *logic*; the embedding node drives actual
+// message exchange so that shuffle traffic is accounted like any other
+// infrastructure traffic.
+package membership
+
+import (
+	"math/rand"
+
+	"fairgossip/internal/simnet"
+)
+
+// Entry is a view slot: a peer and the age (in shuffle periods) since the
+// information about it was created.
+type Entry struct {
+	ID  simnet.NodeID
+	Age int
+}
+
+// View is a bounded partial view of the system, the node's local
+// knowledge of "communication partners". The zero value is unusable; call
+// NewView.
+type View struct {
+	self    simnet.NodeID
+	cap     int
+	entries []Entry
+}
+
+// NewView returns an empty view for node self holding at most capacity
+// entries (minimum 1).
+func NewView(self simnet.NodeID, capacity int) *View {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &View{self: self, cap: capacity, entries: make([]Entry, 0, capacity)}
+}
+
+// Self returns the owning node.
+func (v *View) Self() simnet.NodeID { return v.self }
+
+// Len returns the number of entries currently held.
+func (v *View) Len() int { return len(v.entries) }
+
+// Cap returns the view capacity.
+func (v *View) Cap() int { return v.cap }
+
+// Contains reports whether id is in the view.
+func (v *View) Contains(id simnet.NodeID) bool { return v.indexOf(id) >= 0 }
+
+func (v *View) indexOf(id simnet.NodeID) int {
+	for i, e := range v.entries {
+		if e.ID == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// Add inserts a fresh entry (age 0) for id. Self and duplicates are
+// ignored (a duplicate refreshes the age to the younger of the two). When
+// full, the oldest entry is evicted. It reports whether the view changed.
+func (v *View) Add(id simnet.NodeID) bool { return v.AddAged(Entry{ID: id}) }
+
+// AddAged inserts an entry preserving its age, with Add's rules.
+func (v *View) AddAged(e Entry) bool {
+	if e.ID == v.self || e.ID < 0 {
+		return false
+	}
+	if i := v.indexOf(e.ID); i >= 0 {
+		if e.Age < v.entries[i].Age {
+			v.entries[i].Age = e.Age
+			return true
+		}
+		return false
+	}
+	if len(v.entries) < v.cap {
+		v.entries = append(v.entries, e)
+		return true
+	}
+	// Evict the oldest to make room; ties broken by slot order.
+	oldest := 0
+	for i := 1; i < len(v.entries); i++ {
+		if v.entries[i].Age > v.entries[oldest].Age {
+			oldest = i
+		}
+	}
+	if v.entries[oldest].Age < e.Age {
+		return false // incoming entry is staler than everything held
+	}
+	v.entries[oldest] = e
+	return true
+}
+
+// Remove deletes id from the view, reporting whether it was present.
+func (v *View) Remove(id simnet.NodeID) bool {
+	i := v.indexOf(id)
+	if i < 0 {
+		return false
+	}
+	v.entries = append(v.entries[:i], v.entries[i+1:]...)
+	return true
+}
+
+// IncrementAges ages every entry by one period.
+func (v *View) IncrementAges() {
+	for i := range v.entries {
+		v.entries[i].Age++
+	}
+}
+
+// Oldest returns the entry with the highest age.
+func (v *View) Oldest() (Entry, bool) {
+	if len(v.entries) == 0 {
+		return Entry{}, false
+	}
+	oldest := 0
+	for i := 1; i < len(v.entries); i++ {
+		if v.entries[i].Age > v.entries[oldest].Age {
+			oldest = i
+		}
+	}
+	return v.entries[oldest], true
+}
+
+// Entries returns a copy of the view's entries.
+func (v *View) Entries() []Entry {
+	out := make([]Entry, len(v.entries))
+	copy(out, v.entries)
+	return out
+}
+
+// IDs returns the peers currently in the view.
+func (v *View) IDs() []simnet.NodeID {
+	out := make([]simnet.NodeID, len(v.entries))
+	for i, e := range v.entries {
+		out[i] = e.ID
+	}
+	return out
+}
+
+// Sample returns min(k, Len) distinct peers drawn uniformly without
+// replacement using rng.
+func (v *View) Sample(rng *rand.Rand, k int) []simnet.NodeID {
+	n := len(v.entries)
+	if k > n {
+		k = n
+	}
+	if k <= 0 {
+		return nil
+	}
+	perm := rng.Perm(n)
+	out := make([]simnet.NodeID, k)
+	for i := 0; i < k; i++ {
+		out[i] = v.entries[perm[i]].ID
+	}
+	return out
+}
+
+// Sampler provides random communication partners for dissemination — the
+// abstraction behind SELECTPARTICIPANTS(F) in Fig. 4 of the paper.
+type Sampler interface {
+	// SamplePeers returns up to k distinct peers (excluding the caller).
+	SamplePeers(rng *rand.Rand, k int) []simnet.NodeID
+}
+
+// ViewSampler adapts a View to the Sampler interface.
+type ViewSampler struct{ View *View }
+
+// SamplePeers implements Sampler.
+func (s ViewSampler) SamplePeers(rng *rand.Rand, k int) []simnet.NodeID {
+	return s.View.Sample(rng, k)
+}
+
+// FullSampler samples uniformly from the complete population [0, N),
+// excluding Self — the idealised "full knowledge" sampler classic gossip
+// analysis assumes.
+type FullSampler struct {
+	Self simnet.NodeID
+	N    int
+}
+
+// SamplePeers implements Sampler.
+func (s FullSampler) SamplePeers(rng *rand.Rand, k int) []simnet.NodeID {
+	pop := s.N
+	if s.Self >= 0 && int(s.Self) < s.N {
+		pop--
+	}
+	if k > pop {
+		k = pop
+	}
+	if k <= 0 {
+		return nil
+	}
+	out := make([]simnet.NodeID, 0, k)
+	seen := make(map[simnet.NodeID]struct{}, k)
+	for len(out) < k {
+		id := simnet.NodeID(rng.Intn(s.N))
+		if id == s.Self {
+			continue
+		}
+		if _, dup := seen[id]; dup {
+			continue
+		}
+		seen[id] = struct{}{}
+		out = append(out, id)
+	}
+	return out
+}
+
+var (
+	_ Sampler = ViewSampler{}
+	_ Sampler = FullSampler{}
+)

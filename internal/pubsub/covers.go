@@ -1,0 +1,223 @@
+package pubsub
+
+import "strings"
+
+// Covers reports whether filter a provably subsumes filter b: every event
+// matched by b is also matched by a. It is *conservative* — a false
+// result means "not provable with these rules", not "not subsumed".
+//
+// Subsumption is the standard tool for subscription summarisation in
+// content-based dissemination: a process whose active filter covers an
+// incoming subscription need not install (or forward) the narrower one.
+// core's topic mode gets this for free (equal topics); Covers extends the
+// idea to the expressive language.
+func Covers(a, b Filter) bool {
+	// Normalise the topic sugar so the predicate rules below apply.
+	a, b = normalise(a), normalise(b)
+
+	switch x := a.(type) {
+	case matchAll:
+		return true
+	case andFilter:
+		// a = ⋀ kids: every conjunct must cover b.
+		for _, k := range x.kids {
+			if !Covers(k, b) {
+				return false
+			}
+		}
+		return true
+	case orFilter:
+		// Sufficient: some alternative covers b on its own.
+		for _, k := range x.kids {
+			if Covers(k, b) {
+				return true
+			}
+		}
+		// Or b is a disjunction handled below.
+	}
+
+	switch y := b.(type) {
+	case matchNone:
+		return true
+	case orFilter:
+		// b = ⋁ kids: a must cover every alternative.
+		for _, k := range y.kids {
+			if !Covers(a, k) {
+				return false
+			}
+		}
+		return true
+	case andFilter:
+		// Sufficient: a covers one conjunct (b is narrower than it).
+		for _, k := range y.kids {
+			if Covers(a, k) {
+				return true
+			}
+		}
+		return false
+	}
+
+	return predicateCovers(a, b)
+}
+
+// normalise rewrites the topic sugar types into plain predicates.
+func normalise(f Filter) Filter {
+	switch x := f.(type) {
+	case topicFilter:
+		return cmpFilter{key: "topic", op: opEq, val: String(x.topic)}
+	case topicPrefixFilter:
+		return orFilter{kids: []Filter{
+			cmpFilter{key: "topic", op: opEq, val: String(x.prefix)},
+			startsWithFilter{key: "topic", prefix: x.prefix + "."},
+		}}
+	default:
+		return f
+	}
+}
+
+// predicateCovers handles leaf predicates on the same key.
+func predicateCovers(a, b Filter) bool {
+	keyA, okA := predicateKey(a)
+	keyB, okB := predicateKey(b)
+	if !okA || !okB || keyA != keyB {
+		return false
+	}
+	// Existence covers every predicate on the same key: all predicates
+	// require the attribute to be present.
+	if _, isExists := a.(existsFilter); isExists {
+		return true
+	}
+	switch x := a.(type) {
+	case cmpFilter:
+		return cmpCovers(x, b)
+	case inFilter:
+		return inCovers(x, b)
+	case containsFilter:
+		switch y := b.(type) {
+		case cmpFilter:
+			return y.op == opEq && y.val.Kind() == KindString &&
+				strings.Contains(y.val.Str(), x.sub)
+		case containsFilter:
+			return strings.Contains(y.sub, x.sub)
+		case startsWithFilter:
+			// Every string with prefix p contains any substring of p.
+			return strings.Contains(y.prefix, x.sub)
+		case inFilter:
+			return allInList(y, func(v Value) bool {
+				return v.Kind() == KindString && strings.Contains(v.Str(), x.sub)
+			})
+		}
+	case startsWithFilter:
+		switch y := b.(type) {
+		case cmpFilter:
+			return y.op == opEq && y.val.Kind() == KindString &&
+				strings.HasPrefix(y.val.Str(), x.prefix)
+		case startsWithFilter:
+			return strings.HasPrefix(y.prefix, x.prefix)
+		case inFilter:
+			return allInList(y, func(v Value) bool {
+				return v.Kind() == KindString && strings.HasPrefix(v.Str(), x.prefix)
+			})
+		}
+	}
+	return false
+}
+
+// predicateKey extracts the attribute key of a leaf predicate.
+func predicateKey(f Filter) (string, bool) {
+	switch x := f.(type) {
+	case cmpFilter:
+		return x.key, true
+	case inFilter:
+		return x.key, true
+	case containsFilter:
+		return x.key, true
+	case startsWithFilter:
+		return x.key, true
+	case existsFilter:
+		return x.key, true
+	default:
+		return "", false
+	}
+}
+
+// cmpCovers: a is `key op val`; which narrower predicates does it cover?
+func cmpCovers(a cmpFilter, b Filter) bool {
+	matchVal := func(v Value) bool {
+		probe := cmpFilter{key: a.key, op: a.op, val: a.val}
+		ev := Event{Attrs: []Attr{{Key: a.key, Val: v}}}
+		if a.key == "topic" {
+			if v.Kind() != KindString {
+				return false
+			}
+			ev = Event{Topic: v.Str()}
+		}
+		return probe.Match(&ev)
+	}
+	switch y := b.(type) {
+	case cmpFilter:
+		if y.op == opEq {
+			// b matches exactly the events where key == y.val: a covers b
+			// iff a accepts that value.
+			return matchVal(y.val)
+		}
+		if a.val.Kind() != y.val.Kind() {
+			return false
+		}
+		cmp, ok := y.val.Compare(a.val)
+		if !ok {
+			// Unordered kinds (bool): only identical equality handled above.
+			return false
+		}
+		// Range inclusion on ordered kinds.
+		switch a.op {
+		case opGt:
+			return (y.op == opGt && cmp >= 0) || (y.op == opGe && cmp > 0)
+		case opGe:
+			return (y.op == opGt || y.op == opGe) && cmp >= 0
+		case opLt:
+			return (y.op == opLt && cmp <= 0) || (y.op == opLe && cmp < 0)
+		case opLe:
+			return (y.op == opLt || y.op == opLe) && cmp <= 0
+		case opNeq:
+			// a: key != v covers any range that excludes v; for cmp
+			// predicates, conservative false (range may include v).
+			return false
+		default:
+			return false
+		}
+	case inFilter:
+		return allInList(y, matchVal)
+	}
+	return false
+}
+
+// inCovers: a is `key in [...]`.
+func inCovers(a inFilter, b Filter) bool {
+	inList := func(v Value) bool {
+		for _, cand := range a.vals {
+			if v.Equal(cand) {
+				return true
+			}
+		}
+		return false
+	}
+	switch y := b.(type) {
+	case cmpFilter:
+		return y.op == opEq && inList(y.val)
+	case inFilter:
+		return allInList(y, inList)
+	}
+	return false
+}
+
+// allInList reports whether every value of b's list satisfies pred
+// (empty lists match nothing, so they are trivially covered).
+func allInList(b inFilter, pred func(Value) bool) bool {
+	for _, v := range b.vals {
+		if !pred(v) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,129 @@
+package pubsub
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestCoversTable(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		// Trivial bounds.
+		{`true`, `price > 5`, true},
+		{`price > 5`, `false`, true},
+		// Range inclusion.
+		{`price > 5`, `price > 7`, true},
+		{`price > 7`, `price > 5`, false},
+		{`price >= 5`, `price > 5`, true},
+		{`price > 5`, `price >= 5`, false},
+		{`price >= 5`, `price >= 5`, true},
+		{`price < 10`, `price < 3`, true},
+		{`price <= 10`, `price < 10`, true},
+		{`price < 10`, `price <= 10`, false},
+		// Equality against ranges and lists.
+		{`price > 5`, `price == 7`, true},
+		{`price > 5`, `price == 5`, false},
+		{`sym == "A"`, `sym == "A"`, true},
+		{`sym == "A"`, `sym == "B"`, false},
+		{`sym != "A"`, `sym == "B"`, true},
+		{`sym != "A"`, `sym == "A"`, false},
+		{`sym in ["A", "B"]`, `sym == "A"`, true},
+		{`sym in ["A", "B"]`, `sym == "C"`, false},
+		{`sym in ["A", "B", "C"]`, `sym in ["A", "C"]`, true},
+		{`sym in ["A"]`, `sym in ["A", "C"]`, false},
+		{`price > 5`, `price in [6, 7, 8]`, true},
+		{`price > 5`, `price in [6, 2]`, false},
+		// Existence.
+		{`price exists`, `price > 100`, true},
+		{`price exists`, `price in [1]`, true},
+		{`price exists`, `volume > 1`, false},
+		// Strings.
+		{`sym contains "BC"`, `sym == "ABCD"`, true},
+		{`sym contains "BC"`, `sym == "AB"`, false},
+		{`sym contains "B"`, `sym contains "ABC"`, true},
+		{`sym contains "ABC"`, `sym contains "B"`, false},
+		{`sym startswith "AB"`, `sym == "ABCD"`, true},
+		{`sym startswith "AB"`, `sym startswith "ABC"`, true},
+		{`sym startswith "ABC"`, `sym startswith "AB"`, false},
+		{`sym contains "BC"`, `sym startswith "ABCD"`, true},
+		// Different keys never subsume.
+		{`price > 5`, `volume > 7`, false},
+		// Boolean composition.
+		{`price > 5`, `price > 7 && sym == "A"`, true},
+		{`price > 5 && sym == "A"`, `price > 7 && sym == "A"`, true},
+		{`price > 5 && sym == "B"`, `price > 7 && sym == "A"`, false},
+		{`price > 5 || sym == "A"`, `price > 7`, true},
+		{`price > 5`, `price > 7 || price > 9`, true},
+		{`price > 5`, `price > 7 || volume > 2`, false},
+		// Kind mismatches.
+		{`price > 5`, `price == "5"`, false},
+		{`flag != true`, `flag == false`, true},
+		{`flag != true`, `flag == true`, false},
+	}
+	for _, c := range cases {
+		a, b := MustParse(c.a), MustParse(c.b)
+		if got := Covers(a, b); got != c.want {
+			t.Errorf("Covers(%q, %q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCoversTopicSugar(t *testing.T) {
+	if !Covers(Topic("sports"), Topic("sports")) {
+		t.Error("topic self-coverage")
+	}
+	if Covers(Topic("sports"), Topic("news")) {
+		t.Error("distinct topics")
+	}
+	if !Covers(TopicPrefix("sports"), Topic("sports.f1")) {
+		t.Error("prefix must cover descendant topic")
+	}
+	if !Covers(TopicPrefix("sports"), Topic("sports")) {
+		t.Error("prefix must cover its own root")
+	}
+	if Covers(TopicPrefix("sports"), Topic("sportsman")) {
+		t.Error("prefix boundary violated")
+	}
+	if !Covers(TopicPrefix("sports"), TopicPrefix("sports.f1")) {
+		t.Error("nested prefixes")
+	}
+	if Covers(Topic("sports"), TopicPrefix("sports")) {
+		t.Error("exact topic cannot cover the whole subtree")
+	}
+}
+
+// Property: whenever Covers(a, b) holds, no random event matched by b is
+// rejected by a (soundness of the conservative analysis).
+func TestCoversSoundness(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	covered := 0
+	for trial := 0; trial < 4000; trial++ {
+		a := randomFilter(rng, 2)
+		b := randomFilter(rng, 2)
+		if !Covers(a, b) {
+			continue
+		}
+		covered++
+		for j := 0; j < 40; j++ {
+			ev := randomEvent(rng)
+			if b.Match(ev) && !a.Match(ev) {
+				t.Fatalf("unsound: Covers(%q, %q) but event %+v matches b only",
+					a.String(), b.String(), ev)
+			}
+		}
+	}
+	if covered == 0 {
+		t.Fatal("property exercised zero covered pairs — generator too narrow")
+	}
+}
+
+func BenchmarkCovers(b *testing.B) {
+	x := MustParse(`price > 5 && sym in ["A", "B"] || volume exists`)
+	y := MustParse(`price > 7 && sym == "A"`)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Covers(x, y)
+	}
+}

@@ -1,0 +1,226 @@
+package pubsub
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// EventID uniquely identifies a published event as (publisher, sequence).
+// It is comparable and suitable as a map key, which is how dissemination
+// layers deduplicate.
+type EventID struct {
+	Publisher uint32
+	Seq       uint32
+}
+
+func (id EventID) String() string { return fmt.Sprintf("%d/%d", id.Publisher, id.Seq) }
+
+// Event is a published notification: a topic, optional typed attributes
+// for content-based filtering, and an opaque payload.
+type Event struct {
+	ID      EventID
+	Topic   string
+	Attrs   []Attr
+	Payload []byte
+}
+
+// Attr returns the value of the named attribute. The pseudo attribute
+// "topic" resolves to the event's topic.
+func (e *Event) Attr(key string) (Value, bool) {
+	if key == "topic" {
+		return String(e.Topic), true
+	}
+	for _, a := range e.Attrs {
+		if a.Key == key {
+			return a.Val, true
+		}
+	}
+	return Value{}, false
+}
+
+// WithAttr returns a copy of the event with the attribute appended. It is
+// a convenience for building events fluently in examples and tests.
+func (e Event) WithAttr(key string, v Value) Event {
+	attrs := make([]Attr, len(e.Attrs), len(e.Attrs)+1)
+	copy(attrs, e.Attrs)
+	e.Attrs = append(attrs, Attr{Key: key, Val: v})
+	return e
+}
+
+const eventHeaderSize = 4 + 4 + 2 + 2 + 4 // id + topic len + attr count + payload len
+
+// WireSize returns the exact number of bytes MarshalBinary would produce.
+// Fairness accounting is in bytes, so dissemination layers use WireSize to
+// charge contribution without actually serialising in simulation runs.
+func (e *Event) WireSize() int {
+	n := eventHeaderSize + len(e.Topic) + len(e.Payload)
+	for _, a := range e.Attrs {
+		n += 2 + len(a.Key) + a.Val.wireSize()
+	}
+	return n
+}
+
+// Codec errors.
+var (
+	ErrShortBuffer = errors.New("pubsub: short buffer")
+	ErrCorrupt     = errors.New("pubsub: corrupt event encoding")
+)
+
+// MarshalBinary encodes the event with a compact length-prefixed layout.
+func (e *Event) MarshalBinary() ([]byte, error) {
+	if len(e.Topic) > math.MaxUint16 {
+		return nil, fmt.Errorf("pubsub: topic too long (%d bytes)", len(e.Topic))
+	}
+	if len(e.Attrs) > math.MaxUint16 {
+		return nil, fmt.Errorf("pubsub: too many attributes (%d)", len(e.Attrs))
+	}
+	buf := make([]byte, 0, e.WireSize())
+	buf = binary.BigEndian.AppendUint32(buf, e.ID.Publisher)
+	buf = binary.BigEndian.AppendUint32(buf, e.ID.Seq)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(e.Topic)))
+	buf = append(buf, e.Topic...)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(e.Attrs)))
+	for _, a := range e.Attrs {
+		if len(a.Key) > math.MaxUint16 {
+			return nil, fmt.Errorf("pubsub: attribute key too long (%d bytes)", len(a.Key))
+		}
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(a.Key)))
+		buf = append(buf, a.Key...)
+		buf = append(buf, byte(a.Val.kind))
+		switch a.Val.kind {
+		case KindString:
+			if len(a.Val.str) > math.MaxUint16 {
+				return nil, fmt.Errorf("pubsub: attribute value too long (%d bytes)", len(a.Val.str))
+			}
+			buf = binary.BigEndian.AppendUint16(buf, uint16(len(a.Val.str)))
+			buf = append(buf, a.Val.str...)
+		case KindNum:
+			buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(a.Val.num))
+		case KindBool:
+			if a.Val.b {
+				buf = append(buf, 1)
+			} else {
+				buf = append(buf, 0)
+			}
+		default:
+			return nil, fmt.Errorf("pubsub: attribute %q has invalid value", a.Key)
+		}
+	}
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(e.Payload)))
+	buf = append(buf, e.Payload...)
+	return buf, nil
+}
+
+// UnmarshalBinary decodes an event previously produced by MarshalBinary.
+func (e *Event) UnmarshalBinary(data []byte) error {
+	r := reader{buf: data}
+	e.ID.Publisher = r.u32()
+	e.ID.Seq = r.u32()
+	e.Topic = string(r.bytes(int(r.u16())))
+	nattrs := int(r.u16())
+	if r.err == nil && nattrs > len(r.buf) { // each attr needs ≥1 byte; cheap corruption guard
+		return ErrCorrupt
+	}
+	e.Attrs = nil
+	if nattrs > 0 && r.err == nil {
+		e.Attrs = make([]Attr, 0, nattrs)
+	}
+	for i := 0; i < nattrs && r.err == nil; i++ {
+		key := string(r.bytes(int(r.u16())))
+		kind := Kind(r.u8())
+		var v Value
+		switch kind {
+		case KindString:
+			v = String(string(r.bytes(int(r.u16()))))
+		case KindNum:
+			v = Num(math.Float64frombits(r.u64()))
+		case KindBool:
+			switch r.u8() {
+			case 0:
+				v = Bool(false)
+			case 1:
+				v = Bool(true)
+			default:
+				if r.err == nil {
+					r.err = ErrCorrupt
+				}
+			}
+		default:
+			if r.err == nil {
+				r.err = ErrCorrupt
+			}
+		}
+		e.Attrs = append(e.Attrs, Attr{Key: key, Val: v})
+	}
+	payloadLen := int(r.u32())
+	if r.err == nil && payloadLen > len(r.buf)-r.off {
+		return ErrShortBuffer
+	}
+	e.Payload = nil
+	if payloadLen > 0 && r.err == nil {
+		e.Payload = append([]byte(nil), r.bytes(payloadLen)...)
+	}
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(data) {
+		return fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(data)-r.off)
+	}
+	return nil
+}
+
+// reader is a tiny cursor that records the first error and then no-ops.
+type reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.off+n > len(r.buf) {
+		r.err = ErrShortBuffer
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *reader) bytes(n int) []byte { return r.take(n) }
+
+func (r *reader) u8() byte {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *reader) u16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(b)
+}
+
+func (r *reader) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+func (r *reader) u64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}

@@ -1,0 +1,314 @@
+package pubsub
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Filter is a compiled subscription-language expression: the paper's
+// notion of a filter that "allows to specify several attributes and
+// corresponding conditions under which it evaluates to true" (§2).
+//
+// Filters are immutable and safe for concurrent use.
+type Filter interface {
+	// Match evaluates the filter against an event. Missing attributes and
+	// type mismatches make the enclosing predicate false (never an error):
+	// an event "is matched to a filter if it provides all attributes
+	// specified by the filter and satisfies the corresponding conditions".
+	Match(e *Event) bool
+	// String renders the filter in subscription-language syntax; the
+	// output re-parses to an equivalent filter.
+	String() string
+}
+
+// Topic returns a filter matching events published on exactly the given
+// topic — the paper's topic-as-degenerate-filter (§2).
+func Topic(topic string) Filter { return topicFilter{topic: topic} }
+
+// TopicPrefix returns a filter matching the given topic and all its
+// descendants in a dot-separated topic hierarchy ("sports" matches
+// "sports" and "sports.football" but not "sportsman").
+func TopicPrefix(prefix string) Filter { return topicPrefixFilter{prefix: prefix} }
+
+// MatchAll returns a filter that matches every event (classic gossip's
+// implicit "every participant is interested in every message", §4.2).
+func MatchAll() Filter { return matchAll{} }
+
+// MatchNone returns a filter that matches no event.
+func MatchNone() Filter { return matchNone{} }
+
+// And combines filters conjunctively.
+func And(fs ...Filter) Filter {
+	switch len(fs) {
+	case 0:
+		return matchAll{}
+	case 1:
+		return fs[0]
+	}
+	return andFilter{kids: fs}
+}
+
+// Or combines filters disjunctively.
+func Or(fs ...Filter) Filter {
+	switch len(fs) {
+	case 0:
+		return matchNone{}
+	case 1:
+		return fs[0]
+	}
+	return orFilter{kids: fs}
+}
+
+// Not negates a filter.
+func Not(f Filter) Filter { return notFilter{kid: f} }
+
+// TopicOf reports whether f selects exactly one topic, and which. It is
+// how topic-group protocols discover group membership from subscriptions.
+func TopicOf(f Filter) (string, bool) {
+	if tf, ok := f.(topicFilter); ok {
+		return tf.topic, true
+	}
+	return "", false
+}
+
+type topicFilter struct{ topic string }
+
+func (f topicFilter) Match(e *Event) bool { return e.Topic == f.topic }
+func (f topicFilter) String() string      { return "topic == " + QuoteString(f.topic) }
+
+type topicPrefixFilter struct{ prefix string }
+
+func (f topicPrefixFilter) Match(e *Event) bool {
+	return e.Topic == f.prefix || strings.HasPrefix(e.Topic, f.prefix+".")
+}
+
+func (f topicPrefixFilter) String() string {
+	return "(topic == " + QuoteString(f.prefix) + " || topic startswith " + QuoteString(f.prefix+".") + ")"
+}
+
+type matchAll struct{}
+
+func (matchAll) Match(*Event) bool { return true }
+func (matchAll) String() string    { return "true" }
+
+type matchNone struct{}
+
+func (matchNone) Match(*Event) bool { return false }
+func (matchNone) String() string    { return "false" }
+
+type andFilter struct{ kids []Filter }
+
+func (f andFilter) Match(e *Event) bool {
+	for _, k := range f.kids {
+		if !k.Match(e) {
+			return false
+		}
+	}
+	return true
+}
+
+func (f andFilter) String() string {
+	parts := make([]string, len(f.kids))
+	for i, k := range f.kids {
+		parts[i] = maybeParen(k)
+	}
+	return strings.Join(parts, " && ")
+}
+
+type orFilter struct{ kids []Filter }
+
+func (f orFilter) Match(e *Event) bool {
+	for _, k := range f.kids {
+		if k.Match(e) {
+			return true
+		}
+	}
+	return false
+}
+
+func (f orFilter) String() string {
+	parts := make([]string, len(f.kids))
+	for i, k := range f.kids {
+		parts[i] = maybeParen(k)
+	}
+	return strings.Join(parts, " || ")
+}
+
+type notFilter struct{ kid Filter }
+
+func (f notFilter) Match(e *Event) bool { return !f.kid.Match(e) }
+func (f notFilter) String() string      { return "!(" + f.kid.String() + ")" }
+
+// maybeParen parenthesises composite children so that String output
+// re-parses with identical semantics.
+func maybeParen(f Filter) string {
+	switch f.(type) {
+	case andFilter, orFilter:
+		return "(" + f.String() + ")"
+	default:
+		return f.String()
+	}
+}
+
+// cmpOp is a comparison operator in a predicate.
+type cmpOp uint8
+
+const (
+	opEq cmpOp = iota + 1
+	opNeq
+	opLt
+	opLe
+	opGt
+	opGe
+)
+
+func (op cmpOp) String() string {
+	switch op {
+	case opEq:
+		return "=="
+	case opNeq:
+		return "!="
+	case opLt:
+		return "<"
+	case opLe:
+		return "<="
+	case opGt:
+		return ">"
+	case opGe:
+		return ">="
+	default:
+		return "?"
+	}
+}
+
+// cmpFilter is `key op literal`.
+type cmpFilter struct {
+	key string
+	op  cmpOp
+	val Value
+}
+
+func (f cmpFilter) Match(e *Event) bool {
+	v, ok := e.Attr(f.key)
+	if !ok {
+		return false
+	}
+	switch f.op {
+	case opEq:
+		return v.Equal(f.val)
+	case opNeq:
+		// != still requires the attribute to exist with a comparable kind;
+		// an absent attribute does not "satisfy the condition".
+		if v.Kind() != f.val.Kind() {
+			return false
+		}
+		return !v.Equal(f.val)
+	}
+	cmp, ok := v.Compare(f.val)
+	if !ok {
+		return false
+	}
+	switch f.op {
+	case opLt:
+		return cmp < 0
+	case opLe:
+		return cmp <= 0
+	case opGt:
+		return cmp > 0
+	case opGe:
+		return cmp >= 0
+	default:
+		return false
+	}
+}
+
+func (f cmpFilter) String() string { return fmt.Sprintf("%s %s %s", f.key, f.op, f.val) }
+
+// inFilter is `key in [v1, v2, ...]`.
+type inFilter struct {
+	key  string
+	vals []Value
+}
+
+func (f inFilter) Match(e *Event) bool {
+	v, ok := e.Attr(f.key)
+	if !ok {
+		return false
+	}
+	for _, cand := range f.vals {
+		if v.Equal(cand) {
+			return true
+		}
+	}
+	return false
+}
+
+func (f inFilter) String() string {
+	parts := make([]string, len(f.vals))
+	for i, v := range f.vals {
+		parts[i] = v.String()
+	}
+	return fmt.Sprintf("%s in [%s]", f.key, strings.Join(parts, ", "))
+}
+
+// containsFilter is `key contains "substr"` over string attributes.
+type containsFilter struct {
+	key string
+	sub string
+}
+
+func (f containsFilter) Match(e *Event) bool {
+	v, ok := e.Attr(f.key)
+	if !ok || v.Kind() != KindString {
+		return false
+	}
+	return strings.Contains(v.Str(), f.sub)
+}
+
+func (f containsFilter) String() string {
+	return fmt.Sprintf("%s contains %s", f.key, QuoteString(f.sub))
+}
+
+// startsWithFilter is `key startswith "prefix"` over string attributes.
+type startsWithFilter struct {
+	key    string
+	prefix string
+}
+
+func (f startsWithFilter) Match(e *Event) bool {
+	v, ok := e.Attr(f.key)
+	if !ok || v.Kind() != KindString {
+		return false
+	}
+	return strings.HasPrefix(v.Str(), f.prefix)
+}
+
+func (f startsWithFilter) String() string {
+	return fmt.Sprintf("%s startswith %s", f.key, QuoteString(f.prefix))
+}
+
+// existsFilter is `key exists`.
+type existsFilter struct{ key string }
+
+func (f existsFilter) Match(e *Event) bool {
+	_, ok := e.Attr(f.key)
+	return ok
+}
+
+func (f existsFilter) String() string { return fmt.Sprintf("%s exists", f.key) }
+
+// Interface compliance checks.
+var (
+	_ Filter = topicFilter{}
+	_ Filter = topicPrefixFilter{}
+	_ Filter = matchAll{}
+	_ Filter = matchNone{}
+	_ Filter = andFilter{}
+	_ Filter = orFilter{}
+	_ Filter = notFilter{}
+	_ Filter = cmpFilter{}
+	_ Filter = inFilter{}
+	_ Filter = containsFilter{}
+	_ Filter = startsWithFilter{}
+	_ Filter = existsFilter{}
+)

@@ -1,0 +1,335 @@
+package pubsub
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mkEvent(topic string, attrs ...Attr) *Event {
+	return &Event{ID: EventID{Publisher: 1, Seq: 1}, Topic: topic, Attrs: attrs}
+}
+
+func TestParseAndMatchTable(t *testing.T) {
+	ev := mkEvent("stocks.nyse",
+		Attr{"symbol", String("ACME")},
+		Attr{"price", Num(101.5)},
+		Attr{"volume", Num(20000)},
+		Attr{"halted", Bool(false)},
+	)
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{`price > 100`, true},
+		{`price > 101.5`, false},
+		{`price >= 101.5`, true},
+		{`price < 200`, true},
+		{`price <= 101`, false},
+		{`price == 101.5`, true},
+		{`price != 101.5`, false},
+		{`price != 99`, true},
+		{`symbol == "ACME"`, true},
+		{`symbol == "OTHER"`, false},
+		{`symbol != "OTHER"`, true},
+		{`symbol < "B"`, true},
+		{`halted == false`, true},
+		{`halted == true`, false},
+		{`halted != true`, true},
+		{`topic == "stocks.nyse"`, true},
+		{`topic == "stocks"`, false},
+		{`topic startswith "stocks."`, true},
+		{`topic startswith "bonds"`, false},
+		{`symbol in ["FOO", "ACME", "BAR"]`, true},
+		{`symbol in ["FOO", "BAR"]`, false},
+		{`price in [100, 101.5]`, true},
+		{`symbol contains "CM"`, true},
+		{`symbol contains "XYZ"`, false},
+		{`price exists`, true},
+		{`dividend exists`, false},
+		{`!(price > 200)`, true},
+		{`!price > 100`, false}, // ! binds to the predicate
+		{`price > 100 && symbol == "ACME"`, true},
+		{`price > 100 && symbol == "OTHER"`, false},
+		{`price > 200 || symbol == "ACME"`, true},
+		{`price > 200 || symbol == "OTHER"`, false},
+		// Precedence: && over ||.
+		{`symbol == "OTHER" && price > 100 || volume >= 20000`, true},
+		{`symbol == "OTHER" && (price > 100 || volume >= 20000)`, false},
+		{`true`, true},
+		{`false`, false},
+		{`(price > 100)`, true},
+		// Missing attribute never satisfies a condition, including !=.
+		{`dividend > 0`, false},
+		{`dividend != 3`, false},
+		// Type mismatches never match.
+		{`symbol > 100`, false},
+		{`price == "ACME"`, false},
+		{`price contains "1"`, false},
+		{`halted < true`, false},
+	}
+	for _, c := range cases {
+		f, err := Parse(c.src)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.src, err)
+			continue
+		}
+		if got := f.Match(ev); got != c.want {
+			t.Errorf("Match(%q) = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`price >`,
+		`price 100`,
+		`price & volume`,
+		`price | volume`,
+		`price = 100`,
+		`(price > 100`,
+		`price > 100)`,
+		`symbol in []`,
+		`symbol in ["a"`,
+		`symbol in "a"`,
+		`symbol contains 5`,
+		`symbol startswith 5`,
+		`"sym" == 5`,
+		`price > "x" extra`,
+		`price > --5`,
+		`symbol == "unterminated`,
+		`symbol == "bad \q escape"`,
+		`&& price > 1`,
+		`!`,
+		`price >= <`,
+		`in [1]`,
+		`topic ==`,
+	}
+	for _, src := range bad {
+		if f, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded (%v), want error", src, f)
+		}
+	}
+}
+
+func TestParseStringEscapes(t *testing.T) {
+	f := MustParse(`name == "a\"b\\c\nd\te"`)
+	ev := mkEvent("t", Attr{"name", String("a\"b\\c\nd\te")})
+	if !f.Match(ev) {
+		t.Fatal("escaped string literal did not match")
+	}
+}
+
+func TestParseNumberForms(t *testing.T) {
+	ev := mkEvent("t", Attr{"x", Num(-1500)})
+	for _, src := range []string{`x == -1500`, `x == -1.5e3`, `x == -15e2`, `x < -1499.5`} {
+		if !MustParse(src).Match(ev) {
+			t.Errorf("%q should match x=-1500", src)
+		}
+	}
+}
+
+func TestTopicCanonicalisation(t *testing.T) {
+	f := MustParse(`topic == "news.eu"`)
+	if topic, ok := TopicOf(f); !ok || topic != "news.eu" {
+		t.Fatalf("parsed topic filter not recognised by TopicOf: %v %v", topic, ok)
+	}
+	if _, ok := TopicOf(MustParse(`price > 5`)); ok {
+		t.Fatal("content filter misidentified as topic filter")
+	}
+	// Only string equality on topic canonicalises.
+	if _, ok := TopicOf(MustParse(`topic != "x"`)); ok {
+		t.Fatal("topic != must not canonicalise")
+	}
+}
+
+func TestCombinators(t *testing.T) {
+	evA := mkEvent("a")
+	evB := mkEvent("b")
+	f := Or(Topic("a"), Topic("b"))
+	if !f.Match(evA) || !f.Match(evB) {
+		t.Fatal("Or failed")
+	}
+	g := And(Topic("a"), MatchAll())
+	if !g.Match(evA) || g.Match(evB) {
+		t.Fatal("And failed")
+	}
+	if Not(Topic("a")).Match(evA) {
+		t.Fatal("Not failed")
+	}
+	if !And().Match(evA) {
+		t.Fatal("empty And must match everything")
+	}
+	if Or().Match(evA) {
+		t.Fatal("empty Or must match nothing")
+	}
+	if And(Topic("a")) != Topic("a") {
+		t.Fatal("single-child And must collapse")
+	}
+	if MatchNone().Match(evA) {
+		t.Fatal("MatchNone matched")
+	}
+}
+
+func TestTopicPrefix(t *testing.T) {
+	f := TopicPrefix("sports")
+	cases := map[string]bool{
+		"sports":          true,
+		"sports.football": true,
+		"sports.f1.race":  true,
+		"sportsman":       false,
+		"esports":         false,
+		"":                false,
+	}
+	for topic, want := range cases {
+		if got := f.Match(mkEvent(topic)); got != want {
+			t.Errorf("TopicPrefix(sports).Match(%q) = %v, want %v", topic, got, want)
+		}
+	}
+	// The rendering must re-parse to equivalent semantics.
+	re := MustParse(f.String())
+	for topic := range cases {
+		ev := mkEvent(topic)
+		if re.Match(ev) != f.Match(ev) {
+			t.Errorf("reparsed TopicPrefix differs on %q", topic)
+		}
+	}
+}
+
+// randomFilter builds a random filter over a small attribute vocabulary.
+func randomFilter(rng *rand.Rand, depth int) Filter {
+	keys := []string{"a", "b", "c", "topic"}
+	if depth > 0 && rng.Intn(2) == 0 {
+		switch rng.Intn(3) {
+		case 0:
+			return And(randomFilter(rng, depth-1), randomFilter(rng, depth-1))
+		case 1:
+			return Or(randomFilter(rng, depth-1), randomFilter(rng, depth-1))
+		default:
+			return Not(randomFilter(rng, depth-1))
+		}
+	}
+	key := keys[rng.Intn(len(keys))]
+	switch rng.Intn(6) {
+	case 0:
+		return cmpFilter{key: key, op: cmpOp(1 + rng.Intn(6)), val: Num(float64(rng.Intn(10)))}
+	case 1:
+		return cmpFilter{key: key, op: opEq, val: String(string(rune('a' + rng.Intn(4))))}
+	case 2:
+		return inFilter{key: key, vals: []Value{Num(float64(rng.Intn(5))), String("x")}}
+	case 3:
+		return containsFilter{key: key, sub: string(rune('a' + rng.Intn(4)))}
+	case 4:
+		return existsFilter{key: key}
+	default:
+		return startsWithFilter{key: key, prefix: string(rune('a' + rng.Intn(4)))}
+	}
+}
+
+func randomEvent(rng *rand.Rand) *Event {
+	ev := &Event{
+		ID:    EventID{Publisher: rng.Uint32(), Seq: rng.Uint32()},
+		Topic: []string{"a", "b", "ab", "abc", ""}[rng.Intn(5)],
+	}
+	for _, key := range []string{"a", "b", "c"} {
+		switch rng.Intn(3) {
+		case 0: // absent
+		case 1:
+			ev.Attrs = append(ev.Attrs, Attr{key, Num(float64(rng.Intn(10)))})
+		case 2:
+			ev.Attrs = append(ev.Attrs, Attr{key, String(string(rune('a' + rng.Intn(4))))})
+		}
+	}
+	return ev
+}
+
+// Property: String() output re-parses to a filter with identical matching
+// behaviour on random events.
+func TestQuickPrintParseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 300; i++ {
+		f := randomFilter(rng, 3)
+		src := f.String()
+		g, err := Parse(src)
+		if err != nil {
+			t.Fatalf("re-parse of %q failed: %v", src, err)
+		}
+		for j := 0; j < 20; j++ {
+			ev := randomEvent(rng)
+			if f.Match(ev) != g.Match(ev) {
+				t.Fatalf("round-trip mismatch for %q on event %+v", src, ev)
+			}
+		}
+	}
+}
+
+// Property: parsing is deterministic and never panics on arbitrary input.
+func TestQuickParseNeverPanics(t *testing.T) {
+	f := func(src string) bool {
+		f1, err1 := Parse(src)
+		f2, err2 := Parse(src)
+		if (err1 == nil) != (err2 == nil) {
+			return false
+		}
+		if err1 == nil && f1.String() != f2.String() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(12))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFilterStringStable(t *testing.T) {
+	srcs := []string{
+		`price > 100 && symbol == "ACME"`,
+		`a == 1 || b == 2 && c == 3`,
+		`!(a exists)`,
+		`sym in ["x", "y", 3]`,
+	}
+	for _, src := range srcs {
+		f := MustParse(src)
+		once := f.String()
+		twice := MustParse(once).String()
+		if once != twice {
+			t.Errorf("String not stable: %q -> %q -> %q", src, once, twice)
+		}
+	}
+}
+
+func TestMatchAllNoneStrings(t *testing.T) {
+	if MustParse(MatchAll().String()).Match(mkEvent("x")) != true {
+		t.Fatal("MatchAll round trip")
+	}
+	if MustParse(MatchNone().String()).Match(mkEvent("x")) != false {
+		t.Fatal("MatchNone round trip")
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	src := `price > 100 && symbol in ["ACME", "GLOBEX"] && !(region startswith "eu.") || volume >= 1e6`
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMatch(b *testing.B) {
+	f := MustParse(`price > 100 && symbol in ["ACME", "GLOBEX"] && !(region startswith "eu.")`)
+	ev := mkEvent("stocks",
+		Attr{"symbol", String("ACME")},
+		Attr{"price", Num(101.5)},
+		Attr{"region", String("us.ny")},
+	)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !f.Match(ev) {
+			b.Fatal("should match")
+		}
+	}
+}

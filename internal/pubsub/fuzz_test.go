@@ -1,0 +1,60 @@
+package pubsub
+
+import "testing"
+
+// FuzzParse checks the parser never panics and that accepted filters
+// round-trip through String with stable semantics probes.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		`price > 100 && symbol == "ACME"`,
+		`a in [1, 2, "x"] || !(b exists)`,
+		`topic startswith "s." && q contains "\""`,
+		`true`, `false`, `((a == 1))`,
+		`x != -1.5e3`, `&&`, `"unterminated`,
+	} {
+		f.Add(seed)
+	}
+	ev := &Event{Topic: "s.t", Attrs: []Attr{
+		{"a", Num(1)}, {"b", String("x")}, {"price", Num(150)},
+	}}
+	f.Fuzz(func(t *testing.T, src string) {
+		flt, err := Parse(src)
+		if err != nil {
+			return
+		}
+		out := flt.String()
+		re, err := Parse(out)
+		if err != nil {
+			t.Fatalf("String() of valid filter failed to re-parse: %q -> %q: %v", src, out, err)
+		}
+		if flt.Match(ev) != re.Match(ev) {
+			t.Fatalf("round-trip changed semantics: %q -> %q", src, out)
+		}
+	})
+}
+
+// FuzzUnmarshal checks the event codec never panics on arbitrary input
+// and that successfully decoded events re-encode to the same bytes.
+func FuzzUnmarshal(f *testing.F) {
+	good, _ := (&Event{
+		ID:    EventID{1, 2},
+		Topic: "t",
+		Attrs: []Attr{{"k", Num(3)}, {"s", String("v")}, {"b", Bool(true)}},
+	}).MarshalBinary()
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 1, 0, 0, 0, 2, 0, 1, 'x', 0, 0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var ev Event
+		if err := ev.UnmarshalBinary(data); err != nil {
+			return
+		}
+		re, err := ev.MarshalBinary()
+		if err != nil {
+			t.Fatalf("decoded event failed to re-encode: %v", err)
+		}
+		if string(re) != string(data) {
+			t.Fatalf("decode/encode not canonical:\n in %x\nout %x", data, re)
+		}
+	})
+}

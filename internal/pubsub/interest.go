@@ -1,0 +1,92 @@
+package pubsub
+
+import "sort"
+
+// SubID identifies an active subscription within one process.
+type SubID uint32
+
+// Subscription pairs a filter with its identity and original source text.
+type Subscription struct {
+	ID     SubID
+	Filter Filter
+	Source string
+}
+
+// Interest is a process's interest function I(p, e) (§2): the disjunction
+// of its active filters. The zero value is an empty interest that matches
+// nothing. Interest is not safe for concurrent use; concurrent runtimes
+// guard it externally.
+type Interest struct {
+	subs   []Subscription
+	nextID SubID
+}
+
+// Subscribe registers a filter and returns its subscription ID.
+func (in *Interest) Subscribe(f Filter) SubID {
+	in.nextID++
+	id := in.nextID
+	in.subs = append(in.subs, Subscription{ID: id, Filter: f, Source: f.String()})
+	return id
+}
+
+// Unsubscribe removes the subscription with the given ID, reporting
+// whether it existed.
+func (in *Interest) Unsubscribe(id SubID) bool {
+	for i, s := range in.subs {
+		if s.ID == id {
+			in.subs = append(in.subs[:i], in.subs[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Match evaluates I(p, e): true if any active filter matches.
+func (in *Interest) Match(e *Event) bool {
+	for _, s := range in.subs {
+		if s.Filter.Match(e) {
+			return true
+		}
+	}
+	return false
+}
+
+// Count returns the number of active subscriptions — the "#filters" term
+// of the paper's benefit formula (Fig. 2).
+func (in *Interest) Count() int { return len(in.subs) }
+
+// Subscriptions returns a copy of the active subscriptions.
+func (in *Interest) Subscriptions() []Subscription {
+	out := make([]Subscription, len(in.subs))
+	copy(out, in.subs)
+	return out
+}
+
+// Topics returns the sorted set of topics selected by plain topic
+// subscriptions (filters created by Topic or parsed from `topic == "t"`).
+// Content-based filters do not contribute topics.
+func (in *Interest) Topics() []string {
+	seen := make(map[string]struct{}, len(in.subs))
+	for _, s := range in.subs {
+		if t, ok := TopicOf(s.Filter); ok {
+			seen[t] = struct{}{}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for t := range seen {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HasTopic reports whether the interest includes a plain subscription to
+// the given topic.
+func (in *Interest) HasTopic(topic string) bool {
+	for _, s := range in.subs {
+		if t, ok := TopicOf(s.Filter); ok && t == topic {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,93 @@
+package pubsub
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestInterestSubscribeMatch(t *testing.T) {
+	var in Interest
+	ev := mkEvent("news.eu", Attr{"lang", String("en")})
+	if in.Match(ev) {
+		t.Fatal("empty interest matched")
+	}
+	id := in.Subscribe(Topic("news.eu"))
+	if !in.Match(ev) {
+		t.Fatal("topic subscription did not match")
+	}
+	if in.Count() != 1 {
+		t.Fatalf("Count = %d", in.Count())
+	}
+	if !in.Unsubscribe(id) {
+		t.Fatal("unsubscribe failed")
+	}
+	if in.Unsubscribe(id) {
+		t.Fatal("double unsubscribe succeeded")
+	}
+	if in.Match(ev) {
+		t.Fatal("matched after unsubscribe")
+	}
+}
+
+func TestInterestDisjunction(t *testing.T) {
+	var in Interest
+	in.Subscribe(Topic("a"))
+	in.Subscribe(MustParse(`price > 10`))
+	if !in.Match(mkEvent("a")) {
+		t.Fatal("first filter should match")
+	}
+	if !in.Match(mkEvent("b", Attr{"price", Num(11)})) {
+		t.Fatal("second filter should match")
+	}
+	if in.Match(mkEvent("b", Attr{"price", Num(5)})) {
+		t.Fatal("neither filter should match")
+	}
+}
+
+func TestInterestTopics(t *testing.T) {
+	var in Interest
+	in.Subscribe(Topic("zebra"))
+	in.Subscribe(Topic("alpha"))
+	in.Subscribe(Topic("alpha")) // duplicate topic via second sub
+	in.Subscribe(MustParse(`price > 10`))
+	got := in.Topics()
+	if !reflect.DeepEqual(got, []string{"alpha", "zebra"}) {
+		t.Fatalf("Topics = %v", got)
+	}
+	if !in.HasTopic("alpha") || in.HasTopic("missing") {
+		t.Fatal("HasTopic wrong")
+	}
+}
+
+func TestInterestSubscriptionsCopy(t *testing.T) {
+	var in Interest
+	in.Subscribe(Topic("a"))
+	subs := in.Subscriptions()
+	subs[0].Filter = MatchNone()
+	if !in.Match(mkEvent("a")) {
+		t.Fatal("Subscriptions() must return a copy")
+	}
+	if subs[0].Source == "" {
+		t.Fatal("subscription source not recorded")
+	}
+}
+
+func TestInterestIDsUnique(t *testing.T) {
+	var in Interest
+	seen := make(map[SubID]bool)
+	for i := 0; i < 100; i++ {
+		id := in.Subscribe(MatchAll())
+		if seen[id] {
+			t.Fatalf("duplicate SubID %d", id)
+		}
+		seen[id] = true
+	}
+	// IDs remain unique after churn.
+	for id := range seen {
+		in.Unsubscribe(id)
+	}
+	id := in.Subscribe(MatchAll())
+	if seen[id] {
+		t.Fatal("SubID reused after unsubscribe")
+	}
+}

@@ -1,0 +1,278 @@
+package pubsub
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// tokKind enumerates lexical token kinds of the subscription language.
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota + 1
+	tokIdent
+	tokString
+	tokNumber
+	tokBool
+	tokLParen
+	tokRParen
+	tokLBracket
+	tokRBracket
+	tokComma
+	tokAnd        // &&
+	tokOr         // ||
+	tokNot        // !
+	tokEq         // ==
+	tokNeq        // !=
+	tokLt         // <
+	tokLe         // <=
+	tokGt         // >
+	tokGe         // >=
+	tokIn         // in
+	tokContains   // contains
+	tokExists     // exists
+	tokStartsWith // startswith
+)
+
+func (k tokKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokString:
+		return "string"
+	case tokNumber:
+		return "number"
+	case tokBool:
+		return "bool"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokLBracket:
+		return "'['"
+	case tokRBracket:
+		return "']'"
+	case tokComma:
+		return "','"
+	case tokAnd:
+		return "'&&'"
+	case tokOr:
+		return "'||'"
+	case tokNot:
+		return "'!'"
+	case tokEq:
+		return "'=='"
+	case tokNeq:
+		return "'!='"
+	case tokLt:
+		return "'<'"
+	case tokLe:
+		return "'<='"
+	case tokGt:
+		return "'>'"
+	case tokGe:
+		return "'>='"
+	case tokIn:
+		return "'in'"
+	case tokContains:
+		return "'contains'"
+	case tokExists:
+		return "'exists'"
+	case tokStartsWith:
+		return "'startswith'"
+	default:
+		return "unknown token"
+	}
+}
+
+type token struct {
+	kind tokKind
+	pos  int
+	text string  // ident or raw text
+	str  string  // decoded string literal
+	num  float64 // number literal
+	b    bool    // bool literal
+}
+
+// lexer tokenises filter source text.
+type lexer struct {
+	src string
+	pos int
+}
+
+func (l *lexer) errf(pos int, format string, args ...any) error {
+	return fmt.Errorf("filter: %s at offset %d", fmt.Sprintf(format, args...), pos)
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) && unicode.IsSpace(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	start := l.pos
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: start}, nil
+	}
+	c := l.src[l.pos]
+	switch c {
+	case '(':
+		l.pos++
+		return token{kind: tokLParen, pos: start}, nil
+	case ')':
+		l.pos++
+		return token{kind: tokRParen, pos: start}, nil
+	case '[':
+		l.pos++
+		return token{kind: tokLBracket, pos: start}, nil
+	case ']':
+		l.pos++
+		return token{kind: tokRBracket, pos: start}, nil
+	case ',':
+		l.pos++
+		return token{kind: tokComma, pos: start}, nil
+	case '&':
+		if strings.HasPrefix(l.src[l.pos:], "&&") {
+			l.pos += 2
+			return token{kind: tokAnd, pos: start}, nil
+		}
+		return token{}, l.errf(start, "unexpected %q (did you mean '&&'?)", "&")
+	case '|':
+		if strings.HasPrefix(l.src[l.pos:], "||") {
+			l.pos += 2
+			return token{kind: tokOr, pos: start}, nil
+		}
+		return token{}, l.errf(start, "unexpected %q (did you mean '||'?)", "|")
+	case '!':
+		if strings.HasPrefix(l.src[l.pos:], "!=") {
+			l.pos += 2
+			return token{kind: tokNeq, pos: start}, nil
+		}
+		l.pos++
+		return token{kind: tokNot, pos: start}, nil
+	case '=':
+		if strings.HasPrefix(l.src[l.pos:], "==") {
+			l.pos += 2
+			return token{kind: tokEq, pos: start}, nil
+		}
+		return token{}, l.errf(start, "unexpected %q (did you mean '=='?)", "=")
+	case '<':
+		if strings.HasPrefix(l.src[l.pos:], "<=") {
+			l.pos += 2
+			return token{kind: tokLe, pos: start}, nil
+		}
+		l.pos++
+		return token{kind: tokLt, pos: start}, nil
+	case '>':
+		if strings.HasPrefix(l.src[l.pos:], ">=") {
+			l.pos += 2
+			return token{kind: tokGe, pos: start}, nil
+		}
+		l.pos++
+		return token{kind: tokGt, pos: start}, nil
+	case '"':
+		return l.lexString()
+	}
+	if c == '-' || c == '.' || (c >= '0' && c <= '9') {
+		return l.lexNumber()
+	}
+	if isIdentStart(rune(c)) {
+		return l.lexIdent()
+	}
+	return token{}, l.errf(start, "unexpected character %q", string(c))
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || r == '.' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+func (l *lexer) lexIdent() (token, error) {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	word := l.src[start:l.pos]
+	switch word {
+	case "in":
+		return token{kind: tokIn, pos: start, text: word}, nil
+	case "contains":
+		return token{kind: tokContains, pos: start, text: word}, nil
+	case "exists":
+		return token{kind: tokExists, pos: start, text: word}, nil
+	case "startswith":
+		return token{kind: tokStartsWith, pos: start, text: word}, nil
+	case "true":
+		return token{kind: tokBool, pos: start, b: true, text: word}, nil
+	case "false":
+		return token{kind: tokBool, pos: start, b: false, text: word}, nil
+	}
+	return token{kind: tokIdent, pos: start, text: word}, nil
+}
+
+func (l *lexer) lexNumber() (token, error) {
+	start := l.pos
+	if l.src[l.pos] == '-' {
+		l.pos++
+	}
+	seen := false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if (c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' ||
+			((c == '+' || c == '-') && l.pos > start && (l.src[l.pos-1] == 'e' || l.src[l.pos-1] == 'E')) {
+			seen = seen || (c >= '0' && c <= '9')
+			l.pos++
+			continue
+		}
+		break
+	}
+	text := l.src[start:l.pos]
+	if !seen {
+		return token{}, l.errf(start, "malformed number %q", text)
+	}
+	f, err := strconv.ParseFloat(text, 64)
+	if err != nil {
+		return token{}, l.errf(start, "malformed number %q", text)
+	}
+	return token{kind: tokNumber, pos: start, num: f, text: text}, nil
+}
+
+func (l *lexer) lexString() (token, error) {
+	start := l.pos
+	l.pos++ // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch c {
+		case '"':
+			l.pos++
+			return token{kind: tokString, pos: start, str: sb.String()}, nil
+		case '\\':
+			if l.pos+1 >= len(l.src) {
+				return token{}, l.errf(start, "unterminated string")
+			}
+			esc := l.src[l.pos+1]
+			switch esc {
+			case '"', '\\':
+				sb.WriteByte(esc)
+			case 'n':
+				sb.WriteByte('\n')
+			case 't':
+				sb.WriteByte('\t')
+			default:
+				return token{}, l.errf(l.pos, "unknown escape \\%s", string(esc))
+			}
+			l.pos += 2
+		default:
+			sb.WriteByte(c)
+			l.pos++
+		}
+	}
+	return token{}, l.errf(start, "unterminated string")
+}

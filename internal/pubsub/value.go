@@ -1,0 +1,180 @@
+// Package pubsub implements the selective-information model of §2 of the
+// paper: events carrying typed attributes, topics, a subscription language
+// (filters), and the per-process interest function I(p,e).
+//
+// Filters support content-based selection (`price > 100 && symbol ==
+// "ACME"`) as well as topic-based selection (a topic is "a filter which
+// consists of a single attribute without conditions", §2). The pseudo
+// attribute "topic" always refers to the event's topic.
+package pubsub
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Kind identifies the dynamic type of a Value.
+type Kind uint8
+
+// Value kinds. They start at 1 so that the zero Value is recognisably
+// invalid.
+const (
+	KindString Kind = iota + 1
+	KindNum
+	KindBool
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindString:
+		return "string"
+	case KindNum:
+		return "num"
+	case KindBool:
+		return "bool"
+	default:
+		return "invalid"
+	}
+}
+
+// Value is a typed attribute value: a string, a float64 number, or a bool.
+// The zero Value is invalid and matches nothing.
+type Value struct {
+	kind Kind
+	str  string
+	num  float64
+	b    bool
+}
+
+// String returns a string Value.
+func String(s string) Value { return Value{kind: KindString, str: s} }
+
+// Num returns a numeric Value.
+func Num(f float64) Value { return Value{kind: KindNum, num: f} }
+
+// Bool returns a boolean Value.
+func Bool(b bool) Value { return Value{kind: KindBool, b: b} }
+
+// Kind reports the value's kind (0 for the zero Value).
+func (v Value) Kind() Kind { return v.kind }
+
+// Str returns the string payload (meaningful only when Kind is KindString).
+func (v Value) Str() string { return v.str }
+
+// NumVal returns the numeric payload (meaningful only when Kind is KindNum).
+func (v Value) NumVal() float64 { return v.num }
+
+// BoolVal returns the boolean payload (meaningful only when Kind is KindBool).
+func (v Value) BoolVal() bool { return v.b }
+
+// Equal reports whether two values have the same kind and payload.
+func (v Value) Equal(o Value) bool {
+	if v.kind != o.kind {
+		return false
+	}
+	switch v.kind {
+	case KindString:
+		return v.str == o.str
+	case KindNum:
+		return v.num == o.num
+	case KindBool:
+		return v.b == o.b
+	default:
+		return false
+	}
+}
+
+// Compare orders two values of the same comparable kind. ok is false when
+// the kinds differ or the kind has no order (bool, invalid).
+func (v Value) Compare(o Value) (cmp int, ok bool) {
+	if v.kind != o.kind {
+		return 0, false
+	}
+	switch v.kind {
+	case KindString:
+		switch {
+		case v.str < o.str:
+			return -1, true
+		case v.str > o.str:
+			return 1, true
+		default:
+			return 0, true
+		}
+	case KindNum:
+		switch {
+		case v.num < o.num:
+			return -1, true
+		case v.num > o.num:
+			return 1, true
+		default:
+			return 0, true
+		}
+	default:
+		return 0, false
+	}
+}
+
+// GoString renders the value as it would appear in filter source text.
+func (v Value) GoString() string { return v.String() }
+
+// String renders the value in filter-language syntax.
+func (v Value) String() string {
+	switch v.kind {
+	case KindString:
+		return QuoteString(v.str)
+	case KindNum:
+		return strconv.FormatFloat(v.num, 'g', -1, 64)
+	case KindBool:
+		return strconv.FormatBool(v.b)
+	default:
+		return "<invalid>"
+	}
+}
+
+// QuoteString renders s as a filter-language string literal. The language
+// knows only the escapes \" \\ \n \t; every other byte is legal raw
+// inside quotes, so no further escaping is needed (unlike Go's %q).
+func QuoteString(s string) string {
+	var sb strings.Builder
+	sb.Grow(len(s) + 2)
+	sb.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '"':
+			sb.WriteString(`\"`)
+		case '\\':
+			sb.WriteString(`\\`)
+		case '\n':
+			sb.WriteString(`\n`)
+		case '\t':
+			sb.WriteString(`\t`)
+		default:
+			sb.WriteByte(c)
+		}
+	}
+	sb.WriteByte('"')
+	return sb.String()
+}
+
+// wireSize returns the encoded size of the value in bytes.
+func (v Value) wireSize() int {
+	switch v.kind {
+	case KindString:
+		return 1 + 2 + len(v.str)
+	case KindNum:
+		return 1 + 8
+	case KindBool:
+		return 1 + 1
+	default:
+		return 1
+	}
+}
+
+// Attr is a named, typed attribute of an event.
+type Attr struct {
+	Key string
+	Val Value
+}
+
+func (a Attr) String() string { return fmt.Sprintf("%s=%s", a.Key, a.Val) }

@@ -1,0 +1,211 @@
+// Package simnet simulates a point-to-point message network on top of the
+// eventsim kernel: configurable latency, i.i.d. message loss, crash/stop
+// failures, and network partitions. Every byte that crosses the network is
+// accounted per node, which is the raw material of the paper's
+// contribution measurements.
+package simnet
+
+import (
+	"math/rand"
+	"time"
+
+	"fairgossip/internal/eventsim"
+)
+
+// NodeID is a dense index identifying a simulated process.
+type NodeID int
+
+// None is the NodeID zero-value sentinel for "no node".
+const None NodeID = -1
+
+// Message is a point-to-point datagram. Payload is protocol-defined and
+// passed by reference (the simulator does not serialise); Size is the
+// number of bytes the message would occupy on the wire and is what the
+// traffic accounting charges.
+type Message struct {
+	From    NodeID
+	To      NodeID
+	Payload any
+	Size    int
+}
+
+// Handler receives delivered messages. Implementations run on the
+// simulator goroutine and must not block.
+type Handler interface {
+	HandleMessage(msg Message)
+}
+
+// LatencyModel draws the one-way delay for a message.
+type LatencyModel func(rng *rand.Rand, from, to NodeID) time.Duration
+
+// ConstantLatency returns a model with fixed one-way delay d.
+func ConstantLatency(d time.Duration) LatencyModel {
+	return func(*rand.Rand, NodeID, NodeID) time.Duration { return d }
+}
+
+// UniformLatency returns a model drawing delays uniformly from [lo, hi).
+func UniformLatency(lo, hi time.Duration) LatencyModel {
+	if hi <= lo {
+		return ConstantLatency(lo)
+	}
+	return func(rng *rand.Rand, _, _ NodeID) time.Duration {
+		return lo + time.Duration(rng.Int63n(int64(hi-lo)))
+	}
+}
+
+// Traffic is the per-node byte/message accounting maintained by the
+// network.
+type Traffic struct {
+	MsgsSent  uint64
+	BytesSent uint64
+	MsgsRecv  uint64
+	BytesRecv uint64
+	Dropped   uint64 // messages sent by this node that the network dropped
+}
+
+// Config parameterises a Network.
+type Config struct {
+	// Latency is the one-way delay model. Nil means 1ms constant.
+	Latency LatencyModel
+	// Loss is the i.i.d. probability in [0,1] that a message is dropped.
+	Loss float64
+}
+
+// Network is a simulated datagram network. It is driven entirely by the
+// eventsim simulator and is not safe for concurrent use.
+type Network struct {
+	sim      *eventsim.Sim
+	cfg      Config
+	handlers []Handler
+	up       []bool
+	group    []int // partition group; messages cross groups only when healed
+	split    bool
+	stats    []Traffic
+	total    Traffic
+}
+
+// New creates an empty network over sim.
+func New(sim *eventsim.Sim, cfg Config) *Network {
+	if cfg.Latency == nil {
+		cfg.Latency = ConstantLatency(time.Millisecond)
+	}
+	if cfg.Loss < 0 {
+		cfg.Loss = 0
+	}
+	if cfg.Loss > 1 {
+		cfg.Loss = 1
+	}
+	return &Network{sim: sim, cfg: cfg}
+}
+
+// Sim returns the underlying simulator.
+func (n *Network) Sim() *eventsim.Sim { return n.sim }
+
+// AddNode registers a handler and returns its NodeID. Nodes start up.
+func (n *Network) AddNode(h Handler) NodeID {
+	id := NodeID(len(n.handlers))
+	n.handlers = append(n.handlers, h)
+	n.up = append(n.up, true)
+	n.group = append(n.group, 0)
+	n.stats = append(n.stats, Traffic{})
+	return id
+}
+
+// Len returns the number of registered nodes.
+func (n *Network) Len() int { return len(n.handlers) }
+
+// Up reports whether the node is currently up.
+func (n *Network) Up(id NodeID) bool {
+	return n.valid(id) && n.up[id]
+}
+
+// SetUp crashes (up=false) or restarts (up=true) a node. Messages in
+// flight toward a down node are dropped at delivery time; a down node's
+// sends are dropped immediately.
+func (n *Network) SetUp(id NodeID, up bool) {
+	if n.valid(id) {
+		n.up[id] = up
+	}
+}
+
+// Partition splits the network: nodes in side keep talking to each other
+// but lose connectivity with everyone else until Heal is called.
+func (n *Network) Partition(side []NodeID) {
+	for i := range n.group {
+		n.group[i] = 0
+	}
+	for _, id := range side {
+		if n.valid(id) {
+			n.group[id] = 1
+		}
+	}
+	n.split = true
+}
+
+// Heal removes any partition.
+func (n *Network) Heal() { n.split = false }
+
+// SetLoss changes the i.i.d. drop probability mid-run (clamped to [0,1]).
+// Experiments use it to inject lossy phases.
+func (n *Network) SetLoss(p float64) {
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	n.cfg.Loss = p
+}
+
+// Stats returns a copy of the traffic counters for one node.
+func (n *Network) Stats(id NodeID) Traffic {
+	if !n.valid(id) {
+		return Traffic{}
+	}
+	return n.stats[id]
+}
+
+// TotalTraffic returns network-wide counters.
+func (n *Network) TotalTraffic() Traffic { return n.total }
+
+// Send queues a message for delivery. Loss, partitions and crashes apply.
+// Sending from or to an unknown node is a silent drop (dynamic systems
+// routinely address departed peers; protocols observe it as loss).
+func (n *Network) Send(from, to NodeID, payload any, size int) {
+	if size < 0 {
+		size = 0
+	}
+	if !n.valid(from) || !n.valid(to) || !n.up[from] {
+		return
+	}
+	n.stats[from].MsgsSent++
+	n.stats[from].BytesSent += uint64(size)
+	n.total.MsgsSent++
+	n.total.BytesSent += uint64(size)
+
+	if n.cfg.Loss > 0 && n.sim.Rand().Float64() < n.cfg.Loss {
+		n.stats[from].Dropped++
+		n.total.Dropped++
+		return
+	}
+	msg := Message{From: from, To: to, Payload: payload, Size: size}
+	delay := n.cfg.Latency(n.sim.Rand(), from, to)
+	n.sim.After(delay, func() { n.deliver(msg) })
+}
+
+func (n *Network) deliver(msg Message) {
+	if !n.up[msg.To] || (n.split && n.group[msg.From] != n.group[msg.To]) {
+		n.stats[msg.From].Dropped++
+		n.total.Dropped++
+		return
+	}
+	n.stats[msg.To].MsgsRecv++
+	n.stats[msg.To].BytesRecv += uint64(msg.Size)
+	n.total.MsgsRecv++
+	n.total.BytesRecv += uint64(msg.Size)
+	n.handlers[msg.To].HandleMessage(msg)
+}
+
+func (n *Network) valid(id NodeID) bool {
+	return id >= 0 && int(id) < len(n.handlers)
+}

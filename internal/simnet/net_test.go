@@ -1,0 +1,226 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+
+	"fairgossip/internal/eventsim"
+)
+
+// recorder is a Handler that appends every delivery.
+type recorder struct {
+	got []Message
+}
+
+func (r *recorder) HandleMessage(msg Message) { r.got = append(r.got, msg) }
+
+func build(t *testing.T, n int, cfg Config) (*eventsim.Sim, *Network, []*recorder) {
+	t.Helper()
+	sim := eventsim.New(1)
+	net := New(sim, cfg)
+	recs := make([]*recorder, n)
+	for i := range recs {
+		recs[i] = &recorder{}
+		if id := net.AddNode(recs[i]); id != NodeID(i) {
+			t.Fatalf("AddNode returned %d, want %d", id, i)
+		}
+	}
+	return sim, net, recs
+}
+
+func TestDelivery(t *testing.T) {
+	sim, net, recs := build(t, 2, Config{Latency: ConstantLatency(5 * time.Millisecond)})
+	net.Send(0, 1, "hello", 10)
+	sim.Run()
+	if len(recs[1].got) != 1 {
+		t.Fatalf("got %d messages", len(recs[1].got))
+	}
+	m := recs[1].got[0]
+	if m.From != 0 || m.To != 1 || m.Payload.(string) != "hello" || m.Size != 10 {
+		t.Fatalf("message corrupted: %+v", m)
+	}
+	if sim.Now() != 5*time.Millisecond {
+		t.Fatalf("delivered at %v, want 5ms", sim.Now())
+	}
+}
+
+func TestTrafficAccounting(t *testing.T) {
+	sim, net, _ := build(t, 3, Config{})
+	net.Send(0, 1, nil, 100)
+	net.Send(0, 2, nil, 50)
+	net.Send(1, 0, nil, 25)
+	sim.Run()
+	s0, s1, s2 := net.Stats(0), net.Stats(1), net.Stats(2)
+	if s0.MsgsSent != 2 || s0.BytesSent != 150 {
+		t.Errorf("node0 sent: %+v", s0)
+	}
+	if s0.MsgsRecv != 1 || s0.BytesRecv != 25 {
+		t.Errorf("node0 recv: %+v", s0)
+	}
+	if s1.MsgsSent != 1 || s1.BytesRecv != 100 {
+		t.Errorf("node1: %+v", s1)
+	}
+	if s2.MsgsRecv != 1 || s2.BytesRecv != 50 {
+		t.Errorf("node2: %+v", s2)
+	}
+	tot := net.TotalTraffic()
+	if tot.MsgsSent != 3 || tot.BytesSent != 175 || tot.MsgsRecv != 3 {
+		t.Errorf("total: %+v", tot)
+	}
+}
+
+func TestLossRateApproximate(t *testing.T) {
+	sim, net, recs := build(t, 2, Config{Loss: 0.3})
+	const total = 10000
+	for i := 0; i < total; i++ {
+		net.Send(0, 1, nil, 1)
+	}
+	sim.Run()
+	got := len(recs[1].got)
+	// 0.7·10000 = 7000; allow ±3σ ≈ ±137.
+	if got < 6800 || got > 7200 {
+		t.Fatalf("delivered %d of %d at 30%% loss", got, total)
+	}
+	if d := net.Stats(0).Dropped; int(d) != total-got {
+		t.Fatalf("dropped counter %d, want %d", d, total-got)
+	}
+}
+
+func TestCrashStopsDelivery(t *testing.T) {
+	sim, net, recs := build(t, 2, Config{Latency: ConstantLatency(time.Millisecond)})
+	net.SetUp(1, false)
+	net.Send(0, 1, nil, 1)
+	sim.Run()
+	if len(recs[1].got) != 0 {
+		t.Fatal("down node received a message")
+	}
+	// Crash during flight: message sent while up, target goes down before delivery.
+	net.SetUp(1, true)
+	net.Send(0, 1, nil, 1)
+	net.SetUp(1, false)
+	sim.Run()
+	if len(recs[1].got) != 0 {
+		t.Fatal("message delivered to node that crashed in flight")
+	}
+	// Down nodes cannot send.
+	net.Send(1, 0, nil, 1)
+	sim.Run()
+	if len(recs[0].got) != 0 {
+		t.Fatal("down node sent a message")
+	}
+	if net.Stats(1).MsgsSent != 0 {
+		t.Fatal("down node's send was accounted")
+	}
+	// Restart restores delivery.
+	net.SetUp(1, true)
+	net.Send(0, 1, nil, 1)
+	sim.Run()
+	if len(recs[1].got) != 1 {
+		t.Fatal("restarted node did not receive")
+	}
+}
+
+func TestPartitionAndHeal(t *testing.T) {
+	sim, net, recs := build(t, 4, Config{})
+	net.Partition([]NodeID{0, 1})
+	net.Send(0, 1, nil, 1) // same side
+	net.Send(0, 2, nil, 1) // cross
+	net.Send(3, 2, nil, 1) // same side (other group)
+	net.Send(2, 1, nil, 1) // cross
+	sim.Run()
+	if len(recs[1].got) != 1 || len(recs[2].got) != 1 {
+		t.Fatalf("partition semantics wrong: %d %d", len(recs[1].got), len(recs[2].got))
+	}
+	net.Heal()
+	net.Send(0, 2, nil, 1)
+	sim.Run()
+	if len(recs[2].got) != 2 {
+		t.Fatal("heal did not restore connectivity")
+	}
+}
+
+func TestUnknownAddressesAreSilentDrops(t *testing.T) {
+	sim, net, recs := build(t, 1, Config{})
+	net.Send(0, 99, nil, 1)
+	net.Send(0, None, nil, 1)
+	net.Send(99, 0, nil, 1)
+	sim.Run()
+	if len(recs[0].got) != 0 {
+		t.Fatal("unexpected delivery")
+	}
+	if net.Stats(0).MsgsSent != 0 {
+		t.Fatal("sends to unknown nodes must not be accounted")
+	}
+}
+
+func TestUniformLatencyBounds(t *testing.T) {
+	sim := eventsim.New(3)
+	model := UniformLatency(2*time.Millisecond, 8*time.Millisecond)
+	for i := 0; i < 1000; i++ {
+		d := model(sim.Rand(), 0, 1)
+		if d < 2*time.Millisecond || d >= 8*time.Millisecond {
+			t.Fatalf("latency %v out of bounds", d)
+		}
+	}
+	// Degenerate range collapses to constant.
+	c := UniformLatency(5*time.Millisecond, 5*time.Millisecond)
+	if d := c(sim.Rand(), 0, 1); d != 5*time.Millisecond {
+		t.Fatalf("degenerate uniform = %v", d)
+	}
+}
+
+func TestLatencyOrderingIndependentMessages(t *testing.T) {
+	// With uniform latency, messages may arrive out of send order —
+	// verify the simulator delivers each at its own sampled time.
+	sim, net, recs := build(t, 2, Config{Latency: UniformLatency(time.Millisecond, 10*time.Millisecond)})
+	for i := 0; i < 50; i++ {
+		net.Send(0, 1, i, 1)
+	}
+	sim.Run()
+	if len(recs[1].got) != 50 {
+		t.Fatalf("delivered %d of 50", len(recs[1].got))
+	}
+	seen := make(map[int]bool)
+	for _, m := range recs[1].got {
+		seen[m.Payload.(int)] = true
+	}
+	if len(seen) != 50 {
+		t.Fatal("payload corruption or duplication")
+	}
+}
+
+func TestNegativeSizeCoerced(t *testing.T) {
+	sim, net, recs := build(t, 2, Config{})
+	net.Send(0, 1, nil, -5)
+	sim.Run()
+	if len(recs[1].got) != 1 || recs[1].got[0].Size != 0 {
+		t.Fatal("negative size must coerce to 0")
+	}
+}
+
+func TestSelfSend(t *testing.T) {
+	sim, net, recs := build(t, 1, Config{})
+	net.Send(0, 0, "me", 3)
+	sim.Run()
+	if len(recs[0].got) != 1 {
+		t.Fatal("self-send not delivered")
+	}
+}
+
+func BenchmarkSendDeliver(b *testing.B) {
+	sim := eventsim.New(1)
+	net := New(sim, Config{Latency: ConstantLatency(time.Microsecond)})
+	r := &recorder{}
+	a := net.AddNode(r)
+	c := net.AddNode(&recorder{})
+	_ = c
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Send(a, c, nil, 64)
+		if i%1024 == 0 {
+			sim.Run()
+		}
+	}
+	sim.Run()
+}

@@ -1,0 +1,71 @@
+package structured
+
+import (
+	"fairgossip/internal/fairness"
+)
+
+// Index models the DKS-style index DHT of §4.1: "use multiple DHTs to
+// group processes according to their interest and have a special index
+// DHT that allows subscribers to find a correct topic". Every subscribe
+// starts with a lookup routed through the index; the paper's complaint is
+// that "processes in the index DHT which are close to frequently
+// contacted rendezvous nodes will suffer" — they relay and answer
+// lookups for topics they do not care about.
+type Index struct {
+	ring   *Ring
+	ledger *fairness.Ledger
+
+	served  []uint64 // lookups answered (rendezvous duty)
+	relayed []uint64 // lookups forwarded (path duty)
+}
+
+// LookupMsgSize is the accounting size of one index lookup hop.
+const LookupMsgSize = 24
+
+// NewIndex builds an index DHT over the ring, charging costs to ledger.
+func NewIndex(ring *Ring, ledger *fairness.Ledger) *Index {
+	return &Index{
+		ring:    ring,
+		ledger:  ledger,
+		served:  make([]uint64, ring.Len()),
+		relayed: make([]uint64, ring.Len()),
+	}
+}
+
+// Lookup routes a topic lookup from node `from` to the topic's index
+// rendezvous and returns the rendezvous (the contact for that topic's
+// group). Every hop sender is charged infrastructure bytes; the
+// rendezvous is charged for the answer.
+func (ix *Index) Lookup(from int, topic string) (int, error) {
+	path, err := ix.ring.Route(from, KeyForTopic(topic))
+	if err != nil {
+		return 0, err
+	}
+	for i := 0; i+1 < len(path); i++ {
+		ix.ledger.AddSend(path[i], fairness.ClassInfra, LookupMsgSize)
+		if i > 0 {
+			ix.relayed[path[i]]++
+		}
+	}
+	rendezvous := path[len(path)-1]
+	// The rendezvous answers the originator directly.
+	ix.ledger.AddSend(rendezvous, fairness.ClassInfra, LookupMsgSize)
+	ix.served[rendezvous]++
+	return rendezvous, nil
+}
+
+// Served returns how many lookups node i answered as rendezvous.
+func (ix *Index) Served(i int) uint64 { return ix.served[i] }
+
+// Relayed returns how many lookups node i forwarded as a path relay.
+func (ix *Index) Relayed(i int) uint64 { return ix.relayed[i] }
+
+// LoadVector returns each node's total index duty (served + relayed) —
+// the distribution EXP-T1 reports.
+func (ix *Index) LoadVector() []float64 {
+	out := make([]float64, ix.ring.Len())
+	for i := range out {
+		out[i] = float64(ix.served[i] + ix.relayed[i])
+	}
+	return out
+}

@@ -1,0 +1,93 @@
+package structured
+
+import (
+	"math/rand"
+	"testing"
+
+	"fairgossip/internal/fairness"
+	"fairgossip/internal/stats"
+	"fairgossip/internal/workload"
+)
+
+func TestIndexLookupReachesRendezvous(t *testing.T) {
+	r := NewRing(64, 1)
+	led := fairness.NewLedger(64, fairness.DefaultWeights())
+	ix := NewIndex(r, led)
+	got, err := ix.Lookup(3, "sports")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := r.Closest(KeyForTopic("sports")); got != want {
+		t.Fatalf("lookup returned %d, rendezvous is %d", got, want)
+	}
+	if ix.Served(got) != 1 {
+		t.Fatal("rendezvous duty not counted")
+	}
+	// The answer costs the rendezvous infra bytes.
+	if led.Account(got).BytesSent[fairness.ClassInfra] == 0 {
+		t.Fatal("rendezvous answer not charged")
+	}
+}
+
+func TestIndexSelfLookup(t *testing.T) {
+	r := NewRing(16, 2)
+	led := fairness.NewLedger(16, fairness.DefaultWeights())
+	ix := NewIndex(r, led)
+	rendezvous := r.Closest(KeyForTopic("x"))
+	// Lookup from the rendezvous itself: no relays, still served.
+	if got, err := ix.Lookup(rendezvous, "x"); err != nil || got != rendezvous {
+		t.Fatalf("self lookup: %d, %v", got, err)
+	}
+	if ix.Served(rendezvous) != 1 {
+		t.Fatal("self lookup not served")
+	}
+}
+
+func TestIndexHotspotUnderZipfTopics(t *testing.T) {
+	// §4.1: nodes near popular topics' rendezvous suffer. Zipf lookups
+	// concentrate duty on a few nodes.
+	const n = 128
+	r := NewRing(n, 3)
+	led := fairness.NewLedger(n, fairness.DefaultWeights())
+	ix := NewIndex(r, led)
+	topics := workload.NewTopics(32, 1.2)
+	rng := rand.New(rand.NewSource(4))
+	for k := 0; k < 2000; k++ {
+		if _, err := ix.Lookup(rng.Intn(n), topics.Sample(rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	load := ix.LoadVector()
+	max := stats.Quantile(load, 1)
+	med := stats.Quantile(load, 0.5)
+	if max < 5*med+5 {
+		t.Fatalf("no index hotspot: max %.0f vs median %.0f", max, med)
+	}
+	if g := stats.Gini(load); g < 0.4 {
+		t.Fatalf("index duty Gini %.3f, expected concentrated", g)
+	}
+}
+
+func TestIndexRelayedCountsExcludeEndpoints(t *testing.T) {
+	const n = 128
+	r := NewRing(n, 5)
+	led := fairness.NewLedger(n, fairness.DefaultWeights())
+	ix := NewIndex(r, led)
+	var total uint64
+	for from := 0; from < n; from++ {
+		if _, err := ix.Lookup(from, "deep.topic"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rendezvous := r.Closest(KeyForTopic("deep.topic"))
+	for i := 0; i < n; i++ {
+		total += ix.Relayed(i)
+	}
+	// The rendezvous never relays its own answers.
+	if ix.Relayed(rendezvous) > 0 {
+		t.Fatal("rendezvous counted as relay for its own lookups")
+	}
+	if total == 0 {
+		t.Fatal("no relays recorded across 128 lookups")
+	}
+}

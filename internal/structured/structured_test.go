@@ -1,0 +1,284 @@
+package structured
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fairgossip/internal/fairness"
+)
+
+func TestRingIdentifiersDistinctAndSorted(t *testing.T) {
+	r := NewRing(256, 1)
+	if r.Len() != 256 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	seen := make(map[uint64]bool)
+	for i := 0; i < r.Len(); i++ {
+		if seen[r.ID(i)] {
+			t.Fatal("duplicate ring identifier")
+		}
+		seen[r.ID(i)] = true
+	}
+}
+
+func TestClosestIsTrueArgmin(t *testing.T) {
+	r := NewRing(64, 2)
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		key := rng.Uint64()
+		got := r.Closest(key)
+		best, bestD := 0, circularDist(r.ID(0), key)
+		for i := 1; i < r.Len(); i++ {
+			if d := circularDist(r.ID(i), key); d < bestD {
+				best, bestD = i, d
+			}
+		}
+		if circularDist(r.ID(got), key) != bestD {
+			t.Fatalf("Closest(%x) = node %d (dist %d), want node %d (dist %d)",
+				key, got, circularDist(r.ID(got), key), best, bestD)
+		}
+	}
+}
+
+func TestRouteTerminatesAtRendezvous(t *testing.T) {
+	r := NewRing(128, 4)
+	rng := rand.New(rand.NewSource(5))
+	var totalHops int
+	const trials = 200
+	for trial := 0; trial < trials; trial++ {
+		key := rng.Uint64()
+		from := rng.Intn(r.Len())
+		path, err := r.Route(from, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if path[0] != from {
+			t.Fatal("path must start at source")
+		}
+		if last := path[len(path)-1]; last != r.Closest(key) {
+			t.Fatalf("path ends at %d, rendezvous is %d", last, r.Closest(key))
+		}
+		// No repeated nodes.
+		seen := map[int]bool{}
+		for _, n := range path {
+			if seen[n] {
+				t.Fatalf("path revisits node %d: %v", n, path)
+			}
+			seen[n] = true
+		}
+		totalHops += len(path) - 1
+	}
+	// Prefix routing should average O(log16 n) ≈ 2 hops for n=128;
+	// anything above 8 signals broken routing.
+	if avg := float64(totalHops) / trials; avg > 8 {
+		t.Fatalf("average hops %.2f too high", avg)
+	}
+}
+
+func TestCircularDistWraparound(t *testing.T) {
+	const max = ^uint64(0)
+	if d := circularDist(max, 0); d != 1 {
+		t.Fatalf("wraparound dist = %d, want 1", d)
+	}
+	if d := circularDist(0, max); d != 1 {
+		t.Fatalf("wraparound dist = %d, want 1", d)
+	}
+	if d := circularDist(5, 5); d != 0 {
+		t.Fatalf("self dist = %d", d)
+	}
+}
+
+func TestSharedDigits(t *testing.T) {
+	if got := sharedDigits(0xABCD000000000000, 0xABCE000000000000); got != 3 {
+		t.Fatalf("sharedDigits = %d, want 3", got)
+	}
+	if got := sharedDigits(5, 5); got != digits {
+		t.Fatalf("identical ids share %d digits", got)
+	}
+	if got := sharedDigits(0, 1<<63); got != 0 {
+		t.Fatalf("opposite ids share %d digits", got)
+	}
+}
+
+func TestKeyForTopicStableAndSpread(t *testing.T) {
+	if KeyForTopic("sports") != KeyForTopic("sports") {
+		t.Fatal("hash not deterministic")
+	}
+	if KeyForTopic("sports") == KeyForTopic("politics") {
+		t.Fatal("distinct topics collided (astronomically unlikely)")
+	}
+}
+
+func TestScribeSubscribePublishDeliver(t *testing.T) {
+	r := NewRing(128, 7)
+	led := fairness.NewLedger(128, fairness.DefaultWeights())
+	sc := NewScribe(r, led)
+
+	subs := []int{3, 17, 42, 99, 120}
+	for _, n := range subs {
+		if err := sc.Subscribe(n, "news"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	delivered, err := sc.Publish(5, "news", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delivered != len(subs) {
+		t.Fatalf("delivered %d, want %d", delivered, len(subs))
+	}
+	for _, n := range subs {
+		if led.Account(n).Delivered != 1 {
+			t.Fatalf("subscriber %d delivered %d", n, led.Account(n).Delivered)
+		}
+		if led.Account(n).Filters != 1 {
+			t.Fatalf("subscriber %d filters %d", n, led.Account(n).Filters)
+		}
+	}
+	if led.Account(5).Published != 1 {
+		t.Fatal("publisher not credited")
+	}
+}
+
+func TestScribeDuplicateSubscribeIdempotent(t *testing.T) {
+	r := NewRing(32, 8)
+	led := fairness.NewLedger(32, fairness.DefaultWeights())
+	sc := NewScribe(r, led)
+	if err := sc.Subscribe(3, "t"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Subscribe(3, "t"); err != nil {
+		t.Fatal(err)
+	}
+	if got := led.Account(3).Filters; got != 1 {
+		t.Fatalf("filters = %d after duplicate subscribe", got)
+	}
+	if d, _ := sc.Publish(0, "t", 10); d != 1 {
+		t.Fatalf("delivered %d, want 1", d)
+	}
+}
+
+func TestScribeUninterestedForwardersExist(t *testing.T) {
+	// The §4.1 claim: with enough subscribers, some tree interior nodes
+	// are not subscribers yet forward all traffic.
+	r := NewRing(256, 9)
+	led := fairness.NewLedger(256, fairness.DefaultWeights())
+	sc := NewScribe(r, led)
+	rng := rand.New(rand.NewSource(10))
+	for i := 0; i < 48; i++ {
+		if err := sc.Subscribe(rng.Intn(256), "hot"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := sc.Publish(rng.Intn(256), "hot", 64); err != nil {
+		t.Fatal(err)
+	}
+	unfair := sc.UninterestedForwarders("hot")
+	if len(unfair) == 0 {
+		t.Fatal("no uninterested forwarders — Scribe trees should conscript relays")
+	}
+	// Those nodes carried app bytes with zero delivered benefit.
+	for _, n := range unfair {
+		a := led.Account(n)
+		if a.Delivered != 0 {
+			t.Fatalf("uninterested forwarder %d delivered", n)
+		}
+		if a.BytesSent[fairness.ClassApp] == 0 {
+			t.Fatalf("uninterested forwarder %d sent nothing", n)
+		}
+	}
+}
+
+func TestScribeUnsubscribePrunesLeaves(t *testing.T) {
+	r := NewRing(64, 11)
+	led := fairness.NewLedger(64, fairness.DefaultWeights())
+	sc := NewScribe(r, led)
+	if err := sc.Subscribe(7, "t"); err != nil {
+		t.Fatal(err)
+	}
+	before := len(sc.TreeMembers("t"))
+	sc.Unsubscribe(7, "t")
+	after := len(sc.TreeMembers("t"))
+	if after >= before && before > 1 {
+		t.Fatalf("prune did not shrink the tree: %d -> %d", before, after)
+	}
+	if d, _ := sc.Publish(0, "t", 10); d != 0 {
+		t.Fatalf("delivered %d after unsubscribe", d)
+	}
+	if got := led.Account(7).Filters; got != 0 {
+		t.Fatalf("filters = %d after unsubscribe", got)
+	}
+	sc.Unsubscribe(7, "t") // idempotent
+}
+
+func TestScribeTreeIsAcyclic(t *testing.T) {
+	r := NewRing(200, 12)
+	led := fairness.NewLedger(200, fairness.DefaultWeights())
+	sc := NewScribe(r, led)
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 60; i++ {
+		if err := sc.Subscribe(rng.Intn(200), "x"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr := sc.trees["x"]
+	for n := range tr.parent {
+		// Walking to the root must terminate.
+		cur, steps := n, 0
+		for cur != tr.root {
+			cur = tr.parent[cur]
+			steps++
+			if steps > 200 {
+				t.Fatalf("cycle reaching root from %d", n)
+			}
+		}
+	}
+}
+
+// Property: routing from any source reaches the unique rendezvous.
+func TestQuickRouteAlwaysConverges(t *testing.T) {
+	r := NewRing(96, 14)
+	f := func(key uint64, fromRaw uint8) bool {
+		from := int(fromRaw) % r.Len()
+		path, err := r.Route(from, key)
+		if err != nil {
+			return false
+		}
+		return path[len(path)-1] == r.Closest(key)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(15))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkRoute(b *testing.B) {
+	r := NewRing(1024, 1)
+	rng := rand.New(rand.NewSource(2))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Route(rng.Intn(1024), rng.Uint64()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScribePublish(b *testing.B) {
+	r := NewRing(512, 3)
+	led := fairness.NewLedger(512, fairness.DefaultWeights())
+	sc := NewScribe(r, led)
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 128; i++ {
+		if err := sc.Subscribe(rng.Intn(512), "bench"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sc.Publish(rng.Intn(512), "bench", 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
