@@ -1,0 +1,43 @@
+# Developer entry points; CI runs `make ci`.
+
+GO      ?= go
+PKGS    := ./...
+# End-to-end experiment benchmarks live in the repo root; per-package
+# micro-benchmarks (eventsim, simnet, fairness, gossip) ride along.
+BENCH   ?= .
+OUT     ?= results
+
+.PHONY: all build test race bench microbench vet fmt-check ci fairbench clean
+
+all: build
+
+build:
+	$(GO) build $(PKGS)
+
+test:
+	$(GO) test $(PKGS)
+
+race:
+	$(GO) test -race ./internal/fairness/ ./internal/gossip/ ./internal/live/ ./internal/eventsim/ ./internal/simnet/
+
+bench:
+	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem -benchtime 3x .
+
+microbench:
+	$(GO) test -run '^$$' -bench . -benchmem ./internal/eventsim/ ./internal/simnet/ ./internal/fairness/
+
+vet:
+	$(GO) vet $(PKGS)
+
+fmt-check:
+	@fmt_out=$$(gofmt -l .); if [ -n "$$fmt_out" ]; then echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; fi
+
+ci: fmt-check vet build test race
+
+# Regenerate every experiment table + CSVs + the BENCH_<date>.json run
+# record (see PERFORMANCE.md).
+fairbench:
+	$(GO) run ./cmd/fairbench -small -out $(OUT)
+
+clean:
+	rm -rf $(OUT)

@@ -1,13 +1,16 @@
 // Command fairbench regenerates every experiment in DESIGN.md §3 as text
 // tables and CSV files — the reproduction of all figures and quantitative
-// claims of the paper.
+// claims of the paper. Alongside the CSVs it writes a machine-readable
+// BENCH_<date>.json run record (metrics plus wall-clock per experiment)
+// so successive PRs can track the performance trajectory.
 //
 // Usage:
 //
-//	fairbench [-seed N] [-small] [-out results/] [-only EXP-F1,EXP-A3]
+//	fairbench [-seed N] [-small] [-out results/] [-only EXP-F1,EXP-A3] [-json path]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -18,16 +21,33 @@ import (
 	"fairgossip/internal/experiment"
 )
 
+// benchRecord is the JSON run record: enough to replay (seed, scale) and
+// to diff metric values and timings across commits.
+type benchRecord struct {
+	Date        string            `json:"date"`
+	Seed        int64             `json:"seed"`
+	Small       bool              `json:"small"`
+	Experiments []experimentEntry `json:"experiments"`
+}
+
+type experimentEntry struct {
+	ID      string             `json:"id"`
+	Title   string             `json:"title"`
+	Seconds float64            `json:"seconds"`
+	Tables  []experiment.Table `json:"tables"`
+}
+
 func main() {
 	os.Exit(run())
 }
 
 func run() int {
 	var (
-		seed   = flag.Int64("seed", 1, "random seed (same seed = identical output)")
-		small  = flag.Bool("small", false, "bench-scale parameters (fast)")
-		outDir = flag.String("out", "results", "directory for CSV output (empty = no CSV)")
-		only   = flag.String("only", "", "comma-separated experiment IDs to run (e.g. EXP-F1,EXP-A3)")
+		seed     = flag.Int64("seed", 1, "random seed (same seed = identical output)")
+		small    = flag.Bool("small", false, "bench-scale parameters (fast)")
+		outDir   = flag.String("out", "results", "directory for CSV output (empty = no CSV)")
+		only     = flag.String("only", "", "comma-separated experiment IDs to run (e.g. EXP-F1,EXP-A3)")
+		jsonPath = flag.String("json", "", "path for the JSON run record (default <out>/BENCH_<date>.json; empty out disables)")
 	)
 	flag.Parse()
 
@@ -43,6 +63,12 @@ func run() int {
 			return 1
 		}
 	}
+	started := time.Now()
+	record := benchRecord{
+		Date:  started.UTC().Format(time.RFC3339),
+		Seed:  *seed,
+		Small: *small,
+	}
 	opts := experiment.Options{Seed: *seed, Small: *small}
 	for _, spec := range experiment.All() {
 		if len(want) > 0 && !want[spec.ID] {
@@ -50,7 +76,14 @@ func run() int {
 		}
 		start := time.Now()
 		tables := spec.Run(opts)
-		fmt.Printf("\n########## %s — %s  (%.1fs)\n\n", spec.ID, spec.Title, time.Since(start).Seconds())
+		elapsed := time.Since(start).Seconds()
+		fmt.Printf("\n########## %s — %s  (%.1fs)\n\n", spec.ID, spec.Title, elapsed)
+		record.Experiments = append(record.Experiments, experimentEntry{
+			ID:      spec.ID,
+			Title:   spec.Title,
+			Seconds: elapsed,
+			Tables:  tables,
+		})
 		for ti, t := range tables {
 			fmt.Println(t.String())
 			if *outDir != "" {
@@ -61,6 +94,21 @@ func run() int {
 				}
 			}
 		}
+	}
+	path := *jsonPath
+	if path == "" && *outDir != "" {
+		path = filepath.Join(*outDir, "BENCH_"+started.UTC().Format("2006-01-02")+".json")
+	}
+	if path != "" {
+		blob, err := json.MarshalIndent(record, "", "  ")
+		if err == nil {
+			err = os.WriteFile(path, append(blob, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fairbench: %v\n", err)
+			return 1
+		}
+		fmt.Printf("\nrun record: %s\n", path)
 	}
 	return 0
 }

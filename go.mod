@@ -1,0 +1,3 @@
+module fairgossip
+
+go 1.24

@@ -247,9 +247,7 @@ func (nd *Node) roundContent() {
 			}
 		}
 	default:
-		for _, q := range nd.overlayPeers(nd.fanout) {
-			nd.sendGossip(q, "", events, nil)
-		}
+		nd.sendGossipAll(nd.overlayPeers(nd.fanout), "", events, nil)
 	}
 	nd.buffer.Tick()
 }
@@ -302,9 +300,7 @@ func (nd *Node) roundTopics() {
 			continue
 		}
 		ads := nd.groupAds(g)
-		for _, q := range g.view.Sample(nd.rng, nd.fanout) {
-			nd.sendGossip(q, topic, events, ads)
-		}
+		nd.sendGossipAll(g.view.Sample(nd.rng, nd.fanout), topic, events, ads)
 		g.buffer.Tick()
 	}
 }
@@ -319,7 +315,8 @@ func (nd *Node) groupAds(g *topicGroup) []membership.Entry {
 	return append(ads, membership.Entry{ID: nd.id, Age: 0})
 }
 
-func (nd *Node) sendGossip(to simnet.NodeID, topic string, events []*pubsub.Event, ads []membership.Entry) {
+// buildGossip assembles one gossip wire message.
+func (nd *Node) buildGossip(topic string, events []*pubsub.Event, ads []membership.Entry) *wireMsg {
 	m := &wireMsg{Kind: kindGossip, Topic: topic, Events: events, Ads: ads}
 	if nd.Cheat && nd.cfg.JunkPadding > 0 {
 		m.Junk = nd.cfg.JunkPadding
@@ -328,7 +325,35 @@ func (nd *Node) sendGossip(to simnet.NodeID, topic string, events []*pubsub.Even
 		m.FP = interestFingerprint(&nd.interest)
 		m.FPAds = nd.fpAds(2)
 	}
-	nd.send(to, m, fairness.ClassApp)
+	return m
+}
+
+func (nd *Node) sendGossip(to simnet.NodeID, topic string, events []*pubsub.Event, ads []membership.Entry) {
+	nd.send(to, nd.buildGossip(topic, events, ads), fairness.ClassApp)
+}
+
+// sendGossipAll fans one batch out to every peer. The network passes
+// payloads by reference and receivers treat them as read-only, so outside
+// semantic mode a single wireMsg (and a single size computation) is
+// shared across the whole fanout instead of allocating one per peer.
+func (nd *Node) sendGossipAll(peers []simnet.NodeID, topic string, events []*pubsub.Event, ads []membership.Entry) {
+	if len(peers) == 0 {
+		return
+	}
+	if nd.cfg.SemanticBias > 0 {
+		// fpAds draws from the node's RNG: keep the historical per-peer
+		// construction so fixed-seed runs stay bit-identical.
+		for _, q := range peers {
+			nd.sendGossip(q, topic, events, ads)
+		}
+		return
+	}
+	m := nd.buildGossip(topic, events, ads)
+	size := m.size()
+	for _, q := range peers {
+		nd.net.Send(nd.id, q, m, size)
+		nd.ledger.AddSend(int(nd.id), fairness.ClassApp, size)
+	}
 }
 
 func (nd *Node) updateController() {

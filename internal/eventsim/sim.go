@@ -8,10 +8,17 @@
 // the simulation. Two events scheduled for the same instant fire in the
 // order they were scheduled (FIFO tie-breaking), which keeps runs
 // deterministic.
+//
+// The kernel is built for a zero-allocation steady state: event records
+// live in a pooled arena indexed by a manual binary heap, freed slots are
+// recycled through a free list, and the typed-message API (ScheduleMsg)
+// lets the network layer schedule deliveries without allocating a closure.
+// Once the arena and heap have warmed up to the simulation's peak
+// outstanding-event count, scheduling and firing events performs no heap
+// allocation at all.
 package eventsim
 
 import (
-	"container/heap"
 	"math/rand"
 	"time"
 )
@@ -24,11 +31,20 @@ import (
 type Sim struct {
 	now    time.Duration
 	seq    uint64
-	queue  eventQueue
 	rng    *rand.Rand
 	steps  uint64
 	halted bool
+
+	arena   []event // pooled event records; an index into arena is a handle
+	free    []int32 // recycled arena slots
+	heap    []int32 // binary heap of arena indices ordered by (at, seq)
+	stopped int     // stopped-but-still-queued entries (lazy-deletion debt)
 }
+
+// compactMin is the minimum number of stopped entries before threshold
+// compaction kicks in; below it the lazy pop-time discard is cheaper than
+// re-heapifying.
+const compactMin = 32
 
 // New returns a simulator whose random stream is derived from seed.
 // The same seed always yields the same execution.
@@ -49,47 +65,86 @@ func (s *Sim) Rand() *rand.Rand { return s.rng }
 // Steps reports how many events have fired so far.
 func (s *Sim) Steps() uint64 { return s.steps }
 
-// Pending reports how many scheduled events are waiting, including timers
-// that were stopped but not yet drained from the queue.
-func (s *Sim) Pending() int { return s.queue.Len() }
+// Pending reports how many live scheduled events are waiting. Stopped
+// timers do not count, whether or not their queue slot has been reclaimed
+// yet.
+func (s *Sim) Pending() int { return len(s.heap) - s.stopped }
+
+// Msg is a typed message event: a payload plus routing metadata stored
+// inline in the pooled event record, so scheduling a delivery allocates
+// nothing (the classic alternative — a closure capturing the message —
+// costs one heap allocation per message).
+type Msg struct {
+	From, To int32
+	Size     int32
+	Payload  any
+}
+
+// MsgHandler consumes typed message events at their delivery time.
+type MsgHandler interface {
+	HandleSimMsg(m Msg)
+}
 
 // Timer is a handle to a scheduled event. A Timer can be stopped before it
-// fires; stopping a fired or already-stopped timer is a no-op.
+// fires; stopping a fired or already-stopped timer is a no-op. The zero
+// Timer is valid and never stops anything.
 type Timer struct {
-	ev *event
+	s   *Sim
+	idx int32
+	gen uint32
 }
 
 // Stop cancels the timer. It reports whether the call prevented the event
 // from firing (false if it already fired or was already stopped).
-func (t *Timer) Stop() bool {
-	if t == nil || t.ev == nil || t.ev.stopped || t.ev.fired {
+//
+// Stopping is O(1): the queue entry is marked dead and discarded lazily,
+// and the whole queue is compacted eagerly once dead entries outnumber
+// live ones (see compact).
+func (t Timer) Stop() bool {
+	if t.s == nil {
 		return false
 	}
-	t.ev.stopped = true
-	t.ev.fn = nil // release the closure eagerly
+	ev := &t.s.arena[t.idx]
+	if ev.gen != t.gen || ev.stopped {
+		return false
+	}
+	ev.stopped = true
+	ev.fn = nil // release the closure eagerly
+	ev.dst = nil
+	ev.msg = Msg{}
+	t.s.stopped++
+	t.s.maybeCompact()
 	return true
 }
 
 // At schedules fn to run at absolute virtual time at. Scheduling in the
 // past (at < Now) coerces to Now: the event fires before any later event,
 // which mirrors "as soon as possible" semantics.
-func (s *Sim) At(at time.Duration, fn func()) *Timer {
-	if at < s.now {
-		at = s.now
-	}
-	ev := &event{at: at, seq: s.seq, fn: fn}
-	s.seq++
-	heap.Push(&s.queue, ev)
-	return &Timer{ev: ev}
+func (s *Sim) At(at time.Duration, fn func()) Timer {
+	idx := s.schedule(at, fn, nil, Msg{}, evClosure)
+	return Timer{s: s, idx: idx, gen: s.arena[idx].gen}
 }
 
 // After schedules fn to run d after the current virtual time. Negative d
 // coerces to zero.
-func (s *Sim) After(d time.Duration, fn func()) *Timer {
+func (s *Sim) After(d time.Duration, fn func()) Timer {
 	if d < 0 {
 		d = 0
 	}
 	return s.At(s.now+d, fn)
+}
+
+// ScheduleMsg schedules m for delivery to h at d after the current virtual
+// time (negative d coerces to zero). The record is stored inline in the
+// pooled event arena: unlike After with a capturing closure, this path
+// performs no per-call allocation, which is what makes the simulated
+// network's send hot path allocation-free. Message events cannot be
+// stopped; they always fire.
+func (s *Sim) ScheduleMsg(d time.Duration, h MsgHandler, m Msg) {
+	if d < 0 {
+		d = 0
+	}
+	s.schedule(s.now+d, nil, h, m, evMsg)
 }
 
 // Halt stops Run/RunUntil after the currently firing event returns.
@@ -100,17 +155,25 @@ func (s *Sim) Halt() { s.halted = true }
 // Step fires the single next event, advancing the clock to its timestamp.
 // It reports whether an event fired (false when the queue is empty).
 func (s *Sim) Step() bool {
-	for s.queue.Len() > 0 {
-		ev := heap.Pop(&s.queue).(*event)
+	for len(s.heap) > 0 {
+		idx := s.popMin()
+		ev := &s.arena[idx]
 		if ev.stopped {
+			s.stopped--
+			s.release(idx)
 			continue
 		}
 		s.now = ev.at
-		ev.fired = true
 		s.steps++
-		fn := ev.fn
-		ev.fn = nil
-		fn()
+		// Copy the payload out and recycle the slot before firing, so
+		// events scheduled inside the callback can reuse it.
+		kind, fn, dst, m := ev.kind, ev.fn, ev.dst, ev.msg
+		s.release(idx)
+		if kind == evMsg {
+			dst.HandleSimMsg(m)
+		} else {
+			fn()
+		}
 		return true
 	}
 	return false
@@ -135,8 +198,8 @@ func (s *Sim) RunUntil(deadline time.Duration) uint64 {
 	s.halted = false
 	var fired uint64
 	for !s.halted {
-		ev := s.queue.peekLive()
-		if ev == nil || ev.at > deadline {
+		at, ok := s.peekLive()
+		if !ok || at > deadline {
 			break
 		}
 		s.Step()
@@ -159,59 +222,163 @@ func (s *Sim) RunSteps(n uint64) uint64 {
 	return fired
 }
 
-// event is a queue entry. stopped entries are skipped lazily on pop.
+// --- pooled event arena ------------------------------------------------------
+
+type evKind uint8
+
+const (
+	evClosure evKind = iota + 1 // fn callback
+	evMsg                       // typed message delivered to dst
+)
+
+// event is a pooled queue entry. gen guards Timer handles against slot
+// reuse: every release bumps it, invalidating outstanding handles.
 type event struct {
 	at      time.Duration
 	seq     uint64
 	fn      func()
+	dst     MsgHandler
+	msg     Msg
+	gen     uint32
+	kind    evKind
 	stopped bool
-	fired   bool
-	index   int
 }
 
-// eventQueue is a binary heap ordered by (at, seq).
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+// alloc returns a free arena slot, growing the arena when the free list is
+// dry.
+func (s *Sim) alloc() int32 {
+	if n := len(s.free); n > 0 {
+		idx := s.free[n-1]
+		s.free = s.free[:n-1]
+		return idx
 	}
-	return q[i].seq < q[j].seq
+	s.arena = append(s.arena, event{})
+	return int32(len(s.arena) - 1)
 }
 
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
+// release recycles an arena slot: references are dropped for the GC and
+// the generation advances so stale Timer handles go dead.
+func (s *Sim) release(idx int32) {
+	ev := &s.arena[idx]
+	ev.fn = nil
+	ev.dst = nil
+	ev.msg = Msg{}
+	ev.gen++
+	s.free = append(s.free, idx)
 }
 
-func (q *eventQueue) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*q)
-	*q = append(*q, ev)
+// schedule allocates, fills and enqueues one event record.
+func (s *Sim) schedule(at time.Duration, fn func(), dst MsgHandler, m Msg, kind evKind) int32 {
+	if at < s.now {
+		at = s.now
+	}
+	idx := s.alloc()
+	ev := &s.arena[idx]
+	ev.at = at
+	ev.seq = s.seq
+	ev.fn = fn
+	ev.dst = dst
+	ev.msg = m
+	ev.kind = kind
+	ev.stopped = false
+	s.seq++
+	s.heap = append(s.heap, idx)
+	s.siftUp(len(s.heap) - 1)
+	return idx
 }
 
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*q = old[:n-1]
-	return ev
-}
-
-// peekLive returns the earliest non-stopped event without removing it,
-// discarding stopped entries along the way.
-func (q *eventQueue) peekLive() *event {
-	for q.Len() > 0 {
-		ev := (*q)[0]
-		if !ev.stopped {
-			return ev
+// maybeCompact reclaims stopped entries once they exceed half the queue:
+// long churn runs would otherwise hold dead records (and their arena
+// slots) until they surfaced at the heap top.
+func (s *Sim) maybeCompact() {
+	if s.stopped < compactMin || s.stopped*2 <= len(s.heap) {
+		return
+	}
+	live := s.heap[:0]
+	for _, idx := range s.heap {
+		if s.arena[idx].stopped {
+			s.release(idx)
+		} else {
+			live = append(live, idx)
 		}
-		heap.Pop(q)
 	}
-	return nil
+	s.heap = live
+	for i := len(s.heap)/2 - 1; i >= 0; i-- {
+		s.siftDown(i)
+	}
+	s.stopped = 0
+}
+
+// peekLive returns the timestamp of the earliest non-stopped event,
+// discarding stopped entries from the heap top along the way.
+func (s *Sim) peekLive() (time.Duration, bool) {
+	for len(s.heap) > 0 {
+		idx := s.heap[0]
+		ev := &s.arena[idx]
+		if !ev.stopped {
+			return ev.at, true
+		}
+		s.popMin()
+		s.stopped--
+		s.release(idx)
+	}
+	return 0, false
+}
+
+// --- manual index heap -------------------------------------------------------
+//
+// A hand-rolled binary heap over arena indices avoids both the pointer
+// chasing of []*event and the interface boxing of container/heap.
+
+func (s *Sim) less(a, b int32) bool {
+	ea, eb := &s.arena[a], &s.arena[b]
+	if ea.at != eb.at {
+		return ea.at < eb.at
+	}
+	return ea.seq < eb.seq
+}
+
+func (s *Sim) siftUp(i int) {
+	h := s.heap
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (s *Sim) siftDown(i int) {
+	h := s.heap
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		small := l
+		if r := l + 1; r < n && s.less(h[r], h[l]) {
+			small = r
+		}
+		if !s.less(h[small], h[i]) {
+			break
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+}
+
+// popMin removes and returns the root of the heap. The caller owns the
+// returned arena slot.
+func (s *Sim) popMin() int32 {
+	idx := s.heap[0]
+	last := len(s.heap) - 1
+	s.heap[0] = s.heap[last]
+	s.heap = s.heap[:last]
+	if last > 0 {
+		s.siftDown(0)
+	}
+	return idx
 }

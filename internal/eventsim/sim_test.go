@@ -292,7 +292,7 @@ func TestQuickStopSubset(t *testing.T) {
 			raw = raw[:100]
 		}
 		firedCount := 0
-		timers := make([]*Timer, len(raw))
+		timers := make([]Timer, len(raw))
 		for i, r := range raw {
 			timers[i] = s.After(time.Duration(r)*time.Microsecond, func() { firedCount++ })
 		}

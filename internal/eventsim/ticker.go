@@ -10,7 +10,8 @@ type Ticker struct {
 	interval time.Duration
 	jitter   time.Duration
 	fn       func()
-	timer    *Timer
+	fire     func() // built once; rescheduling allocates no new closure
+	timer    Timer
 	stopped  bool
 	ticks    uint64
 }
@@ -25,6 +26,16 @@ func (s *Sim) Every(interval, jitter time.Duration, fn func()) *Ticker {
 		t.stopped = true
 		return t
 	}
+	t.fire = func() {
+		if t.stopped {
+			return
+		}
+		t.ticks++
+		t.fn()
+		if !t.stopped {
+			t.schedule()
+		}
+	}
 	t.schedule()
 	return t
 }
@@ -34,16 +45,7 @@ func (t *Ticker) schedule() {
 	if t.jitter > 0 {
 		d += time.Duration(t.sim.rng.Int63n(int64(t.jitter)))
 	}
-	t.timer = t.sim.After(d, func() {
-		if t.stopped {
-			return
-		}
-		t.ticks++
-		t.fn()
-		if !t.stopped {
-			t.schedule()
-		}
-	})
+	t.timer = t.sim.After(d, t.fire)
 }
 
 // Ticks reports how many times the ticker has fired.
@@ -56,7 +58,5 @@ func (t *Ticker) Stop() {
 		return
 	}
 	t.stopped = true
-	if t.timer != nil {
-		t.timer.Stop()
-	}
+	t.timer.Stop()
 }

@@ -9,7 +9,9 @@
 package fairness
 
 import (
+	"math"
 	"sync"
+	"sync/atomic"
 )
 
 // Class distinguishes what a forwarded message was for. The paper counts
@@ -45,7 +47,8 @@ type Account struct {
 // Weights parameterises the contribution/benefit formulas.
 type Weights struct {
 	// Kappa weighs active filters inside the benefit term (Fig. 2 counts
-	// "# filters"; Fig. 3 omits it — set 0 for the Fig. 3 variant).
+	// "# filters"; Fig. 3 omits it — use ZeroWeights, or set Explicit,
+	// for the Fig. 3 variant).
 	Kappa float64
 	// InfraWeight scales infrastructure bytes relative to application
 	// bytes in the contribution term (1 = count equally).
@@ -53,6 +56,12 @@ type Weights struct {
 	// Audited switches contribution to count only bytes acknowledged as
 	// novel by receivers (the §5.2 anti-bias mechanism, EXP-A6).
 	Audited bool
+	// Explicit marks the weights as intentional: NewLedger applies them
+	// verbatim even when every other field is zero. Without it the zero
+	// Weights value means "use DefaultWeights", which would silently turn
+	// an intentional {Kappa: 0, InfraWeight: 0} (the Fig. 3 variant with
+	// infrastructure ignored) into the Fig. 2 defaults.
+	Explicit bool
 }
 
 // DefaultWeights mirror Fig. 2: filters count toward benefit, and
@@ -61,114 +70,191 @@ func DefaultWeights() Weights {
 	return Weights{Kappa: 1, InfraWeight: 1}
 }
 
-// Ledger tracks accounts for a fixed population. It is safe for
-// concurrent use (the live runtime mutates it from many goroutines).
+// ZeroWeights requests true zeros for every weight (the Fig. 3 variant:
+// no filter credit, infrastructure traffic ignored). The Explicit marker
+// stops NewLedger from mistaking it for the zero value.
+func ZeroWeights() Weights {
+	return Weights{Explicit: true}
+}
+
+// account is the padded, atomically-updated storage slot for one process.
+// Counters are per-account rather than guarded by a ledger-wide mutex, so
+// the simulator's single-threaded fast path pays only uncontended atomic
+// adds and the live runtime's goroutines never serialise on a global lock.
+// The padding rounds the slot up to two cache lines so neighbouring
+// accounts written by different goroutines do not false-share.
+type account struct {
+	msgsSent       [numClasses + 1]atomic.Uint64
+	bytesSent      [numClasses + 1]atomic.Uint64
+	published      atomic.Uint64
+	publishedBytes atomic.Uint64
+	delivered      atomic.Uint64
+	filters        atomic.Int64
+	usefulBytes    atomic.Uint64
+	junkBytes      atomic.Uint64
+	churnPenalty   atomic.Uint64 // float64 bits, CAS-accumulated
+	_              [24]byte      // pad 104 → 128 bytes
+}
+
+// addFloat accumulates v into a float64 stored as atomic bits.
+func addFloat(a *atomic.Uint64, v float64) {
+	for {
+		old := a.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if a.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// snapshot copies the slot into a plain Account.
+func (a *account) snapshot() Account {
+	var out Account
+	for c := 1; c <= numClasses; c++ {
+		out.MsgsSent[c] = a.msgsSent[c].Load()
+		out.BytesSent[c] = a.bytesSent[c].Load()
+	}
+	out.Published = a.published.Load()
+	out.PublishedBytes = a.publishedBytes.Load()
+	out.Delivered = a.delivered.Load()
+	out.Filters = int(a.filters.Load())
+	out.UsefulBytes = a.usefulBytes.Load()
+	out.JunkBytes = a.junkBytes.Load()
+	out.ChurnPenalty = math.Float64frombits(a.churnPenalty.Load())
+	return out
+}
+
+// Accounts are stored in fixed-size chunks so Grow never moves a live
+// slot: concurrent writers keep their pointers while the chunk index is
+// swapped copy-on-write.
+const (
+	chunkShift = 8 // 256 accounts per chunk (32 KiB)
+	chunkSize  = 1 << chunkShift
+	chunkMask  = chunkSize - 1
+)
+
+type chunk [chunkSize]account
+
+// Ledger tracks accounts for a fixed (growable) population. It is safe
+// for concurrent use: the hot add path is lock-free per-account atomics;
+// only Grow takes a lock, to serialise chunk-index swaps.
 type Ledger struct {
-	mu       sync.Mutex
-	accounts []Account
-	w        Weights
+	w      Weights
+	size   atomic.Int64             // published population size
+	chunks atomic.Pointer[[]*chunk] // chunk index, swapped copy-on-write
+	growMu sync.Mutex               // serialises Grow
 }
 
 // NewLedger returns a ledger for n processes.
 func NewLedger(n int, w Weights) *Ledger {
-	if w.InfraWeight == 0 && w.Kappa == 0 && !w.Audited {
-		// Allow the zero Weights value to mean "defaults".
+	if w == (Weights{}) {
+		// Allow the zero Weights value to mean "defaults"; callers that
+		// really want all-zero weights set Explicit (see ZeroWeights).
 		w = DefaultWeights()
 	}
-	return &Ledger{accounts: make([]Account, n), w: w}
+	l := &Ledger{w: w}
+	cs := make([]*chunk, (n+chunkMask)>>chunkShift)
+	for i := range cs {
+		cs[i] = new(chunk)
+	}
+	l.chunks.Store(&cs)
+	l.size.Store(int64(n))
+	return l
 }
 
 // Len returns the population size.
-func (l *Ledger) Len() int {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return len(l.accounts)
-}
+func (l *Ledger) Len() int { return int(l.size.Load()) }
 
-// Grow extends the ledger to cover at least n processes.
+// Grow extends the ledger to cover at least n processes. Existing
+// accounts never move, so it is safe to grow while writers are active.
 func (l *Ledger) Grow(n int) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	for len(l.accounts) < n {
-		l.accounts = append(l.accounts, Account{})
+	l.growMu.Lock()
+	defer l.growMu.Unlock()
+	if int64(n) <= l.size.Load() {
+		return
 	}
+	old := *l.chunks.Load()
+	if need := (n + chunkMask) >> chunkShift; need > len(old) {
+		cs := make([]*chunk, need)
+		copy(cs, old)
+		for i := len(old); i < need; i++ {
+			cs[i] = new(chunk)
+		}
+		l.chunks.Store(&cs)
+	}
+	l.size.Store(int64(n))
 }
 
-func (l *Ledger) valid(id int) bool { return id >= 0 && id < len(l.accounts) }
+// account resolves id to its storage slot, or nil when out of range.
+// The size load precedes the chunk load: Grow publishes chunks before
+// size, so any id we admit has a live slot in whatever index we see.
+func (l *Ledger) account(id int) *account {
+	if id < 0 || int64(id) >= l.size.Load() {
+		return nil
+	}
+	cs := *l.chunks.Load()
+	return &cs[id>>chunkShift][id&chunkMask]
+}
 
 // AddSend records a sent protocol message of the given class and size.
 func (l *Ledger) AddSend(id int, c Class, bytes int) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if !l.valid(id) || c < ClassApp || c > ClassInfra {
+	a := l.account(id)
+	if a == nil || c < ClassApp || c > ClassInfra {
 		return
 	}
-	l.accounts[id].MsgsSent[c]++
-	l.accounts[id].BytesSent[c] += uint64(bytes)
+	a.msgsSent[c].Add(1)
+	a.bytesSent[c].Add(uint64(bytes))
 }
 
 // AddPublish records an event origination.
 func (l *Ledger) AddPublish(id int, bytes int) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if !l.valid(id) {
-		return
+	if a := l.account(id); a != nil {
+		a.published.Add(1)
+		a.publishedBytes.Add(uint64(bytes))
 	}
-	l.accounts[id].Published++
-	l.accounts[id].PublishedBytes += uint64(bytes)
 }
 
 // AddDelivery records one delivered (interesting) event.
 func (l *Ledger) AddDelivery(id int) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if !l.valid(id) {
-		return
+	if a := l.account(id); a != nil {
+		a.delivered.Add(1)
 	}
-	l.accounts[id].Delivered++
 }
 
 // SetFilters records the current number of active subscriptions.
 func (l *Ledger) SetFilters(id, n int) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if !l.valid(id) {
-		return
+	if a := l.account(id); a != nil {
+		a.filters.Store(int64(n))
 	}
-	l.accounts[id].Filters = n
 }
 
 // AddAudit records a receiver's novelty verdict about bytes previously
 // sent by id: useful bytes carried events the receiver did not have.
 func (l *Ledger) AddAudit(id int, usefulBytes, junkBytes int) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if !l.valid(id) {
-		return
+	if a := l.account(id); a != nil {
+		a.usefulBytes.Add(uint64(usefulBytes))
+		a.junkBytes.Add(uint64(junkBytes))
 	}
-	l.accounts[id].UsefulBytes += uint64(usefulBytes)
-	l.accounts[id].JunkBytes += uint64(junkBytes)
 }
 
 // AddChurnPenalty charges repair work caused by id's instability (§3.2:
 // "it might also be wise to penalize unstable nodes").
 func (l *Ledger) AddChurnPenalty(id int, amount float64) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if !l.valid(id) || amount < 0 {
+	if amount < 0 {
 		return
 	}
-	l.accounts[id].ChurnPenalty += amount
+	if a := l.account(id); a != nil {
+		addFloat(&a.churnPenalty, amount)
+	}
 }
 
 // Account returns a copy of one process's account.
 func (l *Ledger) Account(id int) Account {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if !l.valid(id) {
+	a := l.account(id)
+	if a == nil {
 		return Account{}
 	}
-	return l.accounts[id]
+	return a.snapshot()
 }
 
 // Weights returns the ledger's weight configuration.
@@ -218,12 +304,16 @@ func (l *Ledger) Benefit(id int) float64 { return Benefit(l.Account(id), l.w) }
 func (l *Ledger) Ratio(id int) float64 { return Ratio(l.Account(id), l.w) }
 
 // Snapshot returns copies of all accounts (for windowed controllers and
-// reports).
+// reports). Each account is internally consistent; under concurrent
+// writers the snapshot as a whole is a per-counter point-in-time view,
+// which is what windowed rate controllers difference anyway.
 func (l *Ledger) Snapshot() []Account {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	out := make([]Account, len(l.accounts))
-	copy(out, l.accounts)
+	n := l.Len()
+	cs := *l.chunks.Load()
+	out := make([]Account, n)
+	for i := 0; i < n; i++ {
+		out[i] = cs[i>>chunkShift][i&chunkMask].snapshot()
+	}
 	return out
 }
 

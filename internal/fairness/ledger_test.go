@@ -118,6 +118,31 @@ func TestZeroWeightsMeansDefaults(t *testing.T) {
 	}
 }
 
+// An intentional all-zero weighting (the Fig. 3 variant: no filter
+// credit, infrastructure ignored) must survive NewLedger instead of being
+// mistaken for the zero value and replaced with defaults.
+func TestExplicitZeroWeightsKept(t *testing.T) {
+	l := NewLedger(1, ZeroWeights())
+	if w := l.Weights(); w.Kappa != 0 || w.InfraWeight != 0 {
+		t.Fatalf("explicit zeros were defaulted away: %+v", w)
+	}
+	l.AddSend(0, ClassApp, 100)
+	l.AddSend(0, ClassInfra, 400) // must not count: InfraWeight 0
+	l.SetFilters(0, 7)            // must not count: Kappa 0
+	l.AddDelivery(0)
+	if got := l.Contribution(0); got != 100 {
+		t.Errorf("contribution = %v, want 100 (infra ignored)", got)
+	}
+	if got := l.Benefit(0); got != 1 {
+		t.Errorf("benefit = %v, want 1 (filters ignored)", got)
+	}
+	// The long-hand spelling works too.
+	l2 := NewLedger(1, Weights{Kappa: 0, InfraWeight: 0, Explicit: true})
+	if w := l2.Weights(); w.Kappa != 0 || w.InfraWeight != 0 {
+		t.Fatalf("explicit literal zeros were defaulted away: %+v", w)
+	}
+}
+
 func TestDelta(t *testing.T) {
 	var a, b Account
 	a.BytesSent[ClassApp] = 100
@@ -239,6 +264,79 @@ func TestLedgerConcurrentSafety(t *testing.T) {
 			t.Fatalf("node %d lost updates: %d", g, got)
 		}
 	}
+}
+
+// Growing while writers hammer existing accounts must lose no updates:
+// chunked storage means accounts never move.
+func TestGrowConcurrentWithWriters(t *testing.T) {
+	l := NewLedger(4, DefaultWeights())
+	var wg sync.WaitGroup
+	const perWriter = 5000
+	for g := 0; g < 4; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				l.AddSend(g, ClassApp, 1)
+				l.AddChurnPenalty(g, 1)
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for n := 8; n <= 4096; n *= 2 {
+			l.Grow(n)
+			_ = l.Snapshot()
+		}
+	}()
+	wg.Wait()
+	if l.Len() != 4096 {
+		t.Fatalf("Len = %d after growth", l.Len())
+	}
+	for g := 0; g < 4; g++ {
+		a := l.Account(g)
+		if a.BytesSent[ClassApp] != perWriter || a.ChurnPenalty != perWriter {
+			t.Fatalf("node %d lost updates during growth: %+v", g, a)
+		}
+	}
+}
+
+// The per-message accounting path must not allocate: it runs once (or
+// more) for every simulated message.
+func TestAddPathZeroAlloc(t *testing.T) {
+	l := NewLedger(16, DefaultWeights())
+	avg := testing.AllocsPerRun(1000, func() {
+		l.AddSend(3, ClassApp, 64)
+		l.AddDelivery(5)
+		l.AddPublish(7, 32)
+		l.AddAudit(3, 48, 16)
+	})
+	if avg != 0 {
+		t.Fatalf("ledger add path allocates %.2f times per op, want 0", avg)
+	}
+}
+
+func BenchmarkAddSend(b *testing.B) {
+	l := NewLedger(1024, DefaultWeights())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.AddSend(i&1023, ClassApp, 64)
+	}
+}
+
+func BenchmarkAddSendParallel(b *testing.B) {
+	l := NewLedger(1024, DefaultWeights())
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		id := 0
+		for pb.Next() {
+			l.AddSend(id&1023, ClassApp, 64)
+			id += 7
+		}
+	})
 }
 
 func TestRatioFinite(t *testing.T) {

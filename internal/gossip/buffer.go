@@ -15,6 +15,7 @@ import (
 	"math/rand"
 
 	"fairgossip/internal/pubsub"
+	"fairgossip/internal/randutil"
 )
 
 // Policy selects which buffered events go into a gossip message — the
@@ -40,11 +41,18 @@ type bufEntry struct {
 // Buffer is the bounded `events` set of Fig. 4 with lpbcast-style
 // age-based eviction: events older than MaxAge rounds are dropped, and
 // when capacity overflows the oldest (then most-sent) entries go first.
+//
+// Entries live in a recycled slab indexed through the id map, so the
+// per-message insert/evict churn of a long run allocates nothing once the
+// slab has warmed up.
 type Buffer struct {
 	cap    int
 	maxAge int
-	items  map[pubsub.EventID]*bufEntry
+	slab   []bufEntry // entry storage; indices are stable handles
+	freeL  []int32    // recycled slab slots
+	items  map[pubsub.EventID]int32
 	order  []pubsub.EventID // insertion order, oldest first
+	perm   []int            // scratch for PolicyRandom selection
 }
 
 // NewBuffer returns a buffer holding at most capacity events, each for at
@@ -59,7 +67,7 @@ func NewBuffer(capacity, maxAge int) *Buffer {
 	return &Buffer{
 		cap:    capacity,
 		maxAge: maxAge,
-		items:  make(map[pubsub.EventID]*bufEntry, capacity),
+		items:  make(map[pubsub.EventID]int32, capacity),
 	}
 }
 
@@ -76,12 +84,30 @@ func (b *Buffer) Contains(id pubsub.EventID) bool {
 // an event through Get (anti-entropy pulls) counts as a send for the
 // least-sent selection policy.
 func (b *Buffer) Get(id pubsub.EventID) (*pubsub.Event, bool) {
-	e, ok := b.items[id]
+	idx, ok := b.items[id]
 	if !ok {
 		return nil, false
 	}
+	e := &b.slab[idx]
 	e.sent++
 	return e.ev, true
+}
+
+// alloc returns a free slab slot.
+func (b *Buffer) alloc() int32 {
+	if n := len(b.freeL); n > 0 {
+		idx := b.freeL[n-1]
+		b.freeL = b.freeL[:n-1]
+		return idx
+	}
+	b.slab = append(b.slab, bufEntry{})
+	return int32(len(b.slab) - 1)
+}
+
+// release recycles a slab slot, dropping the event reference for the GC.
+func (b *Buffer) release(idx int32) {
+	b.slab[idx] = bufEntry{}
+	b.freeL = append(b.freeL, idx)
 }
 
 // Insert adds an event. It reports false for duplicates. When the buffer
@@ -93,7 +119,9 @@ func (b *Buffer) Insert(ev *pubsub.Event) bool {
 	if len(b.items) >= b.cap {
 		b.evictOldest()
 	}
-	b.items[ev.ID] = &bufEntry{ev: ev}
+	idx := b.alloc()
+	b.slab[idx] = bufEntry{ev: ev}
+	b.items[ev.ID] = idx
 	b.order = append(b.order, ev.ID)
 	return true
 }
@@ -102,8 +130,9 @@ func (b *Buffer) evictOldest() {
 	for len(b.order) > 0 {
 		id := b.order[0]
 		b.order = b.order[1:]
-		if _, ok := b.items[id]; ok {
+		if idx, ok := b.items[id]; ok {
 			delete(b.items, id)
+			b.release(idx)
 			return
 		}
 	}
@@ -117,13 +146,15 @@ func (b *Buffer) Tick() {
 	}
 	live := b.order[:0]
 	for _, id := range b.order {
-		e, ok := b.items[id]
+		idx, ok := b.items[id]
 		if !ok {
 			continue
 		}
+		e := &b.slab[idx]
 		e.age++
 		if e.age >= b.maxAge {
 			delete(b.items, id)
+			b.release(idx)
 			continue
 		}
 		live = append(live, id)
@@ -132,7 +163,9 @@ func (b *Buffer) Tick() {
 }
 
 // Select returns up to n distinct buffered events according to the
-// policy, marking them as sent once each.
+// policy, marking them as sent once each. The returned slice is fresh
+// (callers hand it to in-flight messages); the permutation scratch behind
+// PolicyRandom is reused across calls.
 func (b *Buffer) Select(rng *rand.Rand, n int, policy Policy) []*pubsub.Event {
 	if n > len(b.items) {
 		n = len(b.items)
@@ -141,25 +174,26 @@ func (b *Buffer) Select(rng *rand.Rand, n int, policy Policy) []*pubsub.Event {
 		return nil
 	}
 	ids := b.liveIDs()
+	out := make([]*pubsub.Event, 0, n)
 	switch policy {
 	case PolicyNewest:
 		// order is oldest-first; take from the tail.
 		ids = ids[len(ids)-n:]
 	case PolicyLeastSent:
 		// Partial selection by sent count; stable by age for determinism.
-		sortBySent(ids, b.items)
+		b.sortBySent(ids)
 		ids = ids[:n]
 	default: // PolicyRandom
-		perm := rng.Perm(len(ids))[:n]
-		picked := make([]pubsub.EventID, n)
-		for i, idx := range perm {
-			picked[i] = ids[idx]
+		perm := randutil.PermInto(rng, &b.perm, len(ids))
+		for _, idx := range perm[:n] {
+			e := &b.slab[b.items[ids[idx]]]
+			e.sent++
+			out = append(out, e.ev)
 		}
-		ids = picked
+		return out
 	}
-	out := make([]*pubsub.Event, 0, len(ids))
 	for _, id := range ids {
-		e := b.items[id]
+		e := &b.slab[b.items[id]]
 		e.sent++
 		out = append(out, e.ev)
 	}
@@ -180,51 +214,10 @@ func (b *Buffer) liveIDs() []pubsub.EventID {
 
 // sortBySent is an insertion sort by ascending sent count (buffers are
 // small; stability preserves age order among equals).
-func sortBySent(ids []pubsub.EventID, items map[pubsub.EventID]*bufEntry) {
+func (b *Buffer) sortBySent(ids []pubsub.EventID) {
 	for i := 1; i < len(ids); i++ {
-		for j := i; j > 0 && items[ids[j]].sent < items[ids[j-1]].sent; j-- {
+		for j := i; j > 0 && b.slab[b.items[ids[j]]].sent < b.slab[b.items[ids[j-1]]].sent; j-- {
 			ids[j], ids[j-1] = ids[j-1], ids[j]
 		}
 	}
 }
-
-// SeenSet remembers recently observed event IDs for duplicate suppression
-// (the `delivered`/`events` union of Fig. 4 outlives the buffer so that
-// expired events are not re-delivered). Eviction is FIFO.
-type SeenSet struct {
-	cap   int
-	set   map[pubsub.EventID]struct{}
-	order []pubsub.EventID
-}
-
-// NewSeenSet returns a set remembering at most capacity ids (minimum 1).
-func NewSeenSet(capacity int) *SeenSet {
-	if capacity < 1 {
-		capacity = 1
-	}
-	return &SeenSet{cap: capacity, set: make(map[pubsub.EventID]struct{}, capacity)}
-}
-
-// Add inserts the id, reporting true if it was new.
-func (s *SeenSet) Add(id pubsub.EventID) bool {
-	if _, dup := s.set[id]; dup {
-		return false
-	}
-	if len(s.set) >= s.cap {
-		victim := s.order[0]
-		s.order = s.order[1:]
-		delete(s.set, victim)
-	}
-	s.set[id] = struct{}{}
-	s.order = append(s.order, id)
-	return true
-}
-
-// Contains reports whether the id is remembered.
-func (s *SeenSet) Contains(id pubsub.EventID) bool {
-	_, ok := s.set[id]
-	return ok
-}
-
-// Len returns the number of remembered ids.
-func (s *SeenSet) Len() int { return len(s.set) }

@@ -3,6 +3,7 @@ package membership
 import (
 	"math/rand"
 
+	"fairgossip/internal/randutil"
 	"fairgossip/internal/simnet"
 )
 
@@ -24,6 +25,9 @@ type Cyclon struct {
 	// shuffle so that HandleReply can prefer replacing them.
 	pending []Entry
 	target  simnet.NodeID
+
+	perm  []int           // scratch for offer permutations
+	repls []simnet.NodeID // scratch for merge's replaceable list
 }
 
 // NewCyclon wraps a view with shuffle logic exchanging l entries per
@@ -58,14 +62,19 @@ func (c *Cyclon) InitiateShuffle(rng *rand.Rand) (target simnet.NodeID, offer []
 
 	offer = c.pickOffer(rng, c.shuffleLen-1)
 	offer = append(offer, Entry{ID: c.view.Self(), Age: 0})
-	c.pending = append([]Entry(nil), offer...)
+	// Aliasing the offer is safe: neither the transport nor merge mutates
+	// entry slices, and HandleReply drops the reference.
+	c.pending = offer
 	c.target = oldest.ID
 	return oldest.ID, offer, true
 }
 
-// pickOffer selects up to k random entries from the view (copies).
+// pickOffer selects up to k random entries from the view (copies). The
+// returned slice is fresh — offers travel in in-flight messages — but the
+// permutation runs over the live entries through a reused scratch, with
+// the same draws an rng.Perm over a copy would make.
 func (c *Cyclon) pickOffer(rng *rand.Rand, k int) []Entry {
-	entries := c.view.Entries()
+	entries := c.view.entries
 	if k > len(entries) {
 		k = len(entries)
 	}
@@ -73,7 +82,7 @@ func (c *Cyclon) pickOffer(rng *rand.Rand, k int) []Entry {
 		k = 0
 	}
 	out := make([]Entry, 0, k+1)
-	for _, idx := range rng.Perm(len(entries))[:k] {
+	for _, idx := range randutil.PermInto(rng, &c.perm, len(entries))[:k] {
 		out = append(out, entries[idx])
 	}
 	return out
@@ -107,7 +116,7 @@ func (c *Cyclon) HandleReply(from simnet.NodeID, reply []Entry) {
 // reused, and remaining entries are dropped (Cyclon keeps views bounded).
 func (c *Cyclon) merge(received, sent []Entry, from simnet.NodeID) {
 	// Deterministic replacement order: the order entries were sent.
-	replaceable := make([]simnet.NodeID, 0, len(sent))
+	replaceable := c.repls[:0]
 	for _, e := range sent {
 		if e.ID != c.view.Self() {
 			replaceable = append(replaceable, e.ID)
@@ -141,6 +150,7 @@ func (c *Cyclon) merge(received, sent []Entry, from simnet.NodeID) {
 	if from != c.view.Self() && !c.view.Contains(from) && c.view.Len() < c.view.Cap() {
 		c.view.AddAged(Entry{ID: from, Age: 0})
 	}
+	c.repls = replaceable[:0] // keep the grown scratch capacity
 }
 
 // EntryWireSize is the accounting size of one view entry on the wire:

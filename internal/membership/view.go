@@ -11,6 +11,7 @@ package membership
 import (
 	"math/rand"
 
+	"fairgossip/internal/randutil"
 	"fairgossip/internal/simnet"
 )
 
@@ -28,6 +29,7 @@ type View struct {
 	self    simnet.NodeID
 	cap     int
 	entries []Entry
+	perm    []int // scratch for Sample permutations
 }
 
 // NewView returns an empty view for node self holding at most capacity
@@ -152,7 +154,7 @@ func (v *View) Sample(rng *rand.Rand, k int) []simnet.NodeID {
 	if k <= 0 {
 		return nil
 	}
-	perm := rng.Perm(n)
+	perm := randutil.PermInto(rng, &v.perm, n)
 	out := make([]simnet.NodeID, k)
 	for i := 0; i < k; i++ {
 		out[i] = v.entries[perm[i]].ID
@@ -196,16 +198,18 @@ func (s FullSampler) SamplePeers(rng *rand.Rand, k int) []simnet.NodeID {
 		return nil
 	}
 	out := make([]simnet.NodeID, 0, k)
-	seen := make(map[simnet.NodeID]struct{}, k)
+draw:
 	for len(out) < k {
 		id := simnet.NodeID(rng.Intn(s.N))
 		if id == s.Self {
 			continue
 		}
-		if _, dup := seen[id]; dup {
-			continue
+		// k is a fanout (single digits): a linear dup scan beats a map.
+		for _, prev := range out {
+			if prev == id {
+				continue draw
+			}
 		}
-		seen[id] = struct{}{}
 		out = append(out, id)
 	}
 	return out

@@ -188,9 +188,22 @@ func (n *Network) Send(from, to NodeID, payload any, size int) {
 		n.total.Dropped++
 		return
 	}
-	msg := Message{From: from, To: to, Payload: payload, Size: size}
 	delay := n.cfg.Latency(n.sim.Rand(), from, to)
-	n.sim.After(delay, func() { n.deliver(msg) })
+	// The in-flight message rides inline in a pooled kernel event record:
+	// no per-send event allocation and no delivery closure (the old
+	// `func() { n.deliver(msg) }` capture cost one allocation per message).
+	n.sim.ScheduleMsg(delay, n, eventsim.Msg{
+		From:    int32(from),
+		To:      int32(to),
+		Size:    int32(size),
+		Payload: payload,
+	})
+}
+
+// HandleSimMsg implements eventsim.MsgHandler: in-flight messages come
+// back from the kernel at their delivery time.
+func (n *Network) HandleSimMsg(m eventsim.Msg) {
+	n.deliver(Message{From: NodeID(m.From), To: NodeID(m.To), Payload: m.Payload, Size: int(m.Size)})
 }
 
 func (n *Network) deliver(msg Message) {

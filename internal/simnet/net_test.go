@@ -207,6 +207,126 @@ func TestSelfSend(t *testing.T) {
 	}
 }
 
+// checkConservation asserts the network-wide counter invariant: every
+// accounted send is eventually delivered or charged to its sender as a
+// drop, and per-node counters sum to the totals.
+func checkConservation(t *testing.T, net *Network) {
+	t.Helper()
+	tot := net.TotalTraffic()
+	if tot.MsgsSent != tot.MsgsRecv+tot.Dropped {
+		t.Fatalf("conservation broken: sent %d != recv %d + dropped %d",
+			tot.MsgsSent, tot.MsgsRecv, tot.Dropped)
+	}
+	var sent, recv, dropped, bytesSent, bytesRecv uint64
+	for id := 0; id < net.Len(); id++ {
+		s := net.Stats(NodeID(id))
+		sent += s.MsgsSent
+		recv += s.MsgsRecv
+		dropped += s.Dropped
+		bytesSent += s.BytesSent
+		bytesRecv += s.BytesRecv
+	}
+	if sent != tot.MsgsSent || recv != tot.MsgsRecv || dropped != tot.Dropped {
+		t.Fatalf("per-node sums (%d/%d/%d) disagree with totals (%d/%d/%d)",
+			sent, recv, dropped, tot.MsgsSent, tot.MsgsRecv, tot.Dropped)
+	}
+	if bytesSent != tot.BytesSent || bytesRecv != tot.BytesRecv {
+		t.Fatalf("byte sums (%d/%d) disagree with totals (%d/%d)",
+			bytesSent, bytesRecv, tot.BytesSent, tot.BytesRecv)
+	}
+}
+
+func TestDropConservationUnderLoss(t *testing.T) {
+	sim, net, _ := build(t, 4, Config{Loss: 0.25})
+	for i := 0; i < 4000; i++ {
+		net.Send(NodeID(i%4), NodeID((i+1)%4), nil, 8)
+	}
+	sim.Run()
+	checkConservation(t, net)
+	if net.TotalTraffic().Dropped == 0 {
+		t.Fatal("25% loss produced zero drops")
+	}
+}
+
+func TestDropConservationUnderPartition(t *testing.T) {
+	sim, net, _ := build(t, 6, Config{})
+	net.Partition([]NodeID{0, 1, 2})
+	for i := 0; i < 600; i++ {
+		net.Send(NodeID(i%6), NodeID((i+3)%6), nil, 8) // all cross-partition
+	}
+	sim.Run()
+	checkConservation(t, net)
+	// Cross-partition sends are charged to the sender at delivery time.
+	if d := net.TotalTraffic().Dropped; d != 600 {
+		t.Fatalf("dropped %d of 600 cross-partition sends", d)
+	}
+	for id := 0; id < 6; id++ {
+		if s := net.Stats(NodeID(id)); s.Dropped != 100 {
+			t.Fatalf("node %d charged %d drops, want its own 100", id, s.Dropped)
+		}
+	}
+	net.Heal()
+	net.Send(0, 3, nil, 8)
+	sim.Run()
+	checkConservation(t, net)
+}
+
+func TestDropConservationUnderCrash(t *testing.T) {
+	sim, net, recs := build(t, 3, Config{Latency: ConstantLatency(time.Millisecond)})
+	// In-flight toward a node that crashes before delivery.
+	for i := 0; i < 50; i++ {
+		net.Send(0, 2, nil, 8)
+		net.Send(1, 2, nil, 8)
+	}
+	net.SetUp(2, false)
+	sim.Run()
+	checkConservation(t, net)
+	if len(recs[2].got) != 0 {
+		t.Fatal("crashed node received messages")
+	}
+	if s0, s1 := net.Stats(0), net.Stats(1); s0.Dropped != 50 || s1.Dropped != 50 {
+		t.Fatalf("crash-time drops mischarged: %d / %d, want 50 / 50", s0.Dropped, s1.Dropped)
+	}
+	// A down sender is never accounted at all, so the invariant still holds.
+	net.Send(2, 0, nil, 8)
+	sim.Run()
+	checkConservation(t, net)
+	// Restart and mix loss + crash in one run.
+	net.SetUp(2, true)
+	net.SetLoss(0.5)
+	for i := 0; i < 1000; i++ {
+		net.Send(0, 2, nil, 8)
+	}
+	sim.Run()
+	checkConservation(t, net)
+}
+
+// The send→deliver cycle must be allocation-free in steady state: message
+// records ride inline in pooled kernel events instead of heap-allocated
+// closures.
+func TestSendDeliverZeroAlloc(t *testing.T) {
+	sim := eventsim.New(1)
+	net := New(sim, Config{Latency: ConstantLatency(time.Microsecond)})
+	a := net.AddNode(nopHandler{})
+	b := net.AddNode(nopHandler{})
+	payload := &struct{ x int }{}
+	for i := 0; i < 64; i++ { // warm the kernel's arena and heap
+		net.Send(a, b, payload, 64)
+	}
+	sim.Run()
+	avg := testing.AllocsPerRun(1000, func() {
+		net.Send(a, b, payload, 64)
+		sim.Step()
+	})
+	if avg != 0 {
+		t.Fatalf("Send+deliver allocates %.2f times per op, want 0", avg)
+	}
+}
+
+type nopHandler struct{}
+
+func (nopHandler) HandleMessage(Message) {}
+
 func BenchmarkSendDeliver(b *testing.B) {
 	sim := eventsim.New(1)
 	net := New(sim, Config{Latency: ConstantLatency(time.Microsecond)})
