@@ -18,7 +18,7 @@ test:
 	$(GO) test $(PKGS)
 
 race:
-	$(GO) test -race ./internal/fairness/ ./internal/gossip/ ./internal/live/ ./internal/eventsim/ ./internal/simnet/
+	$(GO) test -race ./internal/fairness/ ./internal/gossip/ ./internal/live/ ./internal/eventsim/ ./internal/simnet/ ./internal/scenario/
 
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem -benchtime 3x .

@@ -11,8 +11,10 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -38,18 +40,26 @@ type experimentEntry struct {
 }
 
 func main() {
-	os.Exit(run())
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run() int {
+// run is the testable entry point: explicit args, writers, exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("fairbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		seed     = flag.Int64("seed", 1, "random seed (same seed = identical output)")
-		small    = flag.Bool("small", false, "bench-scale parameters (fast)")
-		outDir   = flag.String("out", "results", "directory for CSV output (empty = no CSV)")
-		only     = flag.String("only", "", "comma-separated experiment IDs to run (e.g. EXP-F1,EXP-A3)")
-		jsonPath = flag.String("json", "", "path for the JSON run record (default <out>/BENCH_<date>.json; empty out disables)")
+		seed     = fs.Int64("seed", 1, "random seed (same seed = identical output)")
+		small    = fs.Bool("small", false, "bench-scale parameters (fast)")
+		outDir   = fs.String("out", "results", "directory for CSV output (empty = no CSV)")
+		only     = fs.String("only", "", "comma-separated experiment IDs to run (e.g. EXP-F1,EXP-A3)")
+		jsonPath = fs.String("json", "", "path for the JSON run record (default <out>/BENCH_<date>.json; empty out disables)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
 	want := map[string]bool{}
 	for _, id := range strings.Split(*only, ",") {
@@ -59,7 +69,7 @@ func run() int {
 	}
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
-			fmt.Fprintf(os.Stderr, "fairbench: %v\n", err)
+			fmt.Fprintf(stderr, "fairbench: %v\n", err)
 			return 1
 		}
 	}
@@ -77,7 +87,7 @@ func run() int {
 		start := time.Now()
 		tables := spec.Run(opts)
 		elapsed := time.Since(start).Seconds()
-		fmt.Printf("\n########## %s — %s  (%.1fs)\n\n", spec.ID, spec.Title, elapsed)
+		fmt.Fprintf(stdout, "\n########## %s — %s  (%.1fs)\n\n", spec.ID, spec.Title, elapsed)
 		record.Experiments = append(record.Experiments, experimentEntry{
 			ID:      spec.ID,
 			Title:   spec.Title,
@@ -85,11 +95,11 @@ func run() int {
 			Tables:  tables,
 		})
 		for ti, t := range tables {
-			fmt.Println(t.String())
+			fmt.Fprintln(stdout, t.String())
 			if *outDir != "" {
 				name := fmt.Sprintf("%s_%d.csv", strings.ToLower(strings.ReplaceAll(spec.ID, "-", "_")), ti)
 				if err := os.WriteFile(filepath.Join(*outDir, name), []byte(t.CSV()), 0o644); err != nil {
-					fmt.Fprintf(os.Stderr, "fairbench: %v\n", err)
+					fmt.Fprintf(stderr, "fairbench: %v\n", err)
 					return 1
 				}
 			}
@@ -105,10 +115,10 @@ func run() int {
 			err = os.WriteFile(path, append(blob, '\n'), 0o644)
 		}
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "fairbench: %v\n", err)
+			fmt.Fprintf(stderr, "fairbench: %v\n", err)
 			return 1
 		}
-		fmt.Printf("\nrun record: %s\n", path)
+		fmt.Fprintf(stdout, "\nrun record: %s\n", path)
 	}
 	return 0
 }

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// timing strips the wall-clock fragments fairbench prints, the only
+// nondeterministic part of its stdout.
+var timing = regexp.MustCompile(`\([0-9.]+s\)`)
+
+// runOnce runs fairbench -small on one experiment into a temp dir and
+// returns the normalised stdout plus each CSV's bytes.
+func runOnce(t *testing.T, seed string) (string, map[string][]byte) {
+	t.Helper()
+	dir := t.TempDir()
+	var out, errb bytes.Buffer
+	code := run([]string{"-small", "-seed", seed, "-only", "EXP-A6", "-out", dir, "-json", filepath.Join(dir, "rec.json")}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("fairbench exited %d: %s", code, errb.String())
+	}
+	csvs := map[string][]byte{}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".csv") {
+			blob, err := os.ReadFile(filepath.Join(dir, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			csvs[e.Name()] = blob
+		}
+	}
+	stdout := timing.ReplaceAllString(out.String(), "(T)")
+	// The run-record line embeds the per-run temp dir.
+	stdout = regexp.MustCompile(`run record: .*`).ReplaceAllString(stdout, "run record: (path)")
+	return stdout, csvs
+}
+
+// TestFairbenchSmoke: the table output is well-formed and the run record
+// and CSVs land where asked.
+func TestFairbenchSmoke(t *testing.T) {
+	stdout, csvs := runOnce(t, "1")
+	if !strings.Contains(stdout, "########## EXP-A6") {
+		t.Fatalf("missing experiment header:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "expected shape") {
+		t.Fatalf("table note missing:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "run record:") {
+		t.Fatalf("run record line missing:\n%s", stdout)
+	}
+	if len(csvs) == 0 {
+		t.Fatal("no CSV files written")
+	}
+	for name, blob := range csvs {
+		lines := strings.Split(strings.TrimRight(string(blob), "\n"), "\n")
+		if len(lines) < 2 {
+			t.Fatalf("%s has no data rows:\n%s", name, blob)
+		}
+		// Every row has the header's column count.
+		want := strings.Count(lines[0], ",")
+		for i, ln := range lines {
+			if strings.Count(ln, ",") != want {
+				t.Fatalf("%s row %d is ragged: %q (header %q)", name, i, ln, lines[0])
+			}
+		}
+	}
+}
+
+// TestFairbenchDeterministic: two runs with the same seed produce
+// byte-identical CSVs and (timing-normalised) identical stdout — the
+// property every fixed-seed regression baseline in this repo rests on.
+func TestFairbenchDeterministic(t *testing.T) {
+	out1, csv1 := runOnce(t, "1")
+	out2, csv2 := runOnce(t, "1")
+	if out1 != out2 {
+		t.Fatalf("stdout differs across identical seeds:\n--- a\n%s\n--- b\n%s", out1, out2)
+	}
+	if len(csv1) != len(csv2) {
+		t.Fatalf("CSV sets differ: %d vs %d files", len(csv1), len(csv2))
+	}
+	names := make([]string, 0, len(csv1))
+	for n := range csv1 {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if !bytes.Equal(csv1[n], csv2[n]) {
+			t.Fatalf("%s differs across identical seeds:\n--- a\n%s\n--- b\n%s", n, csv1[n], csv2[n])
+		}
+	}
+}
+
+// TestFairbenchBadFlag: unknown flags are a usage error, not a crash,
+// while -h is plain usage output (exit 0).
+func TestFairbenchBadFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d for bad flag, want 2", code)
+	}
+	if code := run([]string{"-h"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d for -h, want 0", code)
+	}
+}

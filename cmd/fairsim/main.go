@@ -1,18 +1,25 @@
-// Command fairsim runs a single FairGossip scenario and prints its
+// Command fairsim runs a single FairGossip simulation and prints its
 // fairness report — the quickest way to poke at the system's parameters.
+// The scenario subcommand runs a named fault-injection scenario from the
+// built-in table (see SCENARIOS.md) with machine-checked invariants.
 //
-// Example:
+// Examples:
 //
 //	fairsim -n 256 -mode topics -controller aimd -target 2000 -rounds 300
+//	fairsim scenario -list
+//	fairsim scenario -name storm -runtime both -seed 7
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"time"
 
+	"fairgossip"
 	"fairgossip/internal/core"
 	"fairgossip/internal/fairness"
 	"fairgossip/internal/pubsub"
@@ -21,26 +28,89 @@ import (
 )
 
 func main() {
-	os.Exit(run())
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run() int {
+// run dispatches to the scenario subcommand or the classic single-run
+// mode. It is the testable entry point: exit code plus explicit writers.
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) > 0 && args[0] == "scenario" {
+		return runScenario(args[1:], stdout, stderr)
+	}
+	return runSingle(args, stdout, stderr)
+}
+
+// runScenario executes named scenarios from the built-in table.
+func runScenario(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("fairsim scenario", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		n          = flag.Int("n", 256, "number of peers")
-		mode       = flag.String("mode", "content", "selectivity mode: content | topics")
-		controller = flag.String("controller", "static", "participation: static | aimd | prop")
-		target     = flag.Float64("target", 2000, "fairness target f (contribution bytes per benefit unit)")
-		fanout     = flag.Int("fanout", 5, "initial/static fanout F")
-		batch      = flag.Int("batch", 8, "initial/static gossip message size N (events)")
-		topics     = flag.Int("topics", 64, "number of topics (Zipf 1.01 popularity)")
-		maxSubs    = flag.Int("maxsubs", 8, "max subscriptions per peer")
-		rounds     = flag.Int("rounds", 200, "publishing rounds (1 event/round)")
-		payload    = flag.Int("payload", 64, "event payload bytes")
-		loss       = flag.Float64("loss", 0, "message loss probability")
-		seed       = flag.Int64("seed", 1, "random seed")
-		top        = flag.Int("top", 5, "top contributors to list")
+		name    = fs.String("name", "", "built-in scenario to run (see -list)")
+		runtime = fs.String("runtime", "sim", "runtime: sim | live | both")
+		seed    = fs.Int64("seed", 1, "schedule seed (sim: same seed = identical result)")
+		list    = fs.Bool("list", false, "list the built-in scenario table and exit")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	if *list {
+		for _, sc := range fairgossip.ScenarioNames() {
+			s, _ := fairgossip.ScenarioByName(sc)
+			fmt.Fprintf(stdout, "%-16s %s\n", s.Name, s.Note)
+		}
+		return 0
+	}
+	if *name == "" {
+		fmt.Fprintln(stderr, "fairsim scenario: -name required (or -list)")
+		return 2
+	}
+	runtimes := []string{*runtime}
+	if *runtime == "both" {
+		runtimes = []string{"sim", "live"}
+	}
+	code := 0
+	for _, rt := range runtimes {
+		res, err := fairgossip.RunScenario(*name, rt, *seed)
+		if err != nil {
+			fmt.Fprintf(stderr, "fairsim scenario: %v\n", err)
+			return 2
+		}
+		fmt.Fprint(stdout, res.String())
+		if !res.Ok() {
+			code = 1
+		}
+	}
+	return code
+}
+
+// runSingle is the classic parameter-poking mode.
+func runSingle(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("fairsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		n          = fs.Int("n", 256, "number of peers")
+		mode       = fs.String("mode", "content", "selectivity mode: content | topics")
+		controller = fs.String("controller", "static", "participation: static | aimd | prop")
+		target     = fs.Float64("target", 2000, "fairness target f (contribution bytes per benefit unit)")
+		fanout     = fs.Int("fanout", 5, "initial/static fanout F")
+		batch      = fs.Int("batch", 8, "initial/static gossip message size N (events)")
+		topics     = fs.Int("topics", 64, "number of topics (Zipf 1.01 popularity)")
+		maxSubs    = fs.Int("maxsubs", 8, "max subscriptions per peer")
+		rounds     = fs.Int("rounds", 200, "publishing rounds (1 event/round)")
+		payload    = fs.Int("payload", 64, "event payload bytes")
+		loss       = fs.Float64("loss", 0, "message loss probability")
+		seed       = fs.Int64("seed", 1, "random seed")
+		top        = fs.Int("top", 5, "top contributors to list")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
 	cfg := core.Config{
 		Fanout: *fanout,
@@ -52,7 +122,7 @@ func run() int {
 	case "topics":
 		cfg.Mode = core.ModeTopics
 	default:
-		fmt.Fprintf(os.Stderr, "fairsim: unknown mode %q\n", *mode)
+		fmt.Fprintf(stderr, "fairsim: unknown mode %q\n", *mode)
 		return 2
 	}
 	switch *controller {
@@ -63,7 +133,7 @@ func run() int {
 	case "prop":
 		cfg.Controller = core.ControllerSpec{Kind: core.ControllerProportional, TargetRatio: *target}
 	default:
-		fmt.Fprintf(os.Stderr, "fairsim: unknown controller %q\n", *controller)
+		fmt.Fprintf(stderr, "fairsim: unknown controller %q\n", *controller)
 		return 2
 	}
 
@@ -99,21 +169,21 @@ func run() int {
 	cluster.RunRounds(15)
 	elapsed := time.Since(start)
 
-	fmt.Printf("fairgossip: n=%d mode=%s controller=%s target=%.0f seed=%d\n",
+	fmt.Fprintf(stdout, "fairgossip: n=%d mode=%s controller=%s target=%.0f seed=%d\n",
 		*n, *mode, *controller, *target, *seed)
-	fmt.Printf("simulated %d publishing rounds in %.2fs wall (%d events fired)\n\n",
+	fmt.Fprintf(stdout, "simulated %d publishing rounds in %.2fs wall (%d events fired)\n\n",
 		*rounds, elapsed.Seconds(), cluster.Sim.Steps())
-	fmt.Println(cluster.Report().String())
+	fmt.Fprintln(stdout, cluster.Report().String())
 
 	tot := cluster.Net.TotalTraffic()
-	fmt.Printf("network              %d msgs, %.2f MB, %d dropped\n",
+	fmt.Fprintf(stdout, "network              %d msgs, %.2f MB, %d dropped\n",
 		tot.MsgsSent, float64(tot.BytesSent)/1e6, tot.Dropped)
-	fmt.Printf("events delivered     %d\n\n", cluster.DeliveredTotal())
+	fmt.Fprintf(stdout, "events delivered     %d\n\n", cluster.DeliveredTotal())
 
-	fmt.Printf("top %d contributors:\n", *top)
+	fmt.Fprintf(stdout, "top %d contributors:\n", *top)
 	for _, id := range cluster.Ledger.TopContributors(*top) {
 		a := cluster.Ledger.Account(id)
-		fmt.Printf("  node %-4d contribution %-12.0f benefit %-8.0f ratio %.1f (F=%d N=%d)\n",
+		fmt.Fprintf(stdout, "  node %-4d contribution %-12.0f benefit %-8.0f ratio %.1f (F=%d N=%d)\n",
 			id,
 			fairness.Contribution(a, cluster.Ledger.Weights()),
 			fairness.Benefit(a, cluster.Ledger.Weights()),

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"bytes"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+var wallClock = regexp.MustCompile(`in [0-9.]+s wall`)
+
+func runSingleOnce(t *testing.T) string {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run([]string{"-n", "48", "-rounds", "20", "-seed", "5"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("fairsim exited %d: %s", code, errb.String())
+	}
+	return wallClock.ReplaceAllString(out.String(), "in (T) wall")
+}
+
+// TestFairsimSingleSmoke: the classic mode prints a complete report.
+func TestFairsimSingleSmoke(t *testing.T) {
+	out := runSingleOnce(t)
+	for _, want := range []string{"fairgossip: n=48", "network", "events delivered", "top 5 contributors:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// TestFairsimSingleDeterministic: same seed, same output (wall clock
+// normalised).
+func TestFairsimSingleDeterministic(t *testing.T) {
+	a, b := runSingleOnce(t), runSingleOnce(t)
+	if a != b {
+		t.Fatalf("output differs across identical seeds:\n--- a\n%s\n--- b\n%s", a, b)
+	}
+}
+
+// TestFairsimScenarioList: the subcommand lists every built-in.
+func TestFairsimScenarioList(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"scenario", "-list"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	for _, want := range []string{"calm", "churn-waves", "partition-heal", "lossy", "flash-crowd", "sub-churn", "free-riders", "storm"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("scenario %q missing from -list:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestFairsimScenarioRun: a sim scenario run passes its invariants and
+// is byte-identical across two runs with the same seed (no wall-clock
+// text in scenario output at all).
+func TestFairsimScenarioRun(t *testing.T) {
+	runOnce := func() string {
+		var out, errb bytes.Buffer
+		if code := run([]string{"scenario", "-name", "churn-waves", "-runtime", "sim", "-seed", "3"}, &out, &errb); code != 0 {
+			t.Fatalf("exit %d: %s\n%s", code, errb.String(), out.String())
+		}
+		return out.String()
+	}
+	a := runOnce()
+	if !strings.Contains(a, "invariants         all passing") {
+		t.Fatalf("scenario did not pass:\n%s", a)
+	}
+	if b := runOnce(); a != b {
+		t.Fatalf("scenario output differs across identical seeds:\n--- a\n%s--- b\n%s", a, b)
+	}
+}
+
+// TestFairsimScenarioErrors: unknown names and runtimes are usage
+// errors.
+func TestFairsimScenarioErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"scenario", "-name", "nope"}, &out, &errb); code != 2 {
+		t.Fatalf("unknown scenario: exit %d, want 2", code)
+	}
+	if code := run([]string{"scenario", "-name", "calm", "-runtime", "warp"}, &out, &errb); code != 2 {
+		t.Fatalf("unknown runtime: exit %d, want 2", code)
+	}
+	if code := run([]string{"scenario"}, &out, &errb); code != 2 {
+		t.Fatalf("missing -name: exit %d, want 2", code)
+	}
+	if code := run([]string{"-mode", "warp"}, &out, &errb); code != 2 {
+		t.Fatalf("unknown mode: exit %d, want 2", code)
+	}
+}
+
+// TestFairsimHelp: -h prints usage and exits 0, in both modes.
+func TestFairsimHelp(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-h"}, &out, &errb); code != 0 {
+		t.Fatalf("-h exit %d, want 0", code)
+	}
+	if code := run([]string{"scenario", "-h"}, &out, &errb); code != 0 {
+		t.Fatalf("scenario -h exit %d, want 0", code)
+	}
+}

@@ -3,17 +3,20 @@
 // do as much work as everyone else, perceive unfairness, and rage-quit —
 // degrading reliability for all. The adaptive protocol defuses the loop.
 //
+// The phase loop runs on the scenario engine's rage-quit driver
+// (internal/scenario.RageQuitLoop) — the same machinery EXP-T5 uses.
+//
 // Run with: go run ./examples/churnstorm
 package main
 
 import (
 	"fmt"
 	"math/rand"
-	"sort"
 	"time"
 
 	"fairgossip"
 	"fairgossip/internal/fairness"
+	"fairgossip/internal/scenario"
 	"fairgossip/internal/simnet"
 	"fairgossip/internal/workload"
 )
@@ -63,51 +66,43 @@ func run(spec fairgossip.ControllerSpec) (quits int, downtimePct float64) {
 	}
 
 	cluster.RunRounds(5)
-	rage := workload.NewRageQuit(2.5, 2)
 	rng := rand.New(rand.NewSource(11))
-	downUntil := make(map[int]int)
 	lightDownChecks := 0
 	prev := cluster.Ledger.Snapshot()
 
-	for phase := 0; phase < phases; phase++ {
-		for r := 0; r < 10; r++ {
-			cluster.Node(rng.Intn(peers)).Publish("ticks", stocks.Event(rng), nil)
-			cluster.RunRounds(1)
-		}
-		for _, id := range light {
-			if !cluster.Node(id).Active() {
-				lightDownChecks++
+	loop := &scenario.RageQuitLoop{
+		Phases: phases,
+		Quit:   workload.NewRageQuit(2.5, 2),
+		Publish: func(int) {
+			for r := 0; r < 10; r++ {
+				cluster.Node(rng.Intn(peers)).Publish("ticks", stocks.Event(rng), nil)
+				cluster.RunRounds(1)
 			}
-		}
-		for id, until := range downUntil {
-			if phase >= until {
-				cluster.Node(id).Rejoin(0)
-				delete(downUntil, id)
+		},
+		AfterPublish: func(int) {
+			for _, id := range light {
+				if !cluster.Node(id).Active() {
+					lightDownChecks++
+				}
 			}
-		}
-		cur := cluster.Ledger.Snapshot()
-		ratios := make([]float64, peers)
-		for i := range ratios {
-			ratios[i] = fairness.Ratio(fairness.Delta(cur[i], prev[i]), cluster.Ledger.Weights())
-		}
-		prev = cur
-		if phase < 3 {
-			continue // warm-up
-		}
-		med := median(ratios)
-		for _, id := range rage.Check(ratios, med, func(i int) bool { return cluster.Node(i).Active() }) {
+		},
+		Ratios: func(int) []float64 {
+			cur := cluster.Ledger.Snapshot()
+			ratios := make([]float64, peers)
+			for i := range ratios {
+				ratios[i] = fairness.Ratio(fairness.Delta(cur[i], prev[i]), cluster.Ledger.Weights())
+			}
+			prev = cur
+			return ratios
+		},
+		Active: func(i int) bool { return cluster.Node(i).Active() },
+		Leave: func(phase, id int, ratio, med float64) {
 			fmt.Printf("  phase %2d: peer %2d rage-quits (window ratio %.0f vs median %.0f)\n",
-				phase, id, ratios[id], med)
+				phase, id, ratio, med)
 			cluster.Node(id).Leave()
-			downUntil[id] = phase + 3
-			quits++
-		}
+		},
+		Rejoin: func(id int) { cluster.Node(id).Rejoin(0) },
 	}
+	quits = loop.Run()
 	return quits, 100 * float64(lightDownChecks) / float64(len(light)*phases)
-}
-
-func median(xs []float64) float64 {
-	ys := append([]float64(nil), xs...)
-	sort.Float64s(ys)
-	return ys[len(ys)/2]
 }

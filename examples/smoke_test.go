@@ -1,0 +1,85 @@
+// Package examples_test builds and runs every example program with a
+// hard timeout, so examples/quickstart and friends cannot silently rot
+// as the library underneath them moves.
+package examples_test
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// examples maps each example directory to a string its output must
+// contain when it runs to completion.
+var examples = map[string]string{
+	"quickstart": "fairness report:",
+	"newsfeed":   "Jain's fairness index:",
+	"stockwatch": "deliveries per peer",
+	"churnstorm": "rage-quits:",
+}
+
+// TestExamplesBuildAndRun builds each example binary once and runs it
+// under a timeout. Examples are tiny demos; any one of them taking more
+// than a minute (or crashing, or losing its landmark output) is rot.
+func TestExamplesBuildAndRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("example runs are not short")
+	}
+	bin := t.TempDir()
+	for name, landmark := range examples {
+		name, landmark := name, landmark
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			exe := filepath.Join(bin, name)
+			build := exec.Command("go", "build", "-o", exe, "./"+name)
+			build.Dir = "."
+			if out, err := build.CombinedOutput(); err != nil {
+				t.Fatalf("go build ./%s: %v\n%s", name, err, out)
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+			defer cancel()
+			var out bytes.Buffer
+			cmd := exec.CommandContext(ctx, exe)
+			cmd.Stdout = &out
+			cmd.Stderr = &out
+			if err := cmd.Run(); err != nil {
+				if ctx.Err() != nil {
+					t.Fatalf("%s timed out; output so far:\n%s", name, tail(out.String()))
+				}
+				t.Fatalf("%s failed: %v\n%s", name, err, tail(out.String()))
+			}
+			if !strings.Contains(out.String(), landmark) {
+				t.Fatalf("%s output lost its landmark %q:\n%s", name, landmark, tail(out.String()))
+			}
+		})
+	}
+}
+
+// TestExamplesAreListed fails when a new example directory is not wired
+// into this smoke test.
+func TestExamplesAreListed(t *testing.T) {
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			if _, ok := examples[e.Name()]; !ok {
+				t.Errorf("example %q is not covered by the smoke test", e.Name())
+			}
+		}
+	}
+}
+
+func tail(s string) string {
+	const keep = 2000
+	if len(s) <= keep {
+		return s
+	}
+	return "..." + s[len(s)-keep:]
+}

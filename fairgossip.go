@@ -26,6 +26,12 @@
 // cmd/fairbench use); NewLive builds a real-concurrency cluster with one
 // goroutine per peer, suitable for embedding in applications.
 //
+// Both runtimes can be driven through the fault-injection scenario
+// engine (RunScenario): seeded schedules of churn, partitions, loss,
+// flash crowds, subscription churn and free-riders, with machine-checked
+// invariants. SCENARIOS.md at the repository root documents the scenario
+// vocabulary, the built-in table, and each invariant.
+//
 // Quick start (live runtime):
 //
 //	c := fairgossip.NewLive(fairgossip.LiveConfig{N: 16, TargetRatio: 2000})
@@ -36,10 +42,13 @@
 package fairgossip
 
 import (
+	"fmt"
+
 	"fairgossip/internal/core"
 	"fairgossip/internal/fairness"
 	"fairgossip/internal/live"
 	"fairgossip/internal/pubsub"
+	"fairgossip/internal/scenario"
 )
 
 // Core data model (see internal/pubsub).
@@ -138,3 +147,44 @@ func Bool(b bool) Value { return pubsub.Bool(b) }
 
 // DefaultWeights returns the paper's Fig. 2 accounting weights.
 func DefaultWeights() Weights { return fairness.DefaultWeights() }
+
+// Scenario engine (see internal/scenario and SCENARIOS.md).
+type (
+	// Scenario is a seeded, declarative schedule of faults plus checked
+	// invariants.
+	Scenario = scenario.Scenario
+	// ScenarioResult is the outcome of one scenario execution; Ok()
+	// reports whether every invariant held.
+	ScenarioResult = scenario.Result
+)
+
+// ScenarioNames lists the built-in scenarios in table order.
+func ScenarioNames() []string { return scenario.Names() }
+
+// ScenarioByName returns a built-in scenario.
+func ScenarioByName(name string) (Scenario, bool) { return scenario.ByName(name) }
+
+// RunScenario executes a built-in scenario by name on the given runtime
+// ("sim" — deterministic, same seed same result — or "live") and returns
+// the checked result.
+func RunScenario(name, runtime string, seed int64) (*ScenarioResult, error) {
+	sc, ok := scenario.ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("fairgossip: unknown scenario %q (have %v)", name, scenario.Names())
+	}
+	return RunScenarioSpec(sc, runtime, seed)
+}
+
+// RunScenarioSpec executes an arbitrary (possibly custom) scenario.
+func RunScenarioSpec(sc Scenario, runtime string, seed int64) (*ScenarioResult, error) {
+	var rt scenario.Runtime
+	switch runtime {
+	case "sim", "":
+		rt = scenario.NewSimRuntime(sc, seed)
+	case "live":
+		rt = scenario.NewLiveRuntime(sc, seed)
+	default:
+		return nil, fmt.Errorf("fairgossip: unknown runtime %q (want sim or live)", runtime)
+	}
+	return scenario.Execute(rt, sc, seed), nil
+}

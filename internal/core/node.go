@@ -48,6 +48,12 @@ type Node struct {
 	// cfg.JunkPadding bytes of worthless data (EXP-A6).
 	Cheat bool
 
+	// FreeRide makes this node stop forwarding gossip while it keeps
+	// receiving and delivering — the classic defector the fairness
+	// machinery exists to expose. Membership maintenance continues, so
+	// the node stays reachable (and keeps benefiting).
+	FreeRide bool
+
 	// walkRelays counts subscription/publication walks this node relayed
 	// for others — §5.1's maintenance burden.
 	walkRelays uint64
@@ -233,6 +239,10 @@ func (nd *Node) Round() {
 }
 
 func (nd *Node) roundContent() {
+	if nd.FreeRide {
+		nd.buffer.Tick()
+		return
+	}
 	events := nd.buffer.Select(nd.rng, nd.batch, nd.cfg.Policy)
 	switch {
 	case len(events) == 0:
@@ -293,7 +303,13 @@ func (nd *Node) roundTopics() {
 				g.retryIn--
 			}
 		}
-		events := g.buffer.Select(nd.rng, nd.batch, nd.cfg.Policy)
+		// A free-rider withholds events but keeps heartbeating its ads:
+		// membership maintenance continues, so it stays in group views
+		// (and keeps benefiting) while contributing nothing.
+		var events []*pubsub.Event
+		if !nd.FreeRide {
+			events = g.buffer.Select(nd.rng, nd.batch, nd.cfg.Policy)
+		}
 		heartbeat := nd.round%4 == 0
 		if len(events) == 0 && !heartbeat {
 			g.buffer.Tick()

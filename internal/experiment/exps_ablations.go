@@ -9,6 +9,7 @@ import (
 	"fairgossip/internal/fairness"
 	"fairgossip/internal/gossip"
 	"fairgossip/internal/pubsub"
+	"fairgossip/internal/scenario"
 	"fairgossip/internal/stats"
 	"fairgossip/internal/workload"
 )
@@ -309,15 +310,12 @@ func ExpA5(opts Options) []Table {
 		}
 		pre := probe(0)
 
-		// Crash 20% and add loss.
+		// Crash 20% and add loss. SampleDistinct replays the historical
+		// rejection-sampling draw sequence, so the fixed-seed table is
+		// unchanged.
 		rng := rand.New(rand.NewSource(opts.Seed + 403))
-		crashed := map[int]bool{}
-		for len(crashed) < n/5 {
-			id := rng.Intn(n)
-			if !crashed[id] {
-				crashed[id] = true
-				c.Node(id).Leave()
-			}
+		for _, id := range scenario.SampleDistinct(rng, n, n/5, nil) {
+			c.Node(id).Leave()
 		}
 		c.Net.SetLoss(0.10)
 		c.RunRounds(10) // let membership digest the failures

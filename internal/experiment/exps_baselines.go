@@ -3,13 +3,13 @@ package experiment
 import (
 	"fmt"
 	"math/rand"
-	"sort"
 
 	"fairgossip/internal/balance"
 	"fairgossip/internal/core"
 	"fairgossip/internal/dam"
 	"fairgossip/internal/fairness"
 	"fairgossip/internal/pubsub"
+	"fairgossip/internal/scenario"
 	"fairgossip/internal/stats"
 	"fairgossip/internal/structured"
 	"fairgossip/internal/workload"
@@ -423,53 +423,50 @@ func ExpT5(opts Options) []Table {
 			}
 		}
 		c.RunRounds(5)
-		rq := workload.NewRageQuit(2.5, 2)
 		rng := rand.New(rand.NewSource(opts.Seed + 306))
-		quits := 0
 		lightDown := 0
-		downUntil := make(map[int]int)
 		lightMatches := 0
 		prev := c.Ledger.Snapshot()
 		var lastCoV float64
-		for phase := 0; phase < phases; phase++ {
-			for r := 0; r < 10; r++ {
-				attrs := stocks.Event(rng)
-				ev := pubsub.Event{Topic: "ticks", Attrs: attrs}
-				if lightFilter.Match(&ev) {
-					lightMatches++
+		// The phase loop is the scenario engine's rage-quit driver; the
+		// callbacks preserve this experiment's historical RNG draw order,
+		// so its fixed-seed tables are unchanged.
+		loop := &scenario.RageQuitLoop{
+			Phases: phases,
+			Quit:   workload.NewRageQuit(2.5, 2),
+			Publish: func(int) {
+				for r := 0; r < 10; r++ {
+					attrs := stocks.Event(rng)
+					ev := pubsub.Event{Topic: "ticks", Attrs: attrs}
+					if lightFilter.Match(&ev) {
+						lightMatches++
+					}
+					c.Node(rng.Intn(n)).Publish("ticks", attrs, nil)
+					c.RunRounds(1)
 				}
-				c.Node(rng.Intn(n)).Publish("ticks", attrs, nil)
-				c.RunRounds(1)
-			}
-			for _, id := range light {
-				if !c.Node(id).Active() {
-					lightDown++
+			},
+			AfterPublish: func(int) {
+				for _, id := range light {
+					if !c.Node(id).Active() {
+						lightDown++
+					}
 				}
-			}
-			// Rejoin nodes whose cool-down expired.
-			for id, until := range downUntil {
-				if phase >= until {
-					c.Node(id).Rejoin(0)
-					delete(downUntil, id)
+			},
+			Ratios: func(int) []float64 {
+				cur := c.Ledger.Snapshot()
+				ratios := make([]float64, n)
+				for i := range ratios {
+					ratios[i] = fairness.Ratio(fairness.Delta(cur[i], prev[i]), c.Ledger.Weights())
 				}
-			}
-			cur := c.Ledger.Snapshot()
-			ratios := make([]float64, n)
-			for i := range ratios {
-				ratios[i] = fairness.Ratio(fairness.Delta(cur[i], prev[i]), c.Ledger.Weights())
-			}
-			prev = cur
-			lastCoV = stats.CoV(ratios)
-			if phase < 3 {
-				continue // adaptation warm-up before anyone judges fairness
-			}
-			med := median(ratios)
-			for _, id := range rq.Check(ratios, med, func(i int) bool { return c.Node(i).Active() }) {
-				c.Node(id).Leave()
-				downUntil[id] = phase + 3
-				quits++
-			}
+				prev = cur
+				lastCoV = stats.CoV(ratios)
+				return ratios
+			},
+			Active: func(i int) bool { return c.Node(i).Active() },
+			Leave:  func(_, id int, _, _ float64) { c.Node(id).Leave() },
+			Rejoin: func(id int) { c.Node(id).Rejoin(0) },
 		}
+		quits := loop.Run()
 		// Light nodes' delivery across the whole run: every quit window
 		// loses them matching events for good.
 		var lightDelivered uint64
@@ -485,13 +482,4 @@ func ExpT5(opts Options) []Table {
 			100*float64(lightDown)/float64(len(light)*phases), ratio, lastCoV)
 	}
 	return []Table{t}
-}
-
-func median(xs []float64) float64 {
-	if len(xs) == 0 {
-		return 0
-	}
-	ys := append([]float64(nil), xs...)
-	sort.Float64s(ys)
-	return ys[len(ys)/2]
 }

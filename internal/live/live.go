@@ -13,8 +13,10 @@
 package live
 
 import (
+	"math"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"fairgossip/internal/adaptive"
@@ -43,6 +45,9 @@ type Config struct {
 	// BufferMaxAge is how many rounds an event stays forwardable
 	// (default 8; raise it for bursty publication loads).
 	BufferMaxAge int
+	// Policy is the SELECTEVENTS policy (default random; least-sent
+	// guarantees fresh events win send slots under backlog).
+	Policy gossip.Policy
 	// Seed drives per-peer randomness (peer i uses Seed^i).
 	Seed int64
 }
@@ -69,6 +74,9 @@ func (c Config) withDefaults() Config {
 	if c.BufferMaxAge <= 0 {
 		c.BufferMaxAge = 8
 	}
+	if c.Policy == 0 {
+		c.Policy = gossip.PolicyRandom
+	}
 	return c
 }
 
@@ -78,12 +86,49 @@ type envelope struct {
 	size   int
 }
 
+// faults is the cluster's shared fault-injection state. Scenario drivers
+// flip it from outside the peer goroutines, so every field is atomic:
+// peers consult it on their own goroutines without locks. The zero value
+// injects nothing, and the hot path pays one relaxed load per send.
+type faults struct {
+	down  []atomic.Bool  // crashed peers: no rounds, no receives, links dropped
+	free  []atomic.Bool  // free-riders: receive and deliver but never forward
+	group []atomic.Int32 // partition group; cross-group links drop while split
+	split atomic.Bool
+	loss  atomic.Uint64 // i.i.d. link-loss probability, stored as float64 bits
+}
+
+func newFaults(n int) *faults {
+	return &faults{
+		down:  make([]atomic.Bool, n),
+		free:  make([]atomic.Bool, n),
+		group: make([]atomic.Int32, n),
+	}
+}
+
+// dropLink reports whether a message from -> to should be lost to an
+// injected fault. rng is the sender's own stream (loss draws stay
+// per-goroutine).
+func (f *faults) dropLink(from, to int, rng *rand.Rand) bool {
+	if f.down[to].Load() {
+		return true
+	}
+	if f.split.Load() && f.group[from].Load() != f.group[to].Load() {
+		return true
+	}
+	if p := math.Float64frombits(f.loss.Load()); p > 0 && rng.Float64() < p {
+		return true
+	}
+	return false
+}
+
 // Cluster is a set of live peers. Create with NewCluster, then Start;
 // Stop blocks until every peer goroutine has exited.
 type Cluster struct {
 	cfg    Config
 	ledger *fairness.Ledger
 	peers  []*peer
+	faults *faults
 
 	stop    chan struct{}
 	wg      sync.WaitGroup
@@ -116,6 +161,7 @@ func NewCluster(cfg Config) *Cluster {
 	c := &Cluster{
 		cfg:    cfg,
 		ledger: fairness.NewLedger(cfg.N, fairness.DefaultWeights()),
+		faults: newFaults(cfg.N),
 		stop:   make(chan struct{}),
 	}
 	for i := 0; i < cfg.N; i++ {
@@ -247,6 +293,77 @@ func (c *Cluster) Levers(id int) (fanout, batch int, ok bool) {
 	return fanout, batch, ok
 }
 
+// --- Fault injection ---------------------------------------------------------
+//
+// These mirror the simulated network's fault surface (simnet.SetUp,
+// Partition, Heal, SetLoss plus core's Leave/Rejoin and free-riding), so
+// a scenario schedule can drive both runtimes identically. All are safe
+// to call at any time from any goroutine.
+
+// Crash takes a peer offline without notice: it stops gossiping, drops
+// everything in its inbox, and other peers' messages to it are lost —
+// the live analogue of core.Node.Leave.
+func (c *Cluster) Crash(id int) bool {
+	if id < 0 || id >= len(c.peers) {
+		return false
+	}
+	c.faults.down[id].Store(true)
+	return true
+}
+
+// Rejoin brings a crashed peer back. Its buffer and dedup memory survive
+// the outage, like a process that was suspended rather than wiped.
+func (c *Cluster) Rejoin(id int) bool {
+	if id < 0 || id >= len(c.peers) {
+		return false
+	}
+	c.faults.down[id].Store(false)
+	return true
+}
+
+// Up reports whether the peer is currently up (not crashed).
+func (c *Cluster) Up(id int) bool {
+	return id >= 0 && id < len(c.peers) && !c.faults.down[id].Load()
+}
+
+// SetFreeRider makes a peer stop forwarding while still receiving and
+// delivering — the classic gossip defector.
+func (c *Cluster) SetFreeRider(id int, on bool) bool {
+	if id < 0 || id >= len(c.peers) {
+		return false
+	}
+	c.faults.free[id].Store(on)
+	return true
+}
+
+// Partition splits the cluster: peers in side keep talking to each other
+// but lose connectivity with everyone else until Heal is called.
+func (c *Cluster) Partition(side []int) {
+	for i := range c.faults.group {
+		c.faults.group[i].Store(0)
+	}
+	for _, id := range side {
+		if id >= 0 && id < len(c.peers) {
+			c.faults.group[id].Store(1)
+		}
+	}
+	c.faults.split.Store(true)
+}
+
+// Heal removes any partition.
+func (c *Cluster) Heal() { c.faults.split.Store(false) }
+
+// SetLoss sets the i.i.d. per-message drop probability (clamped to [0,1]).
+func (c *Cluster) SetLoss(p float64) {
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	c.faults.loss.Store(math.Float64bits(p))
+}
+
 // Publish originates an event at the given peer.
 func (c *Cluster) Publish(id int, topic string, attrs []pubsub.Attr, payload []byte) bool {
 	return c.do(id, func() {
@@ -289,12 +406,19 @@ func (p *peer) loop() {
 }
 
 func (p *peer) round() {
+	if p.c.faults.down[p.id].Load() {
+		return // crashed: no protocol activity at all
+	}
 	p.rounds++
-	events := p.buffer.Select(p.rng, p.batch, gossip.PolicyRandom)
-	if len(events) > 0 {
-		size := gossip.MsgWireSize(events)
-		for _, q := range p.samplePeers(p.fanout) {
-			p.send(q, events, size)
+	// A free-rider receives and delivers but never forwards; its buffer
+	// still ages so it does not hoard a backlog to replay on reform.
+	if !p.c.faults.free[p.id].Load() {
+		events := p.buffer.Select(p.rng, p.batch, p.c.cfg.Policy)
+		if len(events) > 0 {
+			size := gossip.MsgWireSize(events)
+			for _, q := range p.samplePeers(p.fanout) {
+				p.send(q, events, size)
+			}
 		}
 	}
 	p.buffer.Tick()
@@ -329,7 +453,12 @@ func (p *peer) samplePeers(k int) []int {
 }
 
 func (p *peer) send(to int, events []*pubsub.Event, size int) {
+	// The sender pays for the attempt whether or not the network delivers
+	// it — the same accounting simnet applies to lossy links.
 	p.c.ledger.AddSend(p.id, fairness.ClassApp, size)
+	if p.c.faults.dropLink(p.id, to, p.rng) {
+		return
+	}
 	select {
 	case p.c.peers[to].inbox <- envelope{from: p.id, events: events, size: size}:
 	default:
@@ -338,6 +467,9 @@ func (p *peer) send(to int, events []*pubsub.Event, size int) {
 }
 
 func (p *peer) receive(env envelope) {
+	if p.c.faults.down[p.id].Load() {
+		return // crashed: anything already queued in the inbox is lost
+	}
 	novel, dup := 0, 0
 	for _, ev := range env.events {
 		if !p.seen.Add(ev.ID) {

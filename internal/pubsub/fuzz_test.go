@@ -33,6 +33,78 @@ func FuzzParse(f *testing.F) {
 	})
 }
 
+// filterCorpus seeds FuzzFilterRoundTrip with every filter expression
+// the tests and examples actually use (stockwatch's watch list, the
+// live-runtime tests, the quick-start docs, workload generators), plus
+// edge cases around precedence, escaping and numeric forms.
+var filterCorpus = []string{
+	// examples/stockwatch
+	`price > 900`,
+	`symbol in ["SYM00", "SYM01"] && price > 500`,
+	`region == "eu" && volume >= 50000`,
+	`price <= 100`,
+	`symbol startswith "SYM0" && region != "apac"`,
+	`volume > 90000 || price > 990`,
+	// live/fairgossip tests and package docs
+	`price > 100`,
+	`price <= 100`,
+	`price > 100 && symbol in ["ACME", "GLOBEX"]`,
+	// workload.Stocks.FilterWithSelectivity output
+	`price >= 999`,
+	`price >= 0.5`,
+	`price >= 1e+03`,
+	// precedence, negation, grouping, escapes
+	`a == 1 && b == 2 || c == 3`,
+	`a == 1 && (b == 2 || c == 3)`,
+	`!(a == 1) && !(b exists)`,
+	`s == "quote \" backslash \\ done"`,
+	`t startswith "s." || t contains "."`,
+	`n in [1, -2.5, 3e4, "mixed", true]`,
+}
+
+// FuzzFilterRoundTrip is the parse → String → re-parse target: every
+// accepted filter must re-parse, match identically on a panel of probe
+// events, and render canonically (String is a fixed point after one
+// round trip).
+func FuzzFilterRoundTrip(f *testing.F) {
+	for _, seed := range filterCorpus {
+		f.Add(seed)
+	}
+	probes := []*Event{
+		{Topic: "ticks", Attrs: []Attr{
+			{"symbol", String("SYM00")}, {"price", Num(950)},
+			{"volume", Num(100000)}, {"region", String("eu")},
+		}},
+		{Topic: "s.t", Attrs: []Attr{
+			{"a", Num(1)}, {"b", Num(2)}, {"c", Num(3)},
+			{"t", String("s.t")}, {"n", Num(-2.5)},
+		}},
+		{Topic: "other", Attrs: []Attr{
+			{"s", String(`quote " backslash \ done`)}, {"b", Bool(true)},
+		}},
+		{Topic: "empty"},
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		flt, err := Parse(src)
+		if err != nil {
+			return
+		}
+		rendered := flt.String()
+		re, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("String() of valid filter failed to re-parse: %q -> %q: %v", src, rendered, err)
+		}
+		for i, ev := range probes {
+			if flt.Match(ev) != re.Match(ev) {
+				t.Fatalf("round-trip changed semantics on probe %d: %q -> %q", i, src, rendered)
+			}
+		}
+		if again := re.String(); again != rendered {
+			t.Fatalf("String not canonical after one round trip: %q -> %q -> %q", src, rendered, again)
+		}
+	})
+}
+
 // FuzzUnmarshal checks the event codec never panics on arbitrary input
 // and that successfully decoded events re-encode to the same bytes.
 func FuzzUnmarshal(f *testing.F) {

@@ -1,0 +1,631 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"fairgossip/internal/fairness"
+	"fairgossip/internal/pubsub"
+	"fairgossip/internal/workload"
+)
+
+// subRec is one subscription's lifetime on one node, in publishing-round
+// coordinates (Warmup-time subscriptions carry from = -1).
+type subRec struct {
+	f    pubsub.Filter
+	sub  pubsub.SubID
+	from int
+	to   int // -1 while active
+}
+
+// evRec tracks one published event: who must eventually deliver it
+// (eligibility shrinks as faults strike) and who actually did.
+type evRec struct {
+	ev        *pubsub.Event
+	round     int
+	publisher int
+	eligible  []bool
+	delivered []bool
+	nEligible int
+}
+
+// Run is one scenario execution in progress. Actions receive it and
+// mutate the runtime through it, so the engine's model of the cluster
+// (who is up, who free-rides, which side of a partition each peer is on,
+// which filters are live) stays in lockstep with the injected faults —
+// that model is what invariants are judged against.
+type Run struct {
+	sc   Scenario
+	rt   Runtime
+	seed int64
+
+	// Rng drives every schedule decision (victims, topics, publishers).
+	// On the deterministic runtime, seed ⇒ schedule ⇒ result, bit for bit.
+	Rng *rand.Rand
+
+	// Round is the current publishing round, -1 during warmup.
+	Round int
+
+	// Scratch is free storage for stateful EveryRound hooks. It belongs
+	// to this Run, so re-executing a Scenario value starts clean.
+	Scratch any
+
+	topics *workload.Topics
+	subsOf map[string][]int // topic -> subscribed node IDs (engine view)
+
+	mu         sync.Mutex
+	up         []bool
+	everDown   []bool
+	free       []bool
+	group      []int
+	split      bool
+	subs       [][]subRec
+	events     map[pubsub.EventID]*evRec
+	evOrder    []pubsub.EventID
+	pubSeq     []uint32
+	published  uint64
+	falseTotal uint64   // every false delivery
+	falseDel   []string // descriptions of the first few
+
+	deliveries atomic.Uint64 // every delivery callback, incl. duplicates-by-design
+
+	snapEarly, snapMid, snapEnd []fairness.Account
+	violations                  []string
+}
+
+// testInspect, when set by a test, observes the finished Run before the
+// runtime is closed.
+var testInspect func(*Run)
+
+// Execute runs a scenario against a runtime and returns the checked
+// result. The runtime must be freshly built for this scenario (peer
+// count and protocol knobs matching); Execute closes it before
+// returning.
+func Execute(rt Runtime, sc Scenario, seed int64) *Result {
+	sc = sc.withDefaults()
+	n := rt.N()
+	r := &Run{
+		sc:       sc,
+		rt:       rt,
+		seed:     seed,
+		Rng:      rand.New(rand.NewSource(seed ^ 0x5ce0a91)),
+		Round:    -1,
+		topics:   workload.NewTopics(sc.Topics, 1.01),
+		subsOf:   make(map[string][]int, sc.Topics),
+		up:       make([]bool, n),
+		everDown: make([]bool, n),
+		free:     make([]bool, n),
+		group:    make([]int, n),
+		subs:     make([][]subRec, n),
+		events:   make(map[pubsub.EventID]*evRec, sc.Rounds*sc.PerRound),
+		pubSeq:   make([]uint32, n),
+	}
+	for i := range r.up {
+		r.up[i] = true
+	}
+	r.setup()
+	rt.Start()
+	rt.Step(sc.Warmup)
+
+	for round := 0; round < sc.Rounds; round++ {
+		r.Round = round
+		for _, st := range sc.Steps {
+			if st.Round == round {
+				st.Action.Do(r)
+			}
+		}
+		if sc.EveryRound != nil {
+			sc.EveryRound(r)
+		}
+		if round == sc.Rounds/2 {
+			r.snapMid = rt.Ledger().Snapshot()
+		}
+		for k := 0; k < sc.PerRound; k++ {
+			r.PublishRandom()
+		}
+		rt.Step(1)
+	}
+	rt.Drain(sc.DrainRounds, r.deliveries.Load)
+	// Close before judging: on the live runtime a straggler delivery
+	// could otherwise land between two reads of an invariant check.
+	// Everything the checks need (ledger, traffic counters) outlives the
+	// peer goroutines.
+	rt.Close()
+	r.snapEnd = rt.Ledger().Snapshot()
+
+	for _, inv := range r.invariants() {
+		if err := inv.Check(r); err != nil {
+			r.violations = append(r.violations, inv.Name+": "+err.Error())
+		}
+	}
+	if testInspect != nil {
+		testInspect(r)
+	}
+	return r.result()
+}
+
+// setup draws the heterogeneous Zipf interest sets and installs delivery
+// observers, before the cluster starts.
+func (r *Run) setup() {
+	n := r.rt.N()
+	for i := 0; i < n; i++ {
+		count := workload.SubCount(r.Rng, 1, r.sc.MaxSubs)
+		for _, topic := range r.topics.SampleSet(r.Rng, count) {
+			r.subscribe(i, topic, -1)
+		}
+	}
+	for i := 0; i < n; i++ {
+		i := i
+		r.rt.OnDeliver(i, func(ev *pubsub.Event) { r.onDeliver(i, ev) })
+	}
+	r.snapEarly = r.rt.Ledger().Snapshot()
+}
+
+// subscribe registers a topic filter on a node and records its lifetime.
+// The engine's model is updated BEFORE the runtime call: on the live
+// runtime a matching event can be delivered the instant the peer
+// installs the filter, and the delivery observer must already find the
+// subscription active. Callers must not hold r.mu (the live runtime
+// round-trips the peer's command channel, whose handler may deliver).
+func (r *Run) subscribe(id int, topic string, fromRound int) {
+	f := pubsub.Topic(topic)
+	r.mu.Lock()
+	r.subs[id] = append(r.subs[id], subRec{f: f, from: fromRound, to: -1})
+	idx := len(r.subs[id]) - 1
+	r.subsOf[topic] = append(r.subsOf[topic], id)
+	r.mu.Unlock()
+	sub, ok := r.rt.Subscribe(id, f)
+	r.mu.Lock()
+	if ok {
+		r.subs[id][idx].sub = sub
+	} else {
+		// Never took effect (invalid id): retract the record.
+		r.subs[id] = append(r.subs[id][:idx], r.subs[id][idx+1:]...)
+		peers := r.subsOf[topic]
+		for k, p := range peers {
+			if p == id {
+				r.subsOf[topic] = append(peers[:k], peers[k+1:]...)
+				break
+			}
+		}
+	}
+	r.mu.Unlock()
+}
+
+// --- State the actions read and mutate ---------------------------------------
+
+// N returns the population size.
+func (r *Run) N() int { return r.rt.N() }
+
+// Ledger exposes the runtime's fairness ledger (read-only use).
+func (r *Run) Ledger() *fairness.Ledger { return r.rt.Ledger() }
+
+// NodeUp reports whether a node is currently up in the engine's model.
+func (r *Run) NodeUp(id int) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.up[id]
+}
+
+// NodeFree reports whether a node is currently free-riding.
+func (r *Run) NodeFree(id int) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.free[id]
+}
+
+// Crash takes a node down and releases it from every pending event's
+// eligibility (it can no longer be required to deliver). Events the
+// victim itself published and had not yet spread are released too: on
+// the live runtime a peer may be silenced before its next round tick,
+// so the engine cannot require copies nobody else holds to arrive.
+func (r *Run) Crash(id int) {
+	if !r.rt.Crash(id) {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.up[id] = false
+	r.everDown[id] = true
+	for _, evID := range r.evOrder {
+		rec := r.events[evID]
+		if rec.eligible[id] && !rec.delivered[id] {
+			rec.eligible[id] = false
+			rec.nEligible--
+		}
+	}
+	r.releaseSilencedPublisherLocked(id)
+}
+
+// releaseSilencedPublisherLocked releases the undelivered pairs of every
+// event published by a peer that just stopped forwarding (crash or
+// free-ride). Peers that already delivered stay counted; other holders
+// may well still spread the event — the engine just stops requiring it.
+func (r *Run) releaseSilencedPublisherLocked(id int) {
+	for _, evID := range r.evOrder {
+		rec := r.events[evID]
+		if rec.publisher != id {
+			continue
+		}
+		for i, el := range rec.eligible {
+			if el && !rec.delivered[i] {
+				rec.eligible[i] = false
+				rec.nEligible--
+			}
+		}
+	}
+}
+
+// Rejoin brings a crashed node back. It is not retroactively eligible
+// for events published while it was away.
+func (r *Run) Rejoin(id int) {
+	if !r.rt.Rejoin(id) {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.up[id] = true
+}
+
+// SetFreeRider toggles free-riding. A free-rider still receives, so its
+// own eligibility is untouched, but events it published and had not yet
+// spread are released (see releaseSilencedPublisherLocked).
+func (r *Run) SetFreeRider(id int, on bool) {
+	if !r.rt.SetFreeRider(id, on) {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.free[id] = on
+	if on {
+		r.releaseSilencedPublisherLocked(id)
+	}
+}
+
+// Partition splits the network. Undelivered peers on the far side of any
+// pending event's publisher are released from its eligibility: the
+// schedule cut them off, so the protocol cannot be required to reach
+// them (a conservative, sound weakening — peers that already delivered
+// stay counted).
+func (r *Run) Partition(side []int) {
+	r.rt.Partition(side)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := range r.group {
+		r.group[i] = 0
+	}
+	for _, id := range side {
+		if id >= 0 && id < len(r.group) {
+			r.group[id] = 1
+		}
+	}
+	r.split = true
+	for _, evID := range r.evOrder {
+		rec := r.events[evID]
+		pg := r.group[rec.publisher]
+		for i, el := range rec.eligible {
+			if el && !rec.delivered[i] && r.group[i] != pg {
+				rec.eligible[i] = false
+				rec.nEligible--
+			}
+		}
+	}
+}
+
+// Heal removes the partition; events published from now on reach the
+// whole population again.
+func (r *Run) Heal() {
+	r.rt.Heal()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.split = false
+}
+
+// SetLoss sets the link-loss probability. Loss does not change
+// eligibility — the delivery invariant's MinDelivery floor carries the
+// stochastic slack instead.
+func (r *Run) SetLoss(p float64) { r.rt.SetLoss(p) }
+
+// Resubscribe drops all of a node's subscriptions and draws a fresh
+// interest set. Pending events the node is no longer interested in are
+// released from its eligibility.
+func (r *Run) Resubscribe(id int) {
+	// Model first, runtime second (mirroring subscribe): a delivery
+	// racing the unsubscribe is legitimised by the >= comparison in
+	// onDeliver, never by a stale model.
+	r.mu.Lock()
+	active := make([]subRec, 0, len(r.subs[id]))
+	for k := range r.subs[id] {
+		if r.subs[id][k].to != -1 {
+			continue
+		}
+		r.subs[id][k].to = r.Round
+		rec := r.subs[id][k]
+		active = append(active, rec)
+		topic, _ := pubsub.TopicOf(rec.f)
+		peers := r.subsOf[topic]
+		for j, p := range peers {
+			if p == id {
+				r.subsOf[topic] = append(peers[:j], peers[j+1:]...)
+				break
+			}
+		}
+	}
+	r.mu.Unlock()
+	for _, rec := range active {
+		r.rt.Unsubscribe(id, rec.sub)
+	}
+	count := workload.SubCount(r.Rng, 1, r.sc.MaxSubs)
+	for _, topic := range r.topics.SampleSet(r.Rng, count) {
+		r.subscribe(id, topic, r.Round)
+	}
+	// Release pending events this node no longer matches.
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, evID := range r.evOrder {
+		rec := r.events[evID]
+		if rec.eligible[id] && !rec.delivered[id] && !r.matchNowLocked(id, rec.ev) {
+			rec.eligible[id] = false
+			rec.nEligible--
+		}
+	}
+}
+
+// PublishRandom publishes one popularity-sampled event from a random
+// interested (up, honest) peer — the steady workload and the flash-crowd
+// builder.
+func (r *Run) PublishRandom() {
+	topic := r.topics.Sample(r.Rng)
+	pub := r.pickPublisher(topic)
+	if pub < 0 {
+		return
+	}
+	r.publish(pub, topic)
+}
+
+// pickPublisher prefers an up, non-free-riding subscriber of the topic
+// (free-riders never forward, so an event they originate would die with
+// them), falling back to any up honest peer.
+func (r *Run) pickPublisher(topic string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	able := func(id int) bool { return r.up[id] && !r.free[id] }
+	subs := make([]int, 0, 8)
+	for _, id := range r.subsOf[topic] {
+		if able(id) {
+			subs = append(subs, id)
+		}
+	}
+	if len(subs) > 0 {
+		return subs[r.Rng.Intn(len(subs))]
+	}
+	all := make([]int, 0, len(r.up))
+	for id := range r.up {
+		if able(id) {
+			all = append(all, id)
+		}
+	}
+	if len(all) == 0 {
+		return -1
+	}
+	return all[r.Rng.Intn(len(all))]
+}
+
+// publish originates one event and registers its eligibility: every up
+// peer interested right now and (under a partition) on the publisher's
+// side must eventually deliver it.
+func (r *Run) publish(pub int, topic string) {
+	r.mu.Lock()
+	r.pubSeq[pub]++
+	ev := &pubsub.Event{
+		ID:      pubsub.EventID{Publisher: uint32(pub), Seq: r.pubSeq[pub]},
+		Topic:   topic,
+		Payload: make([]byte, r.sc.Payload),
+	}
+	rec := &evRec{
+		ev:        ev,
+		round:     r.Round,
+		publisher: pub,
+		eligible:  make([]bool, len(r.up)),
+		delivered: make([]bool, len(r.up)),
+	}
+	for i := range r.up {
+		if r.up[i] && (!r.split || r.group[i] == r.group[pub]) && r.matchNowLocked(i, ev) {
+			rec.eligible[i] = true
+			rec.nEligible++
+		}
+	}
+	r.events[ev.ID] = rec
+	r.evOrder = append(r.evOrder, ev.ID)
+	r.published++
+	r.mu.Unlock()
+
+	// Publish after registering, so the publisher's own synchronous
+	// self-delivery finds the record.
+	r.rt.Publish(pub, topic, nil, ev.Payload)
+}
+
+// matchNowLocked reports whether node id's currently-active filters
+// match ev. Callers hold r.mu.
+func (r *Run) matchNowLocked(id int, ev *pubsub.Event) bool {
+	for _, rec := range r.subs[id] {
+		if rec.to == -1 && rec.f.Match(ev) {
+			return true
+		}
+	}
+	return false
+}
+
+// onDeliver is the delivery observer installed on every peer. It runs on
+// the simulator goroutine (sim) or the peer's goroutine (live). The
+// no-false-delivery invariant is enforced here, during the run: the
+// event must match a filter the node held at or after publish time.
+func (r *Run) onDeliver(id int, ev *pubsub.Event) {
+	r.deliveries.Add(1)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rec, ok := r.events[ev.ID]
+	if !ok {
+		r.recordFalse(fmt.Sprintf("node %d delivered unknown event %v", id, ev.ID))
+		return
+	}
+	// A filter removed in round R still legitimises deliveries of events
+	// published in round ≤ R: on the live runtime a matching copy can be
+	// in flight (or mid-callback) while the engine unsubscribes, so the
+	// comparison is >=, not >.
+	matched := false
+	for _, sr := range r.subs[id] {
+		if (sr.to == -1 || sr.to >= rec.round) && sr.f.Match(ev) {
+			matched = true
+			break
+		}
+	}
+	if !matched {
+		r.recordFalse(fmt.Sprintf("node %d delivered %q without a matching filter", id, ev.Topic))
+	}
+	rec.delivered[id] = true
+}
+
+func (r *Run) recordFalse(desc string) {
+	r.falseTotal++
+	if len(r.falseDel) < 8 {
+		r.falseDel = append(r.falseDel, desc)
+	}
+}
+
+// pairTotalsLocked walks every event once and returns the
+// eligible/delivered pair totals plus a description of the first miss.
+// It is the single source the eventual-delivery invariant and the
+// result metrics both consume. Callers hold r.mu.
+func (r *Run) pairTotalsLocked() (eligible, delivered int, firstMiss string) {
+	for _, evID := range r.evOrder {
+		rec := r.events[evID]
+		eligible += rec.nEligible
+		for i, el := range rec.eligible {
+			if !el {
+				continue
+			}
+			if rec.delivered[i] {
+				delivered++
+			} else if firstMiss == "" {
+				firstMiss = fmt.Sprintf("node %d missed event %v (round %d, topic %q)",
+					i, evID, rec.round, rec.ev.Topic)
+			}
+		}
+	}
+	return eligible, delivered, firstMiss
+}
+
+// --- Result ------------------------------------------------------------------
+
+// Result is the outcome of one scenario execution: workload counts, the
+// invariant metrics, and any violations (empty Violations = pass).
+type Result struct {
+	Scenario string
+	Runtime  string
+	Seed     int64
+
+	Published       uint64
+	Deliveries      uint64
+	EligiblePairs   int
+	DeliveredPairs  int
+	DeliveryRatio   float64
+	FalseDeliveries int
+	Sent, Recv      uint64
+	Dropped         uint64
+	HasTraffic      bool
+	JainEarly       float64
+	JainLate        float64
+	HasFairness     bool
+
+	Violations []string
+}
+
+// Ok reports whether every invariant held.
+func (res *Result) Ok() bool { return len(res.Violations) == 0 }
+
+// String renders the result deterministically (stable key order, %g
+// floats): on the simulated runtime two runs with one seed must produce
+// byte-identical strings.
+func (res *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scenario %s runtime=%s seed=%d\n", res.Scenario, res.Runtime, res.Seed)
+	fmt.Fprintf(&b, "  published          %d\n", res.Published)
+	fmt.Fprintf(&b, "  deliveries         %d\n", res.Deliveries)
+	fmt.Fprintf(&b, "  eligible pairs     %d\n", res.EligiblePairs)
+	fmt.Fprintf(&b, "  delivered pairs    %d\n", res.DeliveredPairs)
+	fmt.Fprintf(&b, "  delivery ratio     %g\n", res.DeliveryRatio)
+	fmt.Fprintf(&b, "  false deliveries   %d\n", res.FalseDeliveries)
+	if res.HasTraffic {
+		fmt.Fprintf(&b, "  msgs sent          %d\n", res.Sent)
+		fmt.Fprintf(&b, "  msgs received      %d\n", res.Recv)
+		fmt.Fprintf(&b, "  msgs dropped       %d\n", res.Dropped)
+	}
+	if res.HasFairness {
+		fmt.Fprintf(&b, "  jain early->late   %g -> %g\n", res.JainEarly, res.JainLate)
+	}
+	if len(res.Violations) == 0 {
+		b.WriteString("  invariants         all passing\n")
+	} else {
+		for _, v := range res.Violations {
+			fmt.Fprintf(&b, "  VIOLATION          %s\n", v)
+		}
+	}
+	return b.String()
+}
+
+func (r *Run) result() *Result {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	res := &Result{
+		Scenario:        r.sc.Name,
+		Runtime:         r.rt.Name(),
+		Seed:            r.seed,
+		Published:       r.published,
+		Deliveries:      r.deliveries.Load(),
+		FalseDeliveries: int(r.falseTotal),
+		Violations:      append([]string(nil), r.violations...),
+	}
+	res.EligiblePairs, res.DeliveredPairs, _ = r.pairTotalsLocked()
+	if res.EligiblePairs > 0 {
+		res.DeliveryRatio = float64(res.DeliveredPairs) / float64(res.EligiblePairs)
+	} else {
+		res.DeliveryRatio = 1
+	}
+	if sent, recv, dropped, ok := r.rt.Traffic(); ok {
+		res.Sent, res.Recv, res.Dropped, res.HasTraffic = sent, recv, dropped, true
+	}
+	if r.sc.CheckFairness && r.sc.TargetRatio > 0 {
+		res.JainEarly, res.JainLate = r.fairnessWindowsLocked()
+		res.HasFairness = true
+	}
+	return res
+}
+
+// fairnessWindowsLocked computes the windowed Jain index over
+// never-crashed, never-free-riding peers for the first and second half
+// of the publishing phase.
+func (r *Run) fairnessWindowsLocked() (early, late float64) {
+	stable := make([]int, 0, len(r.up))
+	for i := range r.up {
+		if !r.everDown[i] && !r.free[i] {
+			stable = append(stable, i)
+		}
+	}
+	sort.Ints(stable)
+	w := r.rt.Ledger().Weights()
+	window := func(from, to []fairness.Account) float64 {
+		accts := make([]fairness.Account, 0, len(stable))
+		for _, i := range stable {
+			if i < len(from) && i < len(to) {
+				accts = append(accts, fairness.Delta(to[i], from[i]))
+			}
+		}
+		return fairness.ReportAccounts(accts, w).RatioJain
+	}
+	return window(r.snapEarly, r.snapMid), window(r.snapMid, r.snapEnd)
+}

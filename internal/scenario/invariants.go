@@ -1,0 +1,169 @@
+package scenario
+
+import (
+	"fmt"
+
+	"fairgossip/internal/fairness"
+)
+
+// Invariant is one machine-checked property of a scenario run. Some are
+// enforced during the run (false deliveries are caught at delivery
+// time); Check renders the verdict once the run has drained.
+type Invariant struct {
+	Name  string
+	Check func(*Run) error
+}
+
+// invariants assembles the checks that apply to this run: the universal
+// ones, drop conservation where the runtime counts drops, and fairness
+// convergence where the scenario asks for it.
+func (r *Run) invariants() []Invariant {
+	list := []Invariant{
+		NoFalseDelivery(),
+		EventualDelivery(),
+		LedgerConservation(),
+	}
+	if r.rt.Has(CapDropStats) {
+		list = append(list, DropConservation())
+	}
+	if r.sc.CheckFairness && r.sc.TargetRatio > 0 {
+		list = append(list, FairnessConvergence())
+	}
+	return list
+}
+
+// NoFalseDelivery: a peer only ever delivers events that matched a
+// filter it held at (or after) publish time — the safety half of the
+// paper's §2 selective-information model. Detected inline by the
+// delivery observer; this check reports what it caught.
+func NoFalseDelivery() Invariant {
+	return Invariant{
+		Name: "no-false-delivery",
+		Check: func(r *Run) error {
+			r.mu.Lock()
+			defer r.mu.Unlock()
+			if r.falseTotal > 0 {
+				return fmt.Errorf("%d false deliveries (first: %s)", r.falseTotal, r.falseDel[0])
+			}
+			return nil
+		},
+	}
+}
+
+// EventualDelivery: every peer that stayed up, connected to the
+// publisher, and interested must deliver the event — the liveness half,
+// the paper's gossip-reliability claim (§4.2, Fig. 4) under adversity.
+// MinDelivery < 1 leaves slack for stochastic loss tails.
+func EventualDelivery() Invariant {
+	return Invariant{
+		Name: "eventual-delivery",
+		Check: func(r *Run) error {
+			r.mu.Lock()
+			defer r.mu.Unlock()
+			eligible, delivered, firstMiss := r.pairTotalsLocked()
+			if eligible == 0 {
+				return nil
+			}
+			ratio := float64(delivered) / float64(eligible)
+			if ratio < r.sc.MinDelivery {
+				return fmt.Errorf("delivered %d/%d eligible pairs (%.4f < floor %.4f); e.g. %s",
+					delivered, eligible, ratio, r.sc.MinDelivery, firstMiss)
+			}
+			return nil
+		},
+	}
+}
+
+// DropConservation: every message the network accepted was either
+// received or counted as dropped — nothing vanishes, nothing is
+// double-delivered. Exact, because the sim runtime drains the event
+// queue before the check.
+func DropConservation() Invariant {
+	return Invariant{
+		Name: "drop-conservation",
+		Check: func(r *Run) error {
+			sent, recv, dropped, ok := r.rt.Traffic()
+			if !ok {
+				return nil
+			}
+			if sent != recv+dropped {
+				return fmt.Errorf("sent %d != received %d + dropped %d (leak of %d)",
+					sent, recv, dropped, int64(sent)-int64(recv)-int64(dropped))
+			}
+			return nil
+		},
+	}
+}
+
+// LedgerConservation: the fairness ledger's books balance — the engine's
+// independently-observed counts agree with the ledger (every AddDelivery
+// had a delivery observer call and vice versa, ditto publishes), audited
+// bytes never exceed bytes actually sent (§5.2's novelty audit cannot
+// credit more than the wire carried), and global contribution covers
+// global benefit (Fig. 1's ratios are meaningful: somebody paid for
+// every delivery).
+func LedgerConservation() Invariant {
+	return Invariant{
+		Name: "ledger-conservation",
+		Check: func(r *Run) error {
+			l := r.rt.Ledger()
+			w := l.Weights()
+			var ledgerDelivered, ledgerPublished uint64
+			var contrib, benefit float64
+			for i := 0; i < l.Len(); i++ {
+				a := l.Account(i)
+				ledgerDelivered += a.Delivered
+				ledgerPublished += a.Published
+				if audited := a.UsefulBytes + a.JunkBytes; audited > a.BytesSent[fairness.ClassApp] {
+					return fmt.Errorf("node %d audited for %d bytes but sent only %d app bytes",
+						i, audited, a.BytesSent[fairness.ClassApp])
+				}
+				contrib += fairness.Contribution(a, w)
+				benefit += fairness.Benefit(a, w)
+			}
+			if observed := r.deliveries.Load(); ledgerDelivered != observed {
+				return fmt.Errorf("ledger counts %d deliveries, observers saw %d", ledgerDelivered, observed)
+			}
+			r.mu.Lock()
+			published := r.published
+			r.mu.Unlock()
+			if ledgerPublished != published {
+				return fmt.Errorf("ledger counts %d publishes, engine made %d", ledgerPublished, published)
+			}
+			if ledgerDelivered > 0 && contrib < benefit {
+				return fmt.Errorf("global contribution %.0f below global benefit %.0f", contrib, benefit)
+			}
+			return nil
+		},
+	}
+}
+
+// FairnessConvergence: under the AIMD controller (§5.2), the windowed
+// per-peer contribution/benefit ratios must tighten — the late-half Jain
+// index over stable peers meets the scenario floor and does not collapse
+// relative to the early half. This operationalises the paper's Fig. 1
+// definition of fairness as a property the controller maintains, not
+// just reaches once.
+func FairnessConvergence() Invariant {
+	return Invariant{
+		Name: "fairness-convergence",
+		Check: func(r *Run) error {
+			r.mu.Lock()
+			early, late := r.fairnessWindowsLocked()
+			r.mu.Unlock()
+			floor := r.sc.FairnessFloor
+			if r.rt.Name() == "live" {
+				// Wall-clock scheduling jitters the live windows; hold the
+				// same shape to a looser floor.
+				floor *= 0.7
+			}
+			if late < floor {
+				return fmt.Errorf("late-window Jain %.3f below floor %.3f", late, floor)
+			}
+			if late < early-0.2 {
+				return fmt.Errorf("fairness regressed: Jain %.3f -> %.3f", early, late)
+			}
+			return nil
+		},
+	}
+}

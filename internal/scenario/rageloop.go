@@ -1,0 +1,91 @@
+package scenario
+
+import (
+	"sort"
+
+	"fairgossip/internal/workload"
+)
+
+// Median returns the upper median of xs (the element at index len/2 of
+// the sorted copy), matching the convention the churn experiments have
+// always used. Empty input yields 0.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	ys := append([]float64(nil), xs...)
+	sort.Float64s(ys)
+	return ys[len(ys)/2]
+}
+
+// RageQuitLoop is the paper's §1/§6 unfairness-churn feedback loop as a
+// reusable driver: publish for a phase, measure windowed per-peer
+// ratios, and let any peer whose ratio stays above Threshold×median
+// rage-quit, rejoining a few phases later. The hand-rolled copies of
+// this loop in internal/experiment (EXP-T5) and examples/churnstorm now
+// both run through it.
+//
+// Every workload decision happens inside the caller's callbacks, in the
+// exact order the historical loops made them, so refactored experiments
+// keep their RNG streams — and their fixed-seed outputs — bit-identical.
+type RageQuitLoop struct {
+	// Phases is the number of publish-then-judge windows.
+	Phases int
+	// WarmupPhases are judged-free phases at the start (default 3).
+	WarmupPhases int
+	// DownPhases is how long a quitter stays away (default 3).
+	DownPhases int
+	// Quit is the rage-quit policy (threshold × median, patience).
+	Quit *workload.RageQuit
+
+	// Publish runs one phase's publication workload.
+	Publish func(phase int)
+	// AfterPublish, when set, observes the cluster right after the
+	// phase's workload (downtime accounting hooks in here).
+	AfterPublish func(phase int)
+	// Ratios returns this phase's windowed per-peer
+	// contribution/benefit ratios, indexed by peer.
+	Ratios func(phase int) []float64
+	// Active reports whether a peer is currently participating.
+	Active func(id int) bool
+	// Leave takes a quitting peer offline.
+	Leave func(phase, id int, ratio, median float64)
+	// Rejoin brings a peer back after its cool-down.
+	Rejoin func(id int)
+}
+
+// Run drives the loop and returns the total number of rage-quits.
+func (l *RageQuitLoop) Run() (quits int) {
+	warmup := l.WarmupPhases
+	if warmup <= 0 {
+		warmup = 3
+	}
+	down := l.DownPhases
+	if down <= 0 {
+		down = 3
+	}
+	downUntil := make(map[int]int)
+	for phase := 0; phase < l.Phases; phase++ {
+		l.Publish(phase)
+		if l.AfterPublish != nil {
+			l.AfterPublish(phase)
+		}
+		for id, until := range downUntil {
+			if phase >= until {
+				l.Rejoin(id)
+				delete(downUntil, id)
+			}
+		}
+		ratios := l.Ratios(phase)
+		if phase < warmup {
+			continue
+		}
+		med := Median(ratios)
+		for _, id := range l.Quit.Check(ratios, med, l.Active) {
+			l.Leave(phase, id, ratios[id], med)
+			downUntil[id] = phase + down
+			quits++
+		}
+	}
+	return quits
+}

@@ -1,0 +1,306 @@
+package scenario
+
+import (
+	"time"
+
+	"fairgossip/internal/core"
+	"fairgossip/internal/fairness"
+	"fairgossip/internal/gossip"
+	"fairgossip/internal/live"
+	"fairgossip/internal/pubsub"
+	"fairgossip/internal/simnet"
+)
+
+// Capability flags what a Runtime can do beyond the common fault surface.
+type Capability uint8
+
+const (
+	// CapDeterministic: same seed ⇒ bit-identical run (the simulator).
+	CapDeterministic Capability = iota
+	// CapDropStats: network-level sent/received/dropped counters exist,
+	// so drop conservation can be checked exactly.
+	CapDropStats
+)
+
+// Runtime is the small surface a scenario needs from a cluster: the three
+// pub/sub operations, fault injection, and time. It is implemented by
+// both the deterministic simulation (core.Cluster) and the
+// goroutine-per-peer runtime (live.Cluster), which is what makes
+// differential testing possible: one seeded schedule, two runtimes, the
+// same invariants.
+type Runtime interface {
+	// Name labels the runtime in results ("sim" or "live").
+	Name() string
+	// N returns the fixed population size.
+	N() int
+	// Has reports an optional capability.
+	Has(c Capability) bool
+
+	// Start launches the cluster (idempotent; sim starts lazily).
+	Start()
+	// Subscribe registers a filter on a peer.
+	Subscribe(id int, f pubsub.Filter) (pubsub.SubID, bool)
+	// Unsubscribe removes a subscription from a peer.
+	Unsubscribe(id int, sub pubsub.SubID) bool
+	// Publish originates an event at a peer. Event IDs are (publisher,
+	// seq) with seq starting at 1 per publisher, on both runtimes, so the
+	// engine can predict them.
+	Publish(id int, topic string, attrs []pubsub.Attr, payload []byte) bool
+	// OnDeliver installs a delivery observer (install before Start).
+	OnDeliver(id int, fn func(*pubsub.Event)) bool
+
+	// Crash / Rejoin / SetFreeRider / Partition / Heal / SetLoss inject
+	// the scenario fault vocabulary.
+	Crash(id int) bool
+	Rejoin(id int) bool
+	SetFreeRider(id int, on bool) bool
+	Partition(side []int)
+	Heal()
+	SetLoss(p float64)
+
+	// Step advances time by whole gossip rounds (virtual time on sim,
+	// wall-clock sleeps on live).
+	Step(rounds int)
+	// Drain settles in-flight work after the schedule ends: at least
+	// `rounds` further rounds, then (live) until the monotone progress
+	// counter stops moving.
+	Drain(rounds int, progress func() uint64)
+
+	// Ledger exposes the shared fairness ledger.
+	Ledger() *fairness.Ledger
+	// Traffic returns network counters when CapDropStats is available.
+	Traffic() (sent, recv, dropped uint64, ok bool)
+	// Close releases the runtime (stops live goroutines).
+	Close()
+}
+
+// --- Simulated runtime -------------------------------------------------------
+
+// SimRuntime adapts core.Cluster (deterministic discrete-event sim).
+type SimRuntime struct {
+	C *core.Cluster
+}
+
+// NewSimRuntime builds a simulated cluster configured for a scenario.
+// Scenarios run content mode over the idealised full-membership sampler —
+// the same sampling the live runtime uses — so the two runtimes disagree
+// only in scheduling, never in topology maintenance.
+func NewSimRuntime(sc Scenario, seed int64) *SimRuntime {
+	sc = sc.withDefaults()
+	cfg := core.Config{
+		Mode:          core.ModeContent,
+		Membership:    core.MemberFull,
+		Fanout:        sc.Fanout,
+		Batch:         sc.Batch,
+		BufferMaxAge:  sc.BufferMaxAge,
+		RepairPenalty: sc.RepairPenalty,
+		// Least-sent selection guarantees every fresh event wins send
+		// slots even under flash-crowd backlog; the eventual-delivery
+		// invariant is a real protocol property only in that regime
+		// (random selection can starve an event at its publisher — the
+		// EXP-A4 result).
+		Policy: gossip.PolicyLeastSent,
+	}
+	if sc.TargetRatio > 0 {
+		cfg.Controller = core.ControllerSpec{Kind: core.ControllerAIMD, TargetRatio: sc.TargetRatio}
+	}
+	c := core.NewCluster(sc.N, cfg, core.ClusterOptions{
+		Seed:      seed,
+		NetConfig: simnet.Config{Latency: simnet.ConstantLatency(2 * time.Millisecond)},
+	})
+	return &SimRuntime{C: c}
+}
+
+func (s *SimRuntime) Name() string { return "sim" }
+func (s *SimRuntime) N() int       { return len(s.C.Nodes) }
+
+func (s *SimRuntime) Has(c Capability) bool {
+	return c == CapDeterministic || c == CapDropStats
+}
+
+func (s *SimRuntime) Start() { s.C.Start() }
+
+func (s *SimRuntime) valid(id int) bool { return id >= 0 && id < len(s.C.Nodes) }
+
+func (s *SimRuntime) Subscribe(id int, f pubsub.Filter) (pubsub.SubID, bool) {
+	if !s.valid(id) {
+		return 0, false
+	}
+	return s.C.Node(id).Subscribe(f), true
+}
+
+func (s *SimRuntime) Unsubscribe(id int, sub pubsub.SubID) bool {
+	return s.valid(id) && s.C.Node(id).Unsubscribe(sub)
+}
+
+func (s *SimRuntime) Publish(id int, topic string, attrs []pubsub.Attr, payload []byte) bool {
+	if !s.valid(id) {
+		return false
+	}
+	s.C.Node(id).Publish(topic, attrs, payload)
+	return true
+}
+
+func (s *SimRuntime) OnDeliver(id int, fn func(*pubsub.Event)) bool {
+	if !s.valid(id) {
+		return false
+	}
+	s.C.Node(id).OnDeliver = fn
+	return true
+}
+
+func (s *SimRuntime) Crash(id int) bool {
+	if !s.valid(id) {
+		return false
+	}
+	s.C.Node(id).Leave()
+	return true
+}
+
+func (s *SimRuntime) Rejoin(id int) bool {
+	if !s.valid(id) {
+		return false
+	}
+	// Bootstrap through the lowest-numbered live node (unused under the
+	// full sampler, but correct if a scenario ever runs Cyclon views).
+	boot := simnet.NodeID(0)
+	for i := range s.C.Nodes {
+		if i != id && s.C.Net.Up(simnet.NodeID(i)) {
+			boot = simnet.NodeID(i)
+			break
+		}
+	}
+	s.C.Node(id).Rejoin(boot)
+	return true
+}
+
+func (s *SimRuntime) SetFreeRider(id int, on bool) bool {
+	if !s.valid(id) {
+		return false
+	}
+	s.C.Node(id).FreeRide = on
+	return true
+}
+
+func (s *SimRuntime) Partition(side []int) {
+	ids := make([]simnet.NodeID, 0, len(side))
+	for _, id := range side {
+		ids = append(ids, simnet.NodeID(id))
+	}
+	s.C.Net.Partition(ids)
+}
+
+func (s *SimRuntime) Heal() { s.C.Net.Heal() }
+
+func (s *SimRuntime) SetLoss(p float64) { s.C.Net.SetLoss(p) }
+
+func (s *SimRuntime) Step(rounds int) { s.C.RunRounds(rounds) }
+
+// Drain runs the tail rounds, then stops the round tickers and lets the
+// event queue empty, so no message is in flight when conservation is
+// checked.
+func (s *SimRuntime) Drain(rounds int, progress func() uint64) {
+	s.C.RunRounds(rounds)
+	s.C.Stop()
+	s.C.Sim.Run()
+}
+
+func (s *SimRuntime) Ledger() *fairness.Ledger { return s.C.Ledger }
+
+func (s *SimRuntime) Traffic() (sent, recv, dropped uint64, ok bool) {
+	t := s.C.Net.TotalTraffic()
+	return t.MsgsSent, t.MsgsRecv, t.Dropped, true
+}
+
+func (s *SimRuntime) Close() { s.C.Stop() }
+
+// --- Live runtime ------------------------------------------------------------
+
+// LiveRoundPeriod is the gossip period scenarios use on the live runtime:
+// short enough that a 50-round scenario finishes in well under a second.
+const LiveRoundPeriod = 5 * time.Millisecond
+
+// LiveRuntime adapts live.Cluster (one goroutine per peer, wall clock).
+type LiveRuntime struct {
+	C      *live.Cluster
+	period time.Duration
+}
+
+// NewLiveRuntime builds a live cluster configured for a scenario.
+func NewLiveRuntime(sc Scenario, seed int64) *LiveRuntime {
+	sc = sc.withDefaults()
+	c := live.NewCluster(live.Config{
+		N:            sc.N,
+		Fanout:       sc.Fanout,
+		Batch:        sc.Batch,
+		RoundPeriod:  LiveRoundPeriod,
+		TargetRatio:  sc.TargetRatio,
+		BufferMaxAge: sc.BufferMaxAge,
+		Policy:       gossip.PolicyLeastSent, // see NewSimRuntime
+		Seed:         seed,
+	})
+	return &LiveRuntime{C: c, period: LiveRoundPeriod}
+}
+
+func (l *LiveRuntime) Name() string          { return "live" }
+func (l *LiveRuntime) N() int                { return l.C.Ledger().Len() }
+func (l *LiveRuntime) Has(c Capability) bool { return false }
+func (l *LiveRuntime) Start()                { l.C.Start() }
+
+func (l *LiveRuntime) Subscribe(id int, f pubsub.Filter) (pubsub.SubID, bool) {
+	return l.C.Subscribe(id, f)
+}
+
+func (l *LiveRuntime) Unsubscribe(id int, sub pubsub.SubID) bool {
+	return l.C.Unsubscribe(id, sub)
+}
+
+func (l *LiveRuntime) Publish(id int, topic string, attrs []pubsub.Attr, payload []byte) bool {
+	return l.C.Publish(id, topic, attrs, payload)
+}
+
+func (l *LiveRuntime) OnDeliver(id int, fn func(*pubsub.Event)) bool {
+	return l.C.OnDeliver(id, fn)
+}
+
+func (l *LiveRuntime) Crash(id int) bool                 { return l.C.Crash(id) }
+func (l *LiveRuntime) Rejoin(id int) bool                { return l.C.Rejoin(id) }
+func (l *LiveRuntime) SetFreeRider(id int, on bool) bool { return l.C.SetFreeRider(id, on) }
+func (l *LiveRuntime) Partition(side []int)              { l.C.Partition(side) }
+func (l *LiveRuntime) Heal()                             { l.C.Heal() }
+func (l *LiveRuntime) SetLoss(p float64)                 { l.C.SetLoss(p) }
+
+func (l *LiveRuntime) Step(rounds int) {
+	time.Sleep(time.Duration(rounds) * l.period)
+}
+
+// Drain sleeps the tail rounds, then waits until the delivery counter has
+// been stable for several consecutive round periods (bounded at ~10s, so
+// a wedged cluster fails invariants instead of hanging the test).
+func (l *LiveRuntime) Drain(rounds int, progress func() uint64) {
+	time.Sleep(time.Duration(rounds) * l.period)
+	if progress == nil {
+		return
+	}
+	const stableNeed = 10
+	deadline := time.Now().Add(10 * time.Second)
+	last, stable := progress(), 0
+	for stable < stableNeed && time.Now().Before(deadline) {
+		time.Sleep(l.period)
+		cur := progress()
+		if cur == last {
+			stable++
+		} else {
+			stable = 0
+			last = cur
+		}
+	}
+}
+
+func (l *LiveRuntime) Ledger() *fairness.Ledger { return l.C.Ledger() }
+
+func (l *LiveRuntime) Traffic() (sent, recv, dropped uint64, ok bool) {
+	return 0, 0, 0, false
+}
+
+func (l *LiveRuntime) Close() { l.C.Stop() }

@@ -1,0 +1,439 @@
+// Package scenario is the fault-injection scenario engine: a Scenario is
+// a seeded, declarative schedule of timed adversities — churn waves,
+// partitions and heals, link loss, flash-crowd bursts, subscription
+// churn, free-riders — plus a set of Invariants checked during and after
+// the run (no false delivery, eventual delivery to all connected
+// interested peers, network drop conservation, ledger conservation,
+// fairness-ratio convergence under the AIMD controller).
+//
+// Scenarios run against the small Runtime interface, implemented by both
+// the deterministic simulation (core.Cluster) and the goroutine-per-peer
+// runtime (live.Cluster). The same seeded schedule therefore drives both
+// runtimes and must satisfy the same invariants — differential testing of
+// the two implementations of the protocol. On the simulator a scenario is
+// fully deterministic: one seed, one result, bit for bit.
+//
+// See SCENARIOS.md at the repository root for the scenario vocabulary,
+// the built-in table, and the paper section each invariant
+// operationalises.
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"fairgossip/internal/fairness"
+	"fairgossip/internal/workload"
+)
+
+// Action is one named fault operation applied to a running scenario.
+type Action struct {
+	Name string
+	Do   func(*Run)
+}
+
+// Step schedules an Action at a publishing round (0-based).
+type Step struct {
+	Round  int
+	Action Action
+}
+
+// Scenario is a declarative, seeded schedule of adversity. The zero
+// value of every field has a sensible default (see withDefaults), so
+// scenarios read as deltas from a calm baseline.
+type Scenario struct {
+	Name string
+	Note string
+
+	// Population and protocol knobs (shared by both runtimes).
+	N            int     // peers (default 32)
+	Fanout       int     // gossip fanout (default 5)
+	Batch        int     // events per gossip message (default 8)
+	BufferMaxAge int     // rounds an event stays forwardable (default 10)
+	TargetRatio  float64 // >0 enables the AIMD fairness controller
+	// RepairPenalty is the §3.2 instability charge per rejoin (sim only;
+	// the live ledger has no churn-penalty hook wired yet).
+	RepairPenalty float64
+
+	// Workload: a Zipf topic set with heterogeneous subscriptions, then
+	// PerRound popularity-sampled publications per round for Rounds
+	// rounds.
+	Topics   int // topic count (default 16)
+	MaxSubs  int // max subscriptions per peer (default 4)
+	PerRound int // events published per round (default 2)
+	Payload  int // event payload bytes (default 64)
+
+	// Phases: Warmup rounds before publishing, Rounds publishing rounds,
+	// DrainRounds after publishing stops.
+	Warmup      int // default 5
+	Rounds      int // default 30
+	DrainRounds int // default 12
+
+	// Steps are the timed fault actions; EveryRound, when set, runs each
+	// publishing round after the timed steps (dynamic behaviour such as
+	// rage-quit policies).
+	Steps      []Step
+	EveryRound func(*Run)
+
+	// MinDelivery is the eventual-delivery invariant floor: the fraction
+	// of (eligible peer, event) pairs that must deliver (default 1).
+	// Lossy schedules leave slack for stochastic tails.
+	MinDelivery float64
+	// CheckFairness enables the fairness-ratio convergence invariant
+	// (requires TargetRatio > 0); FairnessFloor is the late-window Jain
+	// index floor (default 0.5).
+	CheckFairness bool
+	FairnessFloor float64
+}
+
+func (sc Scenario) withDefaults() Scenario {
+	if sc.N <= 0 {
+		sc.N = 32
+	}
+	if sc.Fanout <= 0 {
+		sc.Fanout = 5
+	}
+	if sc.Batch <= 0 {
+		sc.Batch = 8
+	}
+	if sc.BufferMaxAge <= 0 {
+		sc.BufferMaxAge = 10
+	}
+	if sc.Topics <= 0 {
+		sc.Topics = 16
+	}
+	if sc.MaxSubs <= 0 {
+		sc.MaxSubs = 4
+	}
+	if sc.PerRound <= 0 {
+		sc.PerRound = 2
+	}
+	if sc.Payload < 0 {
+		sc.Payload = 0
+	} else if sc.Payload == 0 {
+		sc.Payload = 64
+	}
+	if sc.Warmup <= 0 {
+		sc.Warmup = 5
+	}
+	if sc.Rounds <= 0 {
+		sc.Rounds = 30
+	}
+	if sc.DrainRounds <= 0 {
+		sc.DrainRounds = 12
+	}
+	if sc.MinDelivery <= 0 {
+		sc.MinDelivery = 1
+	}
+	if sc.FairnessFloor <= 0 {
+		sc.FairnessFloor = 0.5
+	}
+	return sc
+}
+
+// --- Action vocabulary -------------------------------------------------------
+
+// SampleDistinct draws k distinct values from [0, n) using rng, skipping
+// values for which skip returns true. k is capped at the number of
+// drawable candidates, so over-asking (a second CrashFrac(0.6) when 60%
+// are already down) returns what exists instead of rejection-sampling
+// forever. The draws themselves happen exactly the way the experiments
+// historically did — rejection sampling with rng.Intn — so refactored
+// experiments keep their RNG streams (and fixed-seed outputs)
+// bit-identical.
+func SampleDistinct(rng *rand.Rand, n, k int, skip func(int) bool) []int {
+	if k > n {
+		k = n
+	}
+	if skip != nil {
+		candidates := 0
+		for id := 0; id < n; id++ {
+			if !skip(id) {
+				candidates++
+			}
+		}
+		if k > candidates {
+			k = candidates
+		}
+	}
+	if k <= 0 {
+		return nil
+	}
+	picked := make(map[int]bool, k)
+	out := make([]int, 0, k)
+	for len(out) < k {
+		id := rng.Intn(n)
+		if picked[id] || (skip != nil && skip(id)) {
+			continue
+		}
+		picked[id] = true
+		out = append(out, id)
+	}
+	return out
+}
+
+// CrashFrac crashes ⌈frac·N⌉ random up peers.
+func CrashFrac(frac float64) Action {
+	return Action{
+		Name: fmt.Sprintf("crash %.0f%%", frac*100),
+		Do: func(r *Run) {
+			k := int(frac*float64(r.N()) + 0.5)
+			for _, id := range SampleDistinct(r.Rng, r.N(), k, func(id int) bool { return !r.NodeUp(id) }) {
+				r.Crash(id)
+			}
+		},
+	}
+}
+
+// RejoinAll brings every crashed peer back.
+func RejoinAll() Action {
+	return Action{
+		Name: "rejoin all",
+		Do: func(r *Run) {
+			for id := 0; id < r.N(); id++ {
+				if !r.NodeUp(id) {
+					r.Rejoin(id)
+				}
+			}
+		},
+	}
+}
+
+// SplitRandomHalf partitions a random half of the population away from
+// the rest until a Heal.
+func SplitRandomHalf() Action {
+	return Action{
+		Name: "partition half",
+		Do: func(r *Run) {
+			side := SampleDistinct(r.Rng, r.N(), r.N()/2, nil)
+			sort.Ints(side)
+			r.Partition(side)
+		},
+	}
+}
+
+// HealAll removes any partition.
+func HealAll() Action {
+	return Action{Name: "heal", Do: func(r *Run) { r.Heal() }}
+}
+
+// Loss sets the i.i.d. link-loss probability.
+func Loss(p float64) Action {
+	return Action{
+		Name: fmt.Sprintf("loss %.0f%%", p*100),
+		Do:   func(r *Run) { r.SetLoss(p) },
+	}
+}
+
+// Burst publishes k extra popularity-sampled events this round — a flash
+// crowd on top of the steady workload.
+func Burst(k int) Action {
+	return Action{
+		Name: fmt.Sprintf("burst %d", k),
+		Do: func(r *Run) {
+			for i := 0; i < k; i++ {
+				r.PublishRandom()
+			}
+		},
+	}
+}
+
+// FreeRiderFrac turns ⌈frac·N⌉ random up, honest peers into free-riders:
+// they keep receiving and delivering but stop forwarding.
+func FreeRiderFrac(frac float64) Action {
+	return Action{
+		Name: fmt.Sprintf("free-riders %.0f%%", frac*100),
+		Do: func(r *Run) {
+			k := int(frac*float64(r.N()) + 0.5)
+			for _, id := range SampleDistinct(r.Rng, r.N(), k, func(id int) bool { return !r.NodeUp(id) || r.NodeFree(id) }) {
+				r.SetFreeRider(id, true)
+			}
+		},
+	}
+}
+
+// ResubscribeFrac makes ⌈frac·N⌉ random up peers drop all their
+// subscriptions and draw a fresh interest set — subscription churn.
+func ResubscribeFrac(frac float64) Action {
+	return Action{
+		Name: fmt.Sprintf("resubscribe %.0f%%", frac*100),
+		Do: func(r *Run) {
+			k := int(frac*float64(r.N()) + 0.5)
+			for _, id := range SampleDistinct(r.Rng, r.N(), k, func(id int) bool { return !r.NodeUp(id) }) {
+				r.Resubscribe(id)
+			}
+		},
+	}
+}
+
+// rageQuitScenario models the paper's §1/§6 feedback loop dynamically:
+// every 5 rounds each peer judges its windowed contribution/benefit
+// ratio against the population median and rage-quits when it stays 2.5×
+// above it, rejoining 4 rounds later. Churn here is data-dependent —
+// driven by measured unfairness, not a fixed schedule — which is exactly
+// what the EveryRound hook exists for.
+func rageQuitScenario() Scenario {
+	type rqState struct {
+		rq        *workload.RageQuit
+		prev      []fairness.Account
+		downUntil map[int]int
+	}
+	return Scenario{
+		Name:          "rage-quit",
+		Note:          "peers quit when their measured window ratio is 2.5x the median, rejoin 4 rounds later",
+		Rounds:        40,
+		RepairPenalty: 200,
+		EveryRound: func(r *Run) {
+			st, _ := r.Scratch.(*rqState)
+			if st == nil {
+				st = &rqState{
+					rq:        workload.NewRageQuit(2.5, 2),
+					prev:      r.Ledger().Snapshot(),
+					downUntil: make(map[int]int),
+				}
+				r.Scratch = st
+			}
+			for id, until := range st.downUntil {
+				if r.Round >= until {
+					r.Rejoin(id)
+					delete(st.downUntil, id)
+				}
+			}
+			if r.Round%5 != 0 || r.Round == 0 {
+				return
+			}
+			cur := r.Ledger().Snapshot()
+			w := r.Ledger().Weights()
+			ratios := make([]float64, len(cur))
+			for i := range ratios {
+				ratios[i] = fairness.Ratio(fairness.Delta(cur[i], st.prev[i]), w)
+			}
+			st.prev = cur
+			if r.Round < 10 {
+				return // warm-up before anyone judges fairness
+			}
+			med := Median(ratios)
+			for _, id := range st.rq.Check(ratios, med, r.NodeUp) {
+				r.Crash(id)
+				st.downUntil[id] = r.Round + 4
+			}
+		},
+	}
+}
+
+// --- Built-in table ----------------------------------------------------------
+
+// Builtins returns the built-in scenario table: one calm baseline plus
+// one scenario per adversity axis and a combined storm. Each runs as a
+// table-driven test against both runtimes.
+func Builtins() []Scenario {
+	return []Scenario{
+		{
+			Name: "calm",
+			Note: "baseline: steady Zipf workload, no faults",
+		},
+		{
+			Name:          "churn-waves",
+			Note:          "two 25% crash waves with rejoins; survivors keep full delivery",
+			RepairPenalty: 200,
+			Steps: []Step{
+				{Round: 6, Action: CrashFrac(0.25)},
+				{Round: 14, Action: RejoinAll()},
+				{Round: 18, Action: CrashFrac(0.25)},
+				{Round: 26, Action: RejoinAll()},
+			},
+		},
+		{
+			Name: "partition-heal",
+			Note: "random half splits off, then heals; each side keeps serving itself",
+			Steps: []Step{
+				{Round: 8, Action: SplitRandomHalf()},
+				{Round: 20, Action: HealAll()},
+			},
+		},
+		{
+			Name:        "lossy",
+			Note:        "10% i.i.d. link loss through most of the run; gossip redundancy absorbs it",
+			MinDelivery: 0.98,
+			Steps: []Step{
+				{Round: 4, Action: Loss(0.10)},
+				{Round: 26, Action: Loss(0)},
+			},
+		},
+		{
+			Name:         "flash-crowd",
+			Note:         "a 40-event publish burst lands in one round on top of the steady load",
+			BufferMaxAge: 14,
+			MinDelivery:  0.99,
+			Steps: []Step{
+				{Round: 10, Action: Burst(40)},
+			},
+		},
+		{
+			Name: "sub-churn",
+			Note: "every 5 rounds a quarter of the peers swap their whole interest set",
+			Steps: []Step{
+				{Round: 5, Action: ResubscribeFrac(0.25)},
+				{Round: 10, Action: ResubscribeFrac(0.25)},
+				{Round: 15, Action: ResubscribeFrac(0.25)},
+				{Round: 20, Action: ResubscribeFrac(0.25)},
+				{Round: 25, Action: ResubscribeFrac(0.25)},
+			},
+		},
+		{
+			Name: "free-riders",
+			Note: "a quarter of the peers stop forwarding; the rest still reach everyone",
+			Steps: []Step{
+				{Round: 5, Action: FreeRiderFrac(0.25)},
+			},
+		},
+		{
+			Name:          "storm",
+			Note:          "combined adversity: free-riders, loss, a crash wave and a flash crowd",
+			BufferMaxAge:  14,
+			RepairPenalty: 200,
+			MinDelivery:   0.95,
+			Steps: []Step{
+				{Round: 4, Action: FreeRiderFrac(0.15)},
+				{Round: 5, Action: Loss(0.05)},
+				{Round: 8, Action: CrashFrac(0.20)},
+				{Round: 12, Action: Burst(30)},
+				{Round: 16, Action: RejoinAll()},
+				{Round: 26, Action: Loss(0)},
+			},
+		},
+		rageQuitScenario(),
+		{
+			Name:          "aimd-fair",
+			Note:          "calm run under the AIMD controller; the fairness ratios must converge",
+			TargetRatio:   2500,
+			Rounds:        40,
+			PerRound:      1,
+			BufferMaxAge:  14,
+			MinDelivery:   0.97, // AIMD may shed batch to its floor while converging
+			CheckFairness: true,
+			FairnessFloor: 0.5,
+		},
+	}
+}
+
+// ByName returns the built-in scenario with the given name.
+func ByName(name string) (Scenario, bool) {
+	for _, sc := range Builtins() {
+		if sc.Name == name {
+			return sc, true
+		}
+	}
+	return Scenario{}, false
+}
+
+// Names returns the built-in scenario names in table order.
+func Names() []string {
+	bs := Builtins()
+	out := make([]string, len(bs))
+	for i, sc := range bs {
+		out[i] = sc.Name
+	}
+	return out
+}

@@ -1,0 +1,190 @@
+package scenario
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestBuiltinsOnSim runs every built-in scenario against the
+// deterministic simulated runtime; all invariants must pass.
+func TestBuiltinsOnSim(t *testing.T) {
+	for _, sc := range Builtins() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			res := Execute(NewSimRuntime(sc, 1), sc, 1)
+			if !res.Ok() {
+				t.Fatalf("invariant violations:\n%s", res.String())
+			}
+			if res.Published == 0 || res.Deliveries == 0 {
+				t.Fatalf("degenerate run:\n%s", res.String())
+			}
+		})
+	}
+}
+
+// TestBuiltinsOnLive runs the same seeded schedules against the
+// goroutine-per-peer runtime — the differential half: a runtime-specific
+// bug (a lost delivery, a leaked message, a broken fault hook) surfaces
+// as an invariant violation on one runtime but not the other.
+func TestBuiltinsOnLive(t *testing.T) {
+	for _, sc := range Builtins() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			res := Execute(NewLiveRuntime(sc, 1), sc, 1)
+			if !res.Ok() {
+				t.Fatalf("invariant violations:\n%s", res.String())
+			}
+			if res.Published == 0 || res.Deliveries == 0 {
+				t.Fatalf("degenerate run:\n%s", res.String())
+			}
+		})
+	}
+}
+
+// TestSimDeterminism: on the simulated runtime the same seed must yield
+// identical invariant metrics, bit for bit — the property fixed-seed
+// regression baselines (and reproducible bug reports) rest on.
+func TestSimDeterminism(t *testing.T) {
+	for _, name := range []string{"calm", "storm", "sub-churn"} {
+		sc, ok := ByName(name)
+		if !ok {
+			t.Fatalf("missing builtin %q", name)
+		}
+		a := Execute(NewSimRuntime(sc, 42), sc, 42)
+		b := Execute(NewSimRuntime(sc, 42), sc, 42)
+		if a.String() != b.String() {
+			t.Errorf("%s not deterministic:\n--- run 1\n%s--- run 2\n%s", name, a.String(), b.String())
+		}
+		c := Execute(NewSimRuntime(sc, 43), sc, 43)
+		if a.String() == c.String() {
+			t.Errorf("%s ignored its seed: seeds 42 and 43 produced identical results", name)
+		}
+	}
+}
+
+// TestEligibilityExcludesCrashed: a peer that crashes before an event is
+// published must not be counted eligible, and a peer that crashes while
+// the event is pending is released.
+func TestEligibilityExcludesCrashed(t *testing.T) {
+	sc := Scenario{
+		Name:   "crash-eligibility",
+		N:      16,
+		Rounds: 10,
+		Steps: []Step{
+			{Round: 2, Action: CrashFrac(0.5)},
+		},
+	}
+	res := Execute(NewSimRuntime(sc, 7), sc, 7)
+	if !res.Ok() {
+		t.Fatalf("violations:\n%s", res.String())
+	}
+	// With half the population down, eligible pairs must be well below
+	// the no-fault expectation but delivery over survivors stays total.
+	if res.DeliveryRatio != 1 {
+		t.Errorf("survivor delivery ratio %v, want 1", res.DeliveryRatio)
+	}
+}
+
+// TestFreeRidersDoNotForward: with every peer but the publisher
+// free-riding, events must still self-deliver but cannot spread — the
+// engine's eligibility model stays sound either way.
+func TestFreeRiderStillReceives(t *testing.T) {
+	sc := Scenario{
+		Name:   "free-rider-receives",
+		N:      16,
+		Rounds: 12,
+		Steps: []Step{
+			{Round: 0, Action: FreeRiderFrac(0.5)},
+		},
+	}
+	res := Execute(NewSimRuntime(sc, 9), sc, 9)
+	if !res.Ok() {
+		t.Fatalf("violations:\n%s", res.String())
+	}
+	if res.DeliveryRatio != 1 {
+		t.Errorf("delivery ratio %v with free-riders, want 1 (they still receive)", res.DeliveryRatio)
+	}
+}
+
+// TestDropConservationSeesPartitionDrops: the partition scenario must
+// actually drop traffic on the sim network (otherwise the conservation
+// invariant is vacuous).
+func TestDropConservationSeesPartitionDrops(t *testing.T) {
+	sc, _ := ByName("partition-heal")
+	res := Execute(NewSimRuntime(sc, 3), sc, 3)
+	if !res.Ok() {
+		t.Fatalf("violations:\n%s", res.String())
+	}
+	if !res.HasTraffic || res.Dropped == 0 {
+		t.Fatalf("partition scenario dropped nothing:\n%s", res.String())
+	}
+}
+
+// TestSampleDistinctCapsAtCandidates: over-asking returns what exists
+// instead of rejection-sampling forever, so a repeated CrashFrac cannot
+// hang a run.
+func TestSampleDistinctCapsAtCandidates(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	down := map[int]bool{0: true, 1: true, 2: true}
+	got := SampleDistinct(rng, 5, 5, func(id int) bool { return down[id] })
+	if len(got) != 2 {
+		t.Fatalf("got %v, want the 2 drawable candidates", got)
+	}
+	if out := SampleDistinct(rng, 4, 9, nil); len(out) != 4 {
+		t.Fatalf("k>n returned %v, want all 4", out)
+	}
+	if out := SampleDistinct(rng, 3, 2, func(int) bool { return true }); out != nil {
+		t.Fatalf("all-skipped returned %v, want nil", out)
+	}
+	// Back-to-back over-crashing terminates and keeps invariants sound.
+	sc := Scenario{
+		Name:   "over-crash",
+		N:      16,
+		Rounds: 12,
+		Steps: []Step{
+			{Round: 2, Action: CrashFrac(0.6)},
+			{Round: 4, Action: CrashFrac(0.6)},
+		},
+	}
+	res := Execute(NewSimRuntime(sc, 5), sc, 5)
+	if !res.Ok() {
+		t.Fatalf("violations:\n%s", res.String())
+	}
+}
+
+// TestResultStringMentionsViolations: a failing invariant must surface
+// in the rendered result (the CLI prints it).
+func TestResultStringMentionsViolations(t *testing.T) {
+	res := &Result{Scenario: "x", Runtime: "sim", Violations: []string{"eventual-delivery: boom"}}
+	if res.Ok() || !strings.Contains(res.String(), "VIOLATION") {
+		t.Fatalf("violation not rendered:\n%s", res.String())
+	}
+}
+
+// TestByNameAndNames: the table lookup agrees with the table.
+func TestByNameAndNames(t *testing.T) {
+	names := Names()
+	if len(names) < 8 {
+		t.Fatalf("only %d built-in scenarios, want ≥ 8", len(names))
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			t.Fatalf("duplicate scenario name %q", n)
+		}
+		seen[n] = true
+		if _, ok := ByName(n); !ok {
+			t.Fatalf("ByName(%q) failed", n)
+		}
+	}
+	if _, ok := ByName("no-such-scenario"); ok {
+		t.Fatal("ByName accepted an unknown name")
+	}
+	// The required adversity axes are all covered.
+	for _, want := range []string{"calm", "churn-waves", "partition-heal", "lossy", "flash-crowd", "sub-churn", "free-riders", "storm"} {
+		if !seen[want] {
+			t.Errorf("missing required builtin %q", want)
+		}
+	}
+}
