@@ -17,8 +17,11 @@ build:
 test:
 	$(GO) test $(PKGS)
 
+# The scenario package's race run includes the full builtin table over
+# real loopback UDP sockets (TestBuiltinsOnLiveUDP) — the transport /
+# codec concurrency is exercised under the detector on every CI run.
 race:
-	$(GO) test -race ./internal/fairness/ ./internal/gossip/ ./internal/live/ ./internal/eventsim/ ./internal/simnet/ ./internal/scenario/
+	$(GO) test -race ./internal/fairness/ ./internal/gossip/ ./internal/live/ ./internal/eventsim/ ./internal/simnet/ ./internal/scenario/ ./internal/transport/ ./internal/wire/
 
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem -benchtime 3x .

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestFairnodeDemoUDP: the demo subcommand runs a real multi-socket
+// cluster end to end — every expected delivery arrives over loopback
+// UDP and the report sections are printed.
+func TestFairnodeDemoUDP(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"demo", "-n", "6", "-events", "10", "-seed", "2"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d\nstderr: %s\nstdout: %s", code, errb.String(), out.String())
+	}
+	s := out.String()
+	for _, want := range []string{"127.0.0.1:", "watches t", "transport traffic:", "fairness report:"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("missing %q in output:\n%s", want, s)
+		}
+	}
+	if strings.Contains(s, "delivered 0 of") {
+		t.Fatalf("nothing was delivered:\n%s", s)
+	}
+}
+
+// TestFairnodeDemoChanTransport: the same demo runs on the in-process
+// transport via the -transport knob.
+func TestFairnodeDemoChanTransport(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"demo", "-n", "5", "-events", "8", "-transport", "chan", "-seed", "3"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d\nstderr: %s\nstdout: %s", code, errb.String(), out.String())
+	}
+	if !strings.Contains(out.String(), "chan://") {
+		t.Fatalf("chan transport addresses missing:\n%s", out.String())
+	}
+}
+
+// TestFairnodeUsageAndErrors: bad invocations are usage errors; help
+// exits zero.
+func TestFairnodeUsageAndErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(nil, &out, &errb); code != 2 {
+		t.Fatalf("no args: exit %d, want 2", code)
+	}
+	if code := run([]string{"warp"}, &out, &errb); code != 2 {
+		t.Fatalf("unknown subcommand: exit %d, want 2", code)
+	}
+	if code := run([]string{"demo", "-transport", "tcp"}, &out, &errb); code != 2 {
+		t.Fatalf("unknown transport: exit %d, want 2", code)
+	}
+	if code := run([]string{"-h"}, &out, &errb); code != 0 {
+		t.Fatalf("-h: exit %d, want 0", code)
+	}
+	if code := run([]string{"demo", "-h"}, &out, &errb); code != 0 {
+		t.Fatalf("demo -h: exit %d, want 0", code)
+	}
+}

@@ -71,6 +71,33 @@ func TestFairsimScenarioRun(t *testing.T) {
 	}
 }
 
+// TestFairsimScenarioUDPTransport: -transport udp maps the live
+// runtime onto real loopback sockets; the run must pass its invariants
+// and identify itself as live-udp.
+func TestFairsimScenarioUDPTransport(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"scenario", "-name", "calm", "-runtime", "live", "-transport", "udp", "-seed", "3"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d: %s\n%s", code, errb.String(), out.String())
+	}
+	if !strings.Contains(out.String(), "runtime=live-udp") {
+		t.Fatalf("run did not report the udp runtime:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "invariants         all passing") {
+		t.Fatalf("udp scenario did not pass:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "msgs sent") {
+		t.Fatalf("live traffic counters missing from output:\n%s", out.String())
+	}
+	// The self-consistent pair -runtime live-udp -transport udp is
+	// accepted, not rejected as a flag conflict.
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"scenario", "-name", "calm", "-runtime", "live-udp", "-transport", "udp", "-seed", "3"}, &out, &errb); code != 0 {
+		t.Fatalf("live-udp + -transport udp: exit %d: %s", code, errb.String())
+	}
+}
+
 // TestFairsimScenarioErrors: unknown names and runtimes are usage
 // errors.
 func TestFairsimScenarioErrors(t *testing.T) {
@@ -80,6 +107,9 @@ func TestFairsimScenarioErrors(t *testing.T) {
 	}
 	if code := run([]string{"scenario", "-name", "calm", "-runtime", "warp"}, &out, &errb); code != 2 {
 		t.Fatalf("unknown runtime: exit %d, want 2", code)
+	}
+	if code := run([]string{"scenario", "-name", "calm", "-transport", "tcp"}, &out, &errb); code != 2 {
+		t.Fatalf("unknown transport: exit %d, want 2", code)
 	}
 	if code := run([]string{"scenario"}, &out, &errb); code != 2 {
 		t.Fatalf("missing -name: exit %d, want 2", code)

@@ -15,11 +15,14 @@ import (
 
 func main() {
 	const n = 16
-	cluster := fairgossip.NewLive(fairgossip.LiveConfig{
+	cluster, err := fairgossip.NewLive(fairgossip.LiveConfig{
 		N:           n,
 		RoundPeriod: 10 * time.Millisecond,
 		Seed:        1,
 	})
+	if err != nil {
+		panic(err)
+	}
 
 	var delivered atomic.Int64
 	for i := 0; i < n; i++ {

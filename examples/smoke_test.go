@@ -21,6 +21,7 @@ var examples = map[string]string{
 	"newsfeed":   "Jain's fairness index:",
 	"stockwatch": "deliveries per peer",
 	"churnstorm": "rage-quits:",
+	"udpmesh":    "over real sockets",
 }
 
 // TestExamplesBuildAndRun builds each example binary once and runs it

@@ -19,12 +19,15 @@ import (
 
 func main() {
 	const n = 12
-	cluster := fairgossip.NewLive(fairgossip.LiveConfig{
+	cluster, err := fairgossip.NewLive(fairgossip.LiveConfig{
 		N:           n,
 		RoundPeriod: 10 * time.Millisecond,
 		TargetRatio: 3000, // fairness-adaptive participation
 		Seed:        3,
 	})
+	if err != nil {
+		panic(err)
+	}
 
 	filters := []string{
 		`price > 900`, // rare: whale alerts

@@ -32,9 +32,16 @@
 // invariants. SCENARIOS.md at the repository root documents the scenario
 // vocabulary, the built-in table, and each invariant.
 //
+// The live runtime moves messages through a pluggable transport: the
+// default delivers encoded envelopes in-process; TransportUDP runs one
+// real loopback datagram socket per peer with the compact binary wire
+// codec on both ends (see cmd/fairnode and examples/udpmesh for a
+// multi-socket cluster end to end).
+//
 // Quick start (live runtime):
 //
-//	c := fairgossip.NewLive(fairgossip.LiveConfig{N: 16, TargetRatio: 2000})
+//	c, err := fairgossip.NewLive(fairgossip.LiveConfig{N: 16, TargetRatio: 2000})
+//	if err != nil { ... }
 //	c.Subscribe(3, fairgossip.MustParseFilter(`price > 100`))
 //	c.Start()
 //	defer c.Stop()
@@ -49,6 +56,7 @@ import (
 	"fairgossip/internal/live"
 	"fairgossip/internal/pubsub"
 	"fairgossip/internal/scenario"
+	"fairgossip/internal/transport"
 )
 
 // Core data model (see internal/pubsub).
@@ -111,9 +119,37 @@ const (
 	ControllerProportional = core.ControllerProportional
 )
 
+// Live-runtime transport plumbing (see internal/transport). A Transport
+// is one peer's endpoint; a TransportNet wires a cluster's endpoints
+// together; a TransportFactory is the LiveConfig.Transport knob. Custom
+// substrates plug in by implementing these interfaces.
+type (
+	// Transport is a single peer's sending endpoint.
+	Transport = transport.Transport
+	// TransportNet wires the endpoints of one cluster together.
+	TransportNet = transport.Net
+	// TransportHandler consumes one inbound encoded envelope.
+	TransportHandler = transport.Handler
+	// TransportFactory builds the TransportNet for an n-peer cluster.
+	TransportFactory = transport.Factory
+	// LiveTraffic is the live cluster's envelope-level traffic counters.
+	LiveTraffic = live.Traffic
+)
+
+// TransportChan returns the in-process transport factory — the default
+// when LiveConfig.Transport is nil.
+func TransportChan() TransportFactory { return transport.Chan() }
+
+// TransportUDP returns the loopback-socket transport factory: one real
+// datagram socket per peer, the wire codec on both ends, and
+// datagram-size enforcement.
+func TransportUDP() TransportFactory { return transport.UDP() }
+
 // NewLive builds a real-concurrency cluster. Call Start to launch the
-// peer goroutines and Stop to terminate them.
-func NewLive(cfg LiveConfig) *LiveCluster { return live.NewCluster(cfg) }
+// peer goroutines and Stop to terminate them. The error comes from the
+// configured transport (socket binds); with the default in-process
+// transport it is always nil.
+func NewLive(cfg LiveConfig) (*LiveCluster, error) { return live.NewCluster(cfg) }
 
 // NewSim builds a deterministic simulated cluster of n peers.
 func NewSim(n int, cfg SimConfig, opts SimOptions) *SimCluster {
@@ -165,8 +201,8 @@ func ScenarioNames() []string { return scenario.Names() }
 func ScenarioByName(name string) (Scenario, bool) { return scenario.ByName(name) }
 
 // RunScenario executes a built-in scenario by name on the given runtime
-// ("sim" — deterministic, same seed same result — or "live") and returns
-// the checked result.
+// ("sim" — deterministic, same seed same result — "live", or "live-udp"
+// over real loopback sockets) and returns the checked result.
 func RunScenario(name, runtime string, seed int64) (*ScenarioResult, error) {
 	sc, ok := scenario.ByName(name)
 	if !ok {
@@ -183,8 +219,14 @@ func RunScenarioSpec(sc Scenario, runtime string, seed int64) (*ScenarioResult, 
 		rt = scenario.NewSimRuntime(sc, seed)
 	case "live":
 		rt = scenario.NewLiveRuntime(sc, seed)
+	case "live-udp":
+		udp, err := scenario.NewLiveUDPRuntime(sc, seed)
+		if err != nil {
+			return nil, fmt.Errorf("fairgossip: udp runtime: %w", err)
+		}
+		rt = udp
 	default:
-		return nil, fmt.Errorf("fairgossip: unknown runtime %q (want sim or live)", runtime)
+		return nil, fmt.Errorf("fairgossip: unknown runtime %q (want sim, live or live-udp)", runtime)
 	}
 	return scenario.Execute(rt, sc, seed), nil
 }

@@ -1,15 +1,29 @@
 // Package live is the real-concurrency runtime: one goroutine per peer,
-// buffered channels as links, and wall-clock tickers for gossip rounds.
-// It runs the same content-mode FairGossip protocol as internal/core but
-// against Go's scheduler instead of the deterministic simulator — the
-// form a deployed system (and the runnable examples) would use.
+// a pluggable transport as the links, and wall-clock tickers for gossip
+// rounds. It runs the same content-mode FairGossip protocol as
+// internal/core but against Go's scheduler instead of the deterministic
+// simulator — the form a deployed system (and the runnable examples)
+// would use.
+//
+// Messages move as encoded bytes: each round a peer packs its selected
+// events into one wire envelope (internal/wire) and hands the bytes to
+// its transport endpoint (internal/transport); receivers decode into
+// events they own outright. The default ChanTransport delivers the
+// bytes in-process; Config.Transport swaps in real loopback UDP sockets
+// (transport.UDP()) with no protocol change. Because the envelope
+// encoding is sized exactly like the accounting formula the ledger has
+// always charged (wire.EnvelopeSize == gossip.MsgWireSize), the
+// contribution a peer is billed is literally the number of bytes put on
+// the wire.
 //
 // Concurrency model: each peer's protocol state is owned by its single
 // goroutine. External calls (Subscribe, Publish) are funneled into the
 // peer loop through a command channel and executed there, so no protocol
 // state needs locks. The shared fairness.Ledger is internally
 // synchronised. A peer whose inbox overflows drops messages, which is
-// exactly how a saturated UDP socket behaves.
+// exactly how a saturated UDP socket behaves — except here every such
+// drop is counted (see Traffic), so load can never lose messages
+// invisibly.
 package live
 
 import (
@@ -23,6 +37,9 @@ import (
 	"fairgossip/internal/fairness"
 	"fairgossip/internal/gossip"
 	"fairgossip/internal/pubsub"
+	"fairgossip/internal/randutil"
+	"fairgossip/internal/transport"
+	"fairgossip/internal/wire"
 )
 
 // Config parameterises a live cluster.
@@ -50,6 +67,11 @@ type Config struct {
 	Policy gossip.Policy
 	// Seed drives per-peer randomness (peer i uses Seed^i).
 	Seed int64
+	// Transport selects the message substrate: nil means in-process
+	// channel delivery (transport.Chan(), the historical semantics);
+	// transport.UDP() runs one real loopback datagram socket per peer.
+	// Any custom Factory plugs in the same way.
+	Transport transport.Factory
 }
 
 func (c Config) withDefaults() Config {
@@ -78,12 +100,6 @@ func (c Config) withDefaults() Config {
 		c.Policy = gossip.PolicyRandom
 	}
 	return c
-}
-
-type envelope struct {
-	from   int
-	events []*pubsub.Event
-	size   int
 }
 
 // faults is the cluster's shared fault-injection state. Scenario drivers
@@ -122,13 +138,55 @@ func (f *faults) dropLink(from, to int, rng *rand.Rand) bool {
 	return false
 }
 
+// traffic is the cluster's envelope-level message accounting, mirroring
+// what simnet counts for the simulator. Everything is atomic: senders,
+// transport readers and observers touch it concurrently.
+type traffic struct {
+	sent           atomic.Uint64
+	recv           atomic.Uint64
+	faultDrops     atomic.Uint64
+	inboxDrops     atomic.Uint64
+	transportDrops atomic.Uint64
+	malformed      atomic.Uint64
+}
+
+// Traffic is a snapshot of the cluster's envelope-level counters. The
+// conservation identity Sent == Recv + Dropped holds exactly on the
+// chan transport at any quiescent point, and on UDP once the transport
+// has quiesced (Stop does that) — a shortfall means the network lost
+// datagrams the runtime could not see.
+type Traffic struct {
+	// Sent counts send attempts, one per (envelope, destination). The
+	// sender is charged for every attempt.
+	Sent uint64
+	// Recv counts envelopes accepted into a peer's inbox.
+	Recv uint64
+	// Dropped is every counted loss: FaultDrops + InboxDrops +
+	// TransportDrops.
+	Dropped uint64
+	// FaultDrops: injected faults ate it (crashed destination,
+	// partition, i.i.d. loss).
+	FaultDrops uint64
+	// InboxDrops: the destination's inbox was full — the bug this
+	// counter exists for used to be silent.
+	InboxDrops uint64
+	// TransportDrops: the transport refused or failed the send
+	// (oversized datagram, closed socket).
+	TransportDrops uint64
+	// Malformed counts received envelopes that failed to decode or
+	// carried an invalid sender (a subset of Recv, not of Dropped).
+	Malformed uint64
+}
+
 // Cluster is a set of live peers. Create with NewCluster, then Start;
 // Stop blocks until every peer goroutine has exited.
 type Cluster struct {
-	cfg    Config
-	ledger *fairness.Ledger
-	peers  []*peer
-	faults *faults
+	cfg     Config
+	ledger  *fairness.Ledger
+	peers   []*peer
+	faults  *faults
+	net     transport.Net
+	traffic traffic
 
 	stop    chan struct{}
 	wg      sync.WaitGroup
@@ -141,7 +199,8 @@ type peer struct {
 	id      int
 	c       *Cluster
 	rng     *rand.Rand
-	inbox   chan envelope
+	tr      transport.Transport
+	inbox   chan []byte
 	cmds    chan func()
 	buffer  *gossip.Buffer
 	seen    *gossip.SeenSet
@@ -153,15 +212,30 @@ type peer struct {
 	last    fairness.Account
 	pubSeq  uint32
 	deliver func(*pubsub.Event)
+
+	env    wire.Envelope // decode scratch: Events backing array is reused
+	perm   []int         // PermInto scratch for samplePeers
+	sample []int         // sampled-partner scratch
 }
 
-// NewCluster builds a stopped cluster.
-func NewCluster(cfg Config) *Cluster {
+// NewCluster builds a stopped cluster. The only error source is the
+// transport factory (socket transports can fail to bind); the default
+// in-process transport never fails.
+func NewCluster(cfg Config) (*Cluster, error) {
 	cfg = cfg.withDefaults()
+	factory := cfg.Transport
+	if factory == nil {
+		factory = transport.Chan()
+	}
+	nw, err := factory(cfg.N)
+	if err != nil {
+		return nil, err
+	}
 	c := &Cluster{
 		cfg:    cfg,
 		ledger: fairness.NewLedger(cfg.N, fairness.DefaultWeights()),
 		faults: newFaults(cfg.N),
+		net:    nw,
 		stop:   make(chan struct{}),
 	}
 	for i := 0; i < cfg.N; i++ {
@@ -178,16 +252,22 @@ func NewCluster(cfg Config) *Cluster {
 			id:     i,
 			c:      c,
 			rng:    rand.New(rand.NewSource(cfg.Seed ^ int64(i*2654435761+1))),
-			inbox:  make(chan envelope, cfg.InboxDepth),
+			inbox:  make(chan []byte, cfg.InboxDepth),
 			cmds:   make(chan func(), 64),
 			buffer: gossip.NewBuffer(256, cfg.BufferMaxAge),
 			seen:   gossip.NewSeenSet(8192),
 			ctrl:   ctrl,
 		}
 		p.fanout, p.batch = ctrl.Fanout(), ctrl.Batch()
+		tr, err := nw.Attach(i, p.ingress)
+		if err != nil {
+			_ = nw.Close()
+			return nil, err
+		}
+		p.tr = tr
 		c.peers = append(c.peers, p)
 	}
-	return c
+	return c, nil
 }
 
 // Ledger exposes the shared fairness ledger (safe for concurrent reads).
@@ -196,11 +276,34 @@ func (c *Cluster) Ledger() *fairness.Ledger { return c.ledger }
 // Report returns the cluster-wide fairness report.
 func (c *Cluster) Report() fairness.Report { return c.ledger.Report() }
 
+// Traffic returns the cluster's envelope-level traffic counters.
+func (c *Cluster) Traffic() Traffic {
+	t := Traffic{
+		Sent:           c.traffic.sent.Load(),
+		Recv:           c.traffic.recv.Load(),
+		FaultDrops:     c.traffic.faultDrops.Load(),
+		InboxDrops:     c.traffic.inboxDrops.Load(),
+		TransportDrops: c.traffic.transportDrops.Load(),
+		Malformed:      c.traffic.malformed.Load(),
+	}
+	t.Dropped = t.FaultDrops + t.InboxDrops + t.TransportDrops
+	return t
+}
+
+// Addr returns peer id's transport address ("chan://3" in-process, a
+// real socket address on UDP), or "" for invalid ids.
+func (c *Cluster) Addr(id int) string {
+	if id < 0 || id >= len(c.peers) {
+		return ""
+	}
+	return c.peers[id].tr.LocalAddr()
+}
+
 // Start launches every peer goroutine. Idempotent.
 func (c *Cluster) Start() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.started {
+	if c.started || c.stopped {
 		return
 	}
 	c.started = true
@@ -214,17 +317,23 @@ func (c *Cluster) Start() {
 	}
 }
 
-// Stop signals every peer to exit and waits for them. Idempotent.
+// Stop signals every peer to exit, waits for them, then closes the
+// transport (for sockets that includes a bounded quiesce, so traffic
+// counters are settled when Stop returns). Idempotent.
 func (c *Cluster) Stop() {
 	c.mu.Lock()
-	if !c.started || c.stopped {
+	if c.stopped {
 		c.mu.Unlock()
 		return
 	}
+	started := c.started
 	c.stopped = true
 	c.mu.Unlock()
-	close(c.stop)
-	c.wg.Wait()
+	if started {
+		close(c.stop)
+		c.wg.Wait()
+	}
+	_ = c.net.Close()
 }
 
 // do runs fn with exclusive access to peer id's state and waits for it to
@@ -236,8 +345,11 @@ func (c *Cluster) do(id int, fn func()) bool {
 		return false
 	}
 	c.mu.Lock()
-	started := c.started
+	started, stopped := c.started, c.stopped
 	c.mu.Unlock()
+	if stopped {
+		return false
+	}
 	if !started {
 		fn()
 		return true
@@ -279,7 +391,11 @@ func (c *Cluster) Unsubscribe(id int, sub pubsub.SubID) bool {
 }
 
 // OnDeliver installs a delivery observer on a peer (call before or after
-// Start; it runs on the peer's goroutine).
+// Start; it runs on the peer's goroutine). The delivered event is never
+// shared with another peer's goroutine (each receiver decodes its own
+// copy off the wire), but it IS the copy this peer keeps buffered for
+// forwarding — treat it as read-only, or the peer forwards the
+// mutation.
 func (c *Cluster) OnDeliver(id int, fn func(*pubsub.Event)) bool {
 	return c.do(id, func() { c.peers[id].deliver = fn })
 }
@@ -384,6 +500,20 @@ func (c *Cluster) Publish(id int, topic string, attrs []pubsub.Attr, payload []b
 
 // --- peer loop ---------------------------------------------------------------
 
+// ingress is the transport delivery callback: a non-blocking inbox push
+// with counted overflow. It runs on the sender's goroutine (chan
+// transport) or the socket reader's (UDP); either way it must not
+// block, and a full inbox is a counted drop — a saturated socket
+// buffer whose loss the books still see.
+func (p *peer) ingress(buf []byte) {
+	select {
+	case p.inbox <- buf:
+		p.c.traffic.recv.Add(1)
+	default:
+		p.c.traffic.inboxDrops.Add(1)
+	}
+}
+
 func (p *peer) loop() {
 	// The command channel must be drained before Start too; tickers with
 	// jitter desynchronise the rounds.
@@ -396,8 +526,8 @@ func (p *peer) loop() {
 			return
 		case cmd := <-p.cmds:
 			cmd()
-		case env := <-p.inbox:
-			p.receive(env)
+		case buf := <-p.inbox:
+			p.receive(buf)
 		case <-timer.C:
 			p.round()
 			timer.Reset(p.c.cfg.RoundPeriod)
@@ -413,13 +543,7 @@ func (p *peer) round() {
 	// A free-rider receives and delivers but never forwards; its buffer
 	// still ages so it does not hoard a backlog to replay on reform.
 	if !p.c.faults.free[p.id].Load() {
-		events := p.buffer.Select(p.rng, p.batch, p.c.cfg.Policy)
-		if len(events) > 0 {
-			size := gossip.MsgWireSize(events)
-			for _, q := range p.samplePeers(p.fanout) {
-				p.send(q, events, size)
-			}
-		}
+		p.gossip()
 	}
 	p.buffer.Tick()
 	if p.rounds%p.c.cfg.ControlWindow == 0 {
@@ -434,44 +558,88 @@ func (p *peer) round() {
 	}
 }
 
+// gossip runs one round's push: SELECTEVENTS, SELECTPARTICIPANTS,
+// encode once, send the shared immutable bytes to every partner.
+func (p *peer) gossip() {
+	events := p.buffer.Select(p.rng, p.batch, p.c.cfg.Policy)
+	if len(events) == 0 {
+		return
+	}
+	targets := p.samplePeers(p.fanout)
+	if len(targets) == 0 {
+		return
+	}
+	// The envelope buffer must be fresh each round — receivers hold it
+	// asynchronously — so this is one of the round path's two
+	// allocations (the other is Select's fresh slice).
+	buf, err := wire.AppendEnvelope(make([]byte, 0, wire.EnvelopeSize(events)), uint32(p.id), events)
+	if err != nil {
+		// Unencodable events (a topic beyond the u16 framing, say)
+		// cannot be gossiped; skip the fanout without charging anyone.
+		return
+	}
+	for _, q := range targets {
+		p.send(q, buf)
+	}
+}
+
+// samplePeers draws k distinct partners (excluding self) from the full
+// population — SELECTPARTICIPANTS(F) over randutil.PermInto scratch
+// buffers, the same pattern core's samplers use, so steady-state rounds
+// allocate nothing here.
 func (p *peer) samplePeers(k int) []int {
 	n := len(p.c.peers)
 	if k > n-1 {
 		k = n - 1
 	}
-	out := make([]int, 0, k)
-	seen := map[int]struct{}{p.id: {}}
-	for len(out) < k {
-		q := p.rng.Intn(n)
-		if _, dup := seen[q]; dup {
+	if k <= 0 {
+		return nil
+	}
+	perm := randutil.PermInto(p.rng, &p.perm, n)
+	out := p.sample[:0]
+	for _, q := range perm {
+		if q == p.id {
 			continue
 		}
-		seen[q] = struct{}{}
 		out = append(out, q)
+		if len(out) == k {
+			break
+		}
 	}
+	p.sample = out
 	return out
 }
 
-func (p *peer) send(to int, events []*pubsub.Event, size int) {
+func (p *peer) send(to int, buf []byte) {
 	// The sender pays for the attempt whether or not the network delivers
-	// it — the same accounting simnet applies to lossy links.
-	p.c.ledger.AddSend(p.id, fairness.ClassApp, size)
+	// it — the same accounting simnet applies to lossy links. The charge
+	// is the encoded size: ledger bytes and wire bytes are one number.
+	p.c.ledger.AddSend(p.id, fairness.ClassApp, len(buf))
+	p.c.traffic.sent.Add(1)
 	if p.c.faults.dropLink(p.id, to, p.rng) {
+		p.c.traffic.faultDrops.Add(1)
 		return
 	}
-	select {
-	case p.c.peers[to].inbox <- envelope{from: p.id, events: events, size: size}:
-	default:
-		// Inbox full: drop, like a saturated datagram socket.
+	if err := p.tr.Send(to, buf); err != nil {
+		p.c.traffic.transportDrops.Add(1)
 	}
 }
 
-func (p *peer) receive(env envelope) {
+func (p *peer) receive(buf []byte) {
 	if p.c.faults.down[p.id].Load() {
 		return // crashed: anything already queued in the inbox is lost
 	}
+	if err := wire.DecodeEnvelope(buf, &p.env); err != nil {
+		p.c.traffic.malformed.Add(1)
+		return
+	}
+	from := int(p.env.Sender)
+	if from < 0 || from >= len(p.c.peers) {
+		p.c.traffic.malformed.Add(1)
+		return
+	}
 	novel, dup := 0, 0
-	for _, ev := range env.events {
+	for _, ev := range p.env.Events {
 		if !p.seen.Add(ev.ID) {
 			dup += ev.WireSize()
 			continue
@@ -480,7 +648,7 @@ func (p *peer) receive(env envelope) {
 		p.buffer.Insert(ev)
 		p.deliverIfInterested(ev)
 	}
-	p.c.ledger.AddAudit(env.from, novel, dup)
+	p.c.ledger.AddAudit(from, novel, dup)
 }
 
 func (p *peer) deliverIfInterested(ev *pubsub.Event) {

@@ -9,6 +9,15 @@ import (
 	"fairgossip/internal/pubsub"
 )
 
+func mustCluster(t testing.TB, cfg Config) *Cluster {
+	t.Helper()
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	return c
+}
+
 func waitFor(t *testing.T, timeout time.Duration, cond func() bool) bool {
 	t.Helper()
 	deadline := time.Now().Add(timeout)
@@ -22,7 +31,7 @@ func waitFor(t *testing.T, timeout time.Duration, cond func() bool) bool {
 }
 
 func TestLiveDisseminationReachesEveryone(t *testing.T) {
-	c := NewCluster(Config{N: 24, Fanout: 5, RoundPeriod: 5 * time.Millisecond, Seed: 1})
+	c := mustCluster(t, Config{N: 24, Fanout: 5, RoundPeriod: 5 * time.Millisecond, Seed: 1})
 	var delivered atomic.Int64
 	for i := 0; i < 24; i++ {
 		if _, ok := c.Subscribe(i, pubsub.MatchAll()); !ok {
@@ -43,7 +52,7 @@ func TestLiveDisseminationReachesEveryone(t *testing.T) {
 }
 
 func TestLiveInterestFiltering(t *testing.T) {
-	c := NewCluster(Config{N: 12, Fanout: 4, RoundPeriod: 5 * time.Millisecond, Seed: 2})
+	c := mustCluster(t, Config{N: 12, Fanout: 4, RoundPeriod: 5 * time.Millisecond, Seed: 2})
 	var hot, cold atomic.Int64
 	for i := 0; i < 12; i++ {
 		i := i
@@ -74,7 +83,7 @@ func TestLiveInterestFiltering(t *testing.T) {
 }
 
 func TestLiveLedgerAccounting(t *testing.T) {
-	c := NewCluster(Config{N: 8, Fanout: 3, RoundPeriod: 5 * time.Millisecond, Seed: 3})
+	c := mustCluster(t, Config{N: 8, Fanout: 3, RoundPeriod: 5 * time.Millisecond, Seed: 3})
 	for i := 0; i < 8; i++ {
 		c.Subscribe(i, pubsub.MatchAll())
 	}
@@ -100,7 +109,7 @@ func TestLiveLedgerAccounting(t *testing.T) {
 }
 
 func TestLiveAdaptiveLeversMove(t *testing.T) {
-	c := NewCluster(Config{
+	c := mustCluster(t, Config{
 		N: 16, Fanout: 8, Batch: 16,
 		RoundPeriod: 3 * time.Millisecond,
 		TargetRatio: 100, // tight: over-contributors must shed
@@ -130,7 +139,7 @@ func TestLiveAdaptiveLeversMove(t *testing.T) {
 }
 
 func TestLiveUnsubscribeStopsDelivery(t *testing.T) {
-	c := NewCluster(Config{N: 6, Fanout: 3, RoundPeriod: 5 * time.Millisecond, Seed: 5})
+	c := mustCluster(t, Config{N: 6, Fanout: 3, RoundPeriod: 5 * time.Millisecond, Seed: 5})
 	sub, _ := c.Subscribe(5, pubsub.MatchAll())
 	c.Start()
 	defer c.Stop()
@@ -148,7 +157,7 @@ func TestLiveUnsubscribeStopsDelivery(t *testing.T) {
 }
 
 func TestLiveStopTerminates(t *testing.T) {
-	c := NewCluster(Config{N: 16, Fanout: 4, RoundPeriod: 2 * time.Millisecond, Seed: 6})
+	c := mustCluster(t, Config{N: 16, Fanout: 4, RoundPeriod: 2 * time.Millisecond, Seed: 6})
 	for i := 0; i < 16; i++ {
 		c.Subscribe(i, pubsub.MatchAll())
 	}
@@ -173,7 +182,7 @@ func TestLiveStopTerminates(t *testing.T) {
 }
 
 func TestLiveConcurrentPublishers(t *testing.T) {
-	c := NewCluster(Config{
+	c := mustCluster(t, Config{
 		N: 10, Fanout: 4, Batch: 32,
 		RoundPeriod:  3 * time.Millisecond,
 		BufferMaxAge: 24,
@@ -218,7 +227,7 @@ func TestLiveConcurrentPublishers(t *testing.T) {
 }
 
 func TestLiveInvalidIDs(t *testing.T) {
-	c := NewCluster(Config{N: 4, Seed: 8})
+	c := mustCluster(t, Config{N: 4, Seed: 8})
 	if _, ok := c.Subscribe(-1, pubsub.MatchAll()); ok {
 		t.Fatal("negative id accepted")
 	}
@@ -231,7 +240,7 @@ func TestLiveInvalidIDs(t *testing.T) {
 }
 
 func TestLiveConfigDefaults(t *testing.T) {
-	c := NewCluster(Config{})
+	c := mustCluster(t, Config{})
 	if len(c.peers) != 2 {
 		t.Fatalf("default N = %d", len(c.peers))
 	}

@@ -35,7 +35,7 @@ func waitGoroutinesSettle(t *testing.T, base int, timeout time.Duration) {
 // CI). Publishers racing Stop simply start seeing Publish return false.
 func TestLiveStopUnderPublishLoad(t *testing.T) {
 	base := runtime.NumGoroutine()
-	c := NewCluster(Config{
+	c := mustCluster(t, Config{
 		N: 24, Fanout: 5, Batch: 16,
 		RoundPeriod: 2 * time.Millisecond,
 		TargetRatio: 1000, // keep the controller path hot during shutdown
@@ -99,7 +99,7 @@ func TestLiveStopUnderPublishLoad(t *testing.T) {
 // scenario engine drives exactly this interleaving.
 func TestLiveStopUnderFaultChurn(t *testing.T) {
 	base := runtime.NumGoroutine()
-	c := NewCluster(Config{N: 16, Fanout: 4, RoundPeriod: 2 * time.Millisecond, Seed: 43})
+	c := mustCluster(t, Config{N: 16, Fanout: 4, RoundPeriod: 2 * time.Millisecond, Seed: 43})
 	for i := 0; i < 16; i++ {
 		c.Subscribe(i, pubsub.MatchAll())
 	}

@@ -6,12 +6,14 @@
 // interested peers, network drop conservation, ledger conservation,
 // fairness-ratio convergence under the AIMD controller).
 //
-// Scenarios run against the small Runtime interface, implemented by both
-// the deterministic simulation (core.Cluster) and the goroutine-per-peer
-// runtime (live.Cluster). The same seeded schedule therefore drives both
-// runtimes and must satisfy the same invariants — differential testing of
-// the two implementations of the protocol. On the simulator a scenario is
-// fully deterministic: one seed, one result, bit for bit.
+// Scenarios run against the small Runtime interface, implemented by the
+// deterministic simulation (core.Cluster) and the goroutine-per-peer
+// runtime (live.Cluster) on either of its transports — in-process
+// channels ("live") or real loopback UDP sockets ("live-udp"). The same
+// seeded schedule therefore drives every runtime and must satisfy the
+// same invariants — differential testing of the implementations of the
+// protocol. On the simulator a scenario is fully deterministic: one
+// seed, one result, bit for bit.
 //
 // See SCENARIOS.md at the repository root for the scenario vocabulary,
 // the built-in table, and the paper section each invariant

@@ -42,6 +42,56 @@ func TestBuiltinsOnLive(t *testing.T) {
 	}
 }
 
+// TestBuiltinsOnLiveUDP is the third differential column: the same
+// seeded schedules over real loopback datagram sockets — encode on
+// send, decode on receive, one socket per peer. A codec bug, a socket
+// lifecycle bug, or an accounting leak that the in-process transport
+// hides surfaces here as an invariant violation (including the
+// tightened drop-conservation: every datagram is received or counted
+// dropped).
+func TestBuiltinsOnLiveUDP(t *testing.T) {
+	for _, sc := range Builtins() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			rt, err := NewLiveUDPRuntime(sc, 1)
+			if err != nil {
+				t.Fatalf("udp runtime: %v", err)
+			}
+			res := Execute(rt, sc, 1)
+			if !res.Ok() {
+				t.Fatalf("invariant violations:\n%s", res.String())
+			}
+			if res.Published == 0 || res.Deliveries == 0 {
+				t.Fatalf("degenerate run:\n%s", res.String())
+			}
+			if !res.HasTraffic || res.Sent == 0 {
+				t.Fatalf("udp runtime exposed no traffic counters:\n%s", res.String())
+			}
+		})
+	}
+}
+
+// TestLiveTrafficCountersBalance: the live runtime now participates in
+// drop conservation — the counters exist, flow, and balance exactly on
+// the chan transport (the storm scenario forces inbox pressure and
+// injected loss, so the drop buckets are not vacuous).
+func TestLiveTrafficCountersBalance(t *testing.T) {
+	sc, _ := ByName("storm")
+	res := Execute(NewLiveRuntime(sc, 2), sc, 2)
+	if !res.Ok() {
+		t.Fatalf("violations:\n%s", res.String())
+	}
+	if !res.HasTraffic {
+		t.Fatal("live runtime exposed no traffic counters")
+	}
+	if res.Sent == 0 || res.Dropped == 0 {
+		t.Fatalf("storm produced no counted traffic/drops: sent %d dropped %d", res.Sent, res.Dropped)
+	}
+	if res.Sent != res.Recv+res.Dropped {
+		t.Fatalf("traffic leak: sent %d != recv %d + dropped %d", res.Sent, res.Recv, res.Dropped)
+	}
+}
+
 // TestSimDeterminism: on the simulated runtime the same seed must yield
 // identical invariant metrics, bit for bit — the property fixed-seed
 // regression baselines (and reproducible bug reports) rest on.

@@ -1,0 +1,146 @@
+// Package transport is the pluggable message substrate of the live
+// runtime: how an encoded wire envelope gets from one peer to another.
+//
+// A Net wires the N peers of one cluster together; each peer attaches
+// once and gets back its Transport — the endpoint it sends through —
+// plus inbound delivery through its Handler callback. Two
+// implementations ship:
+//
+//   - ChanNet — in-process delivery: Send hands the byte slice to the
+//     destination's handler synchronously on the caller's goroutine.
+//     This preserves the pre-transport live-runtime semantics (no
+//     sockets, no kernel, deterministic drop accounting) and is the
+//     default.
+//   - UDPNet — one real loopback datagram socket per peer. Send writes
+//     the envelope with WriteToUDP; a per-peer reader goroutine hands
+//     each datagram to the handler. Oversized envelopes are refused at
+//     the API (datagram-size enforcement), and Close quiesces — waits,
+//     bounded, for datagrams the kernel has accepted to reach their
+//     reader — so post-shutdown traffic audits see a settled network.
+//
+// Ownership contract: a buffer passed to Send is immutable from that
+// moment on, by everyone — in-process transports hand the same backing
+// array to the receiver (and a fanout shares one encoding across all
+// destinations), so neither sender nor receiver may write to it again.
+// Buffers given to a Handler are owned by the receiving side and are
+// never reused by the transport. Handlers must not block: the live
+// runtime's handler does a non-blocking inbox push and counts overflow
+// as a drop, which is exactly how a saturated socket buffer behaves —
+// except the loss is accounted.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+)
+
+// Handler consumes one inbound encoded envelope.
+type Handler func(buf []byte)
+
+// Transport is a single peer's sending endpoint.
+type Transport interface {
+	// Send transmits buf to peer `to`. It never blocks on a slow
+	// receiver and returns an error only for hard failures (unknown
+	// destination, oversized datagram, closed endpoint); silent loss in
+	// transit is the receiving side's counted problem, like a real
+	// datagram socket.
+	Send(to int, buf []byte) error
+	// LocalAddr renders the endpoint's address ("chan://3",
+	// "127.0.0.1:51324").
+	LocalAddr() string
+	// Close releases the endpoint; subsequent Sends fail.
+	Close() error
+}
+
+// Net wires the N endpoints of one cluster together. Attach must be
+// called exactly once per peer id before any traffic flows (the live
+// runtime attaches every peer during cluster construction).
+type Net interface {
+	Attach(id int, h Handler) (Transport, error)
+	// Close tears down every endpoint. Socket transports first quiesce:
+	// they wait (bounded) for datagrams already accepted by the kernel
+	// to be delivered, so conservation checks after Close see a settled
+	// network.
+	Close() error
+}
+
+// Factory builds the Net for an n-peer cluster — the value of the
+// live Config.Transport knob.
+type Factory func(n int) (Net, error)
+
+// Transport errors.
+var (
+	ErrClosed   = errors.New("transport: endpoint closed")
+	ErrOversize = errors.New("transport: datagram exceeds size limit")
+)
+
+// Chan returns the in-process channel transport factory (the default).
+func Chan() Factory {
+	return func(n int) (Net, error) { return NewChanNet(n) }
+}
+
+// ChanNet delivers envelopes in-process: Send invokes the
+// destination's handler synchronously on the sender's goroutine. The
+// handler's own inbox push is the only queueing, so drop accounting is
+// exact and synchronous — the property the scenario engine's tightened
+// drop-conservation invariant leans on.
+type ChanNet struct {
+	handlers []Handler
+}
+
+// NewChanNet builds an in-process substrate for n peers.
+func NewChanNet(n int) (*ChanNet, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("transport: need at least 1 peer, got %d", n)
+	}
+	return &ChanNet{handlers: make([]Handler, n)}, nil
+}
+
+// Attach implements Net.
+func (c *ChanNet) Attach(id int, h Handler) (Transport, error) {
+	if id < 0 || id >= len(c.handlers) {
+		return nil, fmt.Errorf("transport: peer id %d out of range [0,%d)", id, len(c.handlers))
+	}
+	if c.handlers[id] != nil {
+		return nil, fmt.Errorf("transport: peer %d attached twice", id)
+	}
+	if h == nil {
+		return nil, fmt.Errorf("transport: peer %d attached a nil handler", id)
+	}
+	c.handlers[id] = h
+	return &chanEndpoint{net: c, id: id}, nil
+}
+
+// Close implements Net. In-process delivery holds no resources.
+func (c *ChanNet) Close() error { return nil }
+
+type chanEndpoint struct {
+	net    *ChanNet
+	id     int
+	closed atomic.Bool // Close may race an in-flight Send
+}
+
+func (e *chanEndpoint) Send(to int, buf []byte) error {
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	if to < 0 || to >= len(e.net.handlers) {
+		return fmt.Errorf("transport: no peer %d", to)
+	}
+	h := e.net.handlers[to]
+	if h == nil {
+		// An unattached destination would otherwise be an uncounted
+		// loss, and every loss must land in some bucket.
+		return fmt.Errorf("transport: peer %d not attached", to)
+	}
+	h(buf)
+	return nil
+}
+
+func (e *chanEndpoint) LocalAddr() string { return fmt.Sprintf("chan://%d", e.id) }
+
+func (e *chanEndpoint) Close() error {
+	e.closed.Store(true)
+	return nil
+}

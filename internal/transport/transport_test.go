@@ -1,0 +1,192 @@
+package transport
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// collector is a threadsafe handler recording delivered buffers.
+type collector struct {
+	mu   sync.Mutex
+	got  [][]byte
+	cond *sync.Cond
+}
+
+func newCollector() *collector {
+	c := &collector{}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+func (c *collector) handler(buf []byte) {
+	c.mu.Lock()
+	c.got = append(c.got, buf)
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+// wait blocks until n buffers arrived or the timeout fires, and
+// returns a snapshot.
+func (c *collector) wait(t *testing.T, n int, timeout time.Duration) [][]byte {
+	t.Helper()
+	done := time.AfterFunc(timeout, func() {
+		c.mu.Lock()
+		c.cond.Broadcast()
+		c.mu.Unlock()
+	})
+	defer done.Stop()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	deadline := time.Now().Add(timeout)
+	for len(c.got) < n && time.Now().Before(deadline) {
+		c.cond.Wait()
+	}
+	return append([][]byte(nil), c.got...)
+}
+
+// netUnderTest exercises a Net implementation through the interface.
+func netUnderTest(t *testing.T, build Factory, wantAddr string) {
+	t.Helper()
+	nw, err := build(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	cols := make([]*collector, 3)
+	eps := make([]Transport, 3)
+	for i := range cols {
+		cols[i] = newCollector()
+		ep, err := nw.Attach(i, cols[i].handler)
+		if err != nil {
+			t.Fatalf("attach %d: %v", i, err)
+		}
+		eps[i] = ep
+	}
+	if _, err := nw.Attach(1, cols[1].handler); err == nil {
+		t.Fatal("double attach accepted")
+	}
+	if _, err := nw.Attach(9, cols[0].handler); err == nil {
+		t.Fatal("out-of-range attach accepted")
+	}
+	if !strings.Contains(eps[1].LocalAddr(), wantAddr) {
+		t.Fatalf("LocalAddr %q does not look like a %q address", eps[1].LocalAddr(), wantAddr)
+	}
+
+	// 0 -> 1, 0 -> 2, 2 -> 1: payloads arrive intact at the right peers.
+	if err := eps[0].Send(1, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := eps[0].Send(2, []byte("bb")); err != nil {
+		t.Fatal(err)
+	}
+	if err := eps[2].Send(1, []byte("ccc")); err != nil {
+		t.Fatal(err)
+	}
+	if got := cols[1].wait(t, 2, 5*time.Second); len(got) != 2 {
+		t.Fatalf("peer 1 got %d messages, want 2", len(got))
+	} else {
+		sizes := map[int]bool{len(got[0]): true, len(got[1]): true}
+		if !sizes[1] || !sizes[3] {
+			t.Fatalf("peer 1 payloads mangled: %q", got)
+		}
+	}
+	if got := cols[2].wait(t, 1, 5*time.Second); len(got) != 1 || string(got[0]) != "bb" {
+		t.Fatalf("peer 2 got %q", got)
+	}
+	if err := eps[0].Send(99, []byte("x")); err == nil {
+		t.Fatal("send to unknown peer accepted")
+	}
+	if err := eps[0].Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := eps[0].Send(1, []byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("send on closed endpoint: %v, want ErrClosed", err)
+	}
+}
+
+func TestChanNet(t *testing.T) { netUnderTest(t, Chan(), "chan://1") }
+func TestUDPNet(t *testing.T)  { netUnderTest(t, UDP(), "127.0.0.1:") }
+
+// TestUDPOversizeRefused: datagram-size enforcement happens at Send,
+// with a typed error the live runtime counts as a transport drop.
+func TestUDPOversizeRefused(t *testing.T) {
+	nw, err := NewUDPNet(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	ep, err := nw.Attach(0, func([]byte) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.Attach(1, func([]byte) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ep.Send(1, make([]byte, MaxDatagram+1)); !errors.Is(err, ErrOversize) {
+		t.Fatalf("oversized send: %v, want ErrOversize", err)
+	}
+	if err := ep.Send(1, make([]byte, 1024)); err != nil {
+		t.Fatalf("normal send after refusal: %v", err)
+	}
+}
+
+// TestUDPCloseQuiesces: datagrams handed to the kernel before Close are
+// delivered to the handler, not torn down with the sockets — the
+// property post-run conservation checks rely on.
+func TestUDPCloseQuiesces(t *testing.T) {
+	nw, err := NewUDPNet(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := newCollector()
+	ep, err := nw.Attach(0, func([]byte) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.Attach(1, col.handler); err != nil {
+		t.Fatal(err)
+	}
+	const burst = 200
+	for i := 0; i < burst; i++ {
+		if err := ep.Send(1, []byte("quiesce-me")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nw.Close() // must wait for the burst to drain
+	col.mu.Lock()
+	n := len(col.got)
+	col.mu.Unlock()
+	if n != burst {
+		t.Fatalf("close lost datagrams: %d of %d delivered", n, burst)
+	}
+	nw.Close() // idempotent
+}
+
+// TestChanSendToUnattachedPeerErrors: an unattached destination is a
+// hard send error, not an uncounted silent loss.
+func TestChanSendToUnattachedPeerErrors(t *testing.T) {
+	nw, err := NewChanNet(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep, err := nw.Attach(0, func([]byte) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ep.Send(1, []byte("x")); err == nil {
+		t.Fatal("send to unattached peer accepted")
+	}
+}
+
+// TestFactoriesValidatePopulation: n < 1 is a construction error on
+// both substrates.
+func TestFactoriesValidatePopulation(t *testing.T) {
+	for name, f := range map[string]Factory{"chan": Chan(), "udp": UDP()} {
+		if _, err := f(0); err == nil {
+			t.Fatalf("%s: accepted a 0-peer net", name)
+		}
+	}
+}

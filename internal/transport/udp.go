@@ -1,0 +1,156 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// MaxDatagram is the largest encoded envelope a UDP endpoint will send:
+// the IPv4 maximum UDP payload (65535 - 20 IP - 8 UDP header bytes).
+// Send refuses anything larger instead of letting the kernel truncate
+// or reject it at an unaccountable layer.
+const MaxDatagram = 65507
+
+// udpReadBuffer is the per-socket kernel receive buffer we request
+// (best effort): large enough that a storm burst queues in the kernel
+// instead of being dropped invisibly before user space can count it.
+const udpReadBuffer = 4 << 20
+
+// UDP returns the loopback-socket transport factory: one real datagram
+// socket per peer, encode-on-send / decode-on-receive.
+func UDP() Factory {
+	return func(n int) (Net, error) { return NewUDPNet(n) }
+}
+
+// UDPNet binds one loopback UDP socket per peer. Sends go straight to
+// the kernel with WriteToUDP; a reader goroutine per attached peer
+// hands each datagram (copied, owned by the receiver) to the peer's
+// handler.
+type UDPNet struct {
+	conns    []*net.UDPConn
+	addrs    []*net.UDPAddr
+	attached []bool
+
+	readers sync.WaitGroup
+	// sentD/recvD count datagrams accepted by and read back from the
+	// kernel; Close uses them to quiesce before tearing sockets down.
+	sentD, recvD atomic.Uint64
+
+	closeOnce sync.Once
+}
+
+// NewUDPNet binds n loopback sockets on ephemeral ports. On any bind
+// failure the already-bound sockets are released.
+func NewUDPNet(n int) (*UDPNet, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("transport: need at least 1 peer, got %d", n)
+	}
+	u := &UDPNet{
+		conns:    make([]*net.UDPConn, n),
+		addrs:    make([]*net.UDPAddr, n),
+		attached: make([]bool, n),
+	}
+	for i := 0; i < n; i++ {
+		conn, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+		if err != nil {
+			u.Close()
+			return nil, fmt.Errorf("transport: bind socket for peer %d: %w", i, err)
+		}
+		// Best effort: a small default rcvbuf is the one way loopback
+		// datagrams get lost invisibly under load.
+		_ = conn.SetReadBuffer(udpReadBuffer)
+		u.conns[i] = conn
+		u.addrs[i] = conn.LocalAddr().(*net.UDPAddr)
+	}
+	return u, nil
+}
+
+// Attach implements Net: it starts peer id's reader goroutine.
+func (u *UDPNet) Attach(id int, h Handler) (Transport, error) {
+	if id < 0 || id >= len(u.conns) {
+		return nil, fmt.Errorf("transport: peer id %d out of range [0,%d)", id, len(u.conns))
+	}
+	if u.attached[id] {
+		return nil, fmt.Errorf("transport: peer %d attached twice", id)
+	}
+	if h == nil {
+		return nil, fmt.Errorf("transport: peer %d attached a nil handler", id)
+	}
+	u.attached[id] = true
+	u.readers.Add(1)
+	go u.readLoop(u.conns[id], h)
+	return &udpEndpoint{net: u, id: id}, nil
+}
+
+func (u *UDPNet) readLoop(conn *net.UDPConn, h Handler) {
+	defer u.readers.Done()
+	buf := make([]byte, MaxDatagram+1)
+	for {
+		n, _, err := conn.ReadFromUDP(buf)
+		if n > 0 {
+			u.recvD.Add(1)
+			msg := make([]byte, n)
+			copy(msg, buf[:n])
+			h(msg)
+		}
+		if err != nil {
+			return // socket closed (or unrecoverable): reader exits
+		}
+	}
+}
+
+// Close implements Net: quiesce, then tear down. The quiesce wait is
+// bounded; if the kernel genuinely lost datagrams (receive-buffer
+// overrun), sentD never catches up, the wait times out, and the
+// caller's sent/recv accounting shows the leak — which is the point.
+func (u *UDPNet) Close() error {
+	u.closeOnce.Do(func() {
+		deadline := time.Now().Add(time.Second)
+		for u.recvD.Load() < u.sentD.Load() && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		for _, c := range u.conns {
+			if c != nil {
+				_ = c.Close()
+			}
+		}
+		u.readers.Wait()
+	})
+	return nil
+}
+
+type udpEndpoint struct {
+	net    *UDPNet
+	id     int
+	closed atomic.Bool
+}
+
+func (e *udpEndpoint) Send(to int, buf []byte) error {
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	if to < 0 || to >= len(e.net.addrs) {
+		return fmt.Errorf("transport: no peer %d", to)
+	}
+	if len(buf) > MaxDatagram {
+		return fmt.Errorf("%w: %d > %d bytes", ErrOversize, len(buf), MaxDatagram)
+	}
+	if _, err := e.net.conns[e.id].WriteToUDP(buf, e.net.addrs[to]); err != nil {
+		return err
+	}
+	e.net.sentD.Add(1)
+	return nil
+}
+
+func (e *udpEndpoint) LocalAddr() string { return e.net.addrs[e.id].String() }
+
+// Close marks the endpoint closed for further Sends. The socket itself
+// is shared with the reader and torn down by Net.Close, which owns the
+// quiesce ordering.
+func (e *udpEndpoint) Close() error {
+	e.closed.Store(true)
+	return nil
+}

@@ -1,0 +1,363 @@
+// Package wire is the binary codec for the live runtime's message
+// vocabulary: events (with typed attributes and payload), event IDs, and
+// the gossip envelope that frames a batch of events with its sender.
+//
+// The format is compact, big-endian, and length-prefixed at every
+// variable-size field. An envelope is a fixed 16-byte header followed by
+// the event records back to back; each record is self-delimiting (its
+// topic, attribute keys, string values and payload all carry explicit
+// lengths), so the decoder walks the body with a bounds-checked cursor
+// and must land exactly on the last byte. Decoding is hardened against
+// truncated and hostile input: it never panics, never reads past the
+// buffer, validates every kind/flag byte, and cross-checks the header's
+// count and body-length fields against what it actually consumed
+// (FuzzWireDecode keeps it that way).
+//
+// Two deliberate invariants tie the codec to the rest of the system:
+//
+//   - An event record's layout is byte-for-byte the pubsub
+//     MarshalBinary layout, so pubsub.Event.WireSize is the exact
+//     encoded size of a record.
+//   - EnvelopeSize(events) == gossip.MsgWireSize(events): the 16-byte
+//     envelope header matches gossip.MsgHeaderSize. Fairness accounting
+//     has always charged MsgWireSize; with this codec the number of
+//     bytes charged and the number of bytes on the wire are the same
+//     number, which keeps ChanTransport ledgers byte-identical to the
+//     pre-codec live runtime.
+//
+// Encoding is allocation-conscious: Append* functions append into a
+// caller-provided buffer (encode a fanout's envelope once, reuse
+// nothing, share the immutable bytes with every destination).
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"fairgossip/internal/pubsub"
+)
+
+// Wire constants.
+const (
+	// Magic identifies a fairgossip envelope (first two header bytes).
+	Magic uint16 = 0xFA15
+	// Version is the only envelope version this codec speaks.
+	Version byte = 1
+	// HeaderSize is the fixed envelope header:
+	// magic(2) version(1) flags(1) sender(4) count(2) reserved(2) body(4).
+	// It deliberately equals gossip.MsgHeaderSize so encoded bytes equal
+	// accounted bytes.
+	HeaderSize = 16
+	// EventIDSize is the encoded size of an EventID.
+	EventIDSize = 8
+	// eventMinSize is the smallest possible event record: id(8) +
+	// topicLen(2) + attrCount(2) + payloadLen(4), all lengths zero.
+	eventMinSize = 16
+	// attrMinSize is the smallest possible attribute: keyLen(2) + empty
+	// key + kind(1) + bool payload(1).
+	attrMinSize = 4
+)
+
+// Decode errors. Errors wrap one of these sentinels; decode never
+// panics and never reads outside the input buffer.
+var (
+	ErrTruncated = errors.New("wire: truncated message")
+	ErrCorrupt   = errors.New("wire: corrupt message")
+	ErrMagic     = errors.New("wire: bad magic")
+	ErrVersion   = errors.New("wire: unsupported version")
+	ErrTooLarge  = errors.New("wire: message exceeds encodable limits")
+)
+
+// Envelope is one decoded gossip message: the sending peer and its
+// batch of events. DecodeEnvelope reuses the Events backing array
+// across calls; the *pubsub.Event values themselves are freshly
+// allocated and never alias the input buffer, so receivers own them
+// outright.
+type Envelope struct {
+	Sender uint32
+	Events []*pubsub.Event
+}
+
+// EnvelopeSize returns the exact number of bytes AppendEnvelope will
+// produce for this batch. It equals gossip.MsgWireSize(events), the
+// size fairness accounting has always charged.
+func EnvelopeSize(events []*pubsub.Event) int {
+	n := HeaderSize
+	for _, ev := range events {
+		n += ev.WireSize()
+	}
+	return n
+}
+
+// AppendEnvelope appends the encoded envelope to dst and returns the
+// extended slice. On error the returned slice may hold a partial
+// encoding and must be discarded.
+func AppendEnvelope(dst []byte, sender uint32, events []*pubsub.Event) ([]byte, error) {
+	if len(events) > math.MaxUint16 {
+		return dst, fmt.Errorf("%w: %d events in one envelope", ErrTooLarge, len(events))
+	}
+	start := len(dst)
+	dst = binary.BigEndian.AppendUint16(dst, Magic)
+	dst = append(dst, Version, 0) // version, flags (must be zero)
+	dst = binary.BigEndian.AppendUint32(dst, sender)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(events)))
+	dst = binary.BigEndian.AppendUint16(dst, 0) // reserved (must be zero)
+	dst = binary.BigEndian.AppendUint32(dst, 0) // body length, patched below
+	var err error
+	for _, ev := range events {
+		if dst, err = AppendEvent(dst, ev); err != nil {
+			return dst, err
+		}
+	}
+	// The body length is measured off what was actually appended — the
+	// hot path already walked every event once for EnvelopeSize; no need
+	// to do it again here.
+	body := len(dst) - start - HeaderSize
+	if uint64(body) > math.MaxUint32 {
+		return dst, fmt.Errorf("%w: %d body bytes", ErrTooLarge, body)
+	}
+	binary.BigEndian.PutUint32(dst[start+12:start+16], uint32(body))
+	return dst, nil
+}
+
+// DecodeEnvelope decodes data into env. The whole buffer must be
+// consumed exactly: short input, trailing bytes, a count/body-length
+// mismatch, or any malformed event record is an error.
+func DecodeEnvelope(data []byte, env *Envelope) error {
+	env.Sender = 0
+	env.Events = env.Events[:0]
+	if len(data) < HeaderSize {
+		return fmt.Errorf("%w: %d header bytes of %d", ErrTruncated, len(data), HeaderSize)
+	}
+	if got := binary.BigEndian.Uint16(data[0:2]); got != Magic {
+		return fmt.Errorf("%w: %#04x", ErrMagic, got)
+	}
+	if data[2] != Version {
+		return fmt.Errorf("%w: %d", ErrVersion, data[2])
+	}
+	if data[3] != 0 {
+		return fmt.Errorf("%w: nonzero flags %#02x", ErrCorrupt, data[3])
+	}
+	env.Sender = binary.BigEndian.Uint32(data[4:8])
+	count := int(binary.BigEndian.Uint16(data[8:10]))
+	if rsv := binary.BigEndian.Uint16(data[10:12]); rsv != 0 {
+		return fmt.Errorf("%w: nonzero reserved field %#04x", ErrCorrupt, rsv)
+	}
+	body := int(binary.BigEndian.Uint32(data[12:16]))
+	if body != len(data)-HeaderSize {
+		return fmt.Errorf("%w: header claims %d body bytes, have %d", ErrCorrupt, body, len(data)-HeaderSize)
+	}
+	// Cheap hostile-count guard before any event allocation.
+	if count*eventMinSize > body {
+		return fmt.Errorf("%w: %d events cannot fit in %d body bytes", ErrCorrupt, count, body)
+	}
+	r := reader{buf: data, off: HeaderSize}
+	for i := 0; i < count; i++ {
+		ev, err := readEvent(&r)
+		if err != nil {
+			return err
+		}
+		env.Events = append(env.Events, ev)
+	}
+	if r.off != len(data) {
+		return fmt.Errorf("%w: %d trailing bytes after %d events", ErrCorrupt, len(data)-r.off, count)
+	}
+	return nil
+}
+
+// AppendEvent appends one event record to dst — the exact pubsub
+// MarshalBinary layout, appended instead of allocated. On error the
+// returned slice may hold a partial encoding and must be discarded.
+func AppendEvent(dst []byte, e *pubsub.Event) ([]byte, error) {
+	if len(e.Topic) > math.MaxUint16 {
+		return dst, fmt.Errorf("%w: topic of %d bytes", ErrTooLarge, len(e.Topic))
+	}
+	if len(e.Attrs) > math.MaxUint16 {
+		return dst, fmt.Errorf("%w: %d attributes", ErrTooLarge, len(e.Attrs))
+	}
+	if uint64(len(e.Payload)) > math.MaxUint32 {
+		return dst, fmt.Errorf("%w: payload of %d bytes", ErrTooLarge, len(e.Payload))
+	}
+	dst = binary.BigEndian.AppendUint32(dst, e.ID.Publisher)
+	dst = binary.BigEndian.AppendUint32(dst, e.ID.Seq)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(e.Topic)))
+	dst = append(dst, e.Topic...)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(e.Attrs)))
+	for _, a := range e.Attrs {
+		if len(a.Key) > math.MaxUint16 {
+			return dst, fmt.Errorf("%w: attribute key of %d bytes", ErrTooLarge, len(a.Key))
+		}
+		dst = binary.BigEndian.AppendUint16(dst, uint16(len(a.Key)))
+		dst = append(dst, a.Key...)
+		dst = append(dst, byte(a.Val.Kind()))
+		switch a.Val.Kind() {
+		case pubsub.KindString:
+			s := a.Val.Str()
+			if len(s) > math.MaxUint16 {
+				return dst, fmt.Errorf("%w: attribute value of %d bytes", ErrTooLarge, len(s))
+			}
+			dst = binary.BigEndian.AppendUint16(dst, uint16(len(s)))
+			dst = append(dst, s...)
+		case pubsub.KindNum:
+			dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(a.Val.NumVal()))
+		case pubsub.KindBool:
+			if a.Val.BoolVal() {
+				dst = append(dst, 1)
+			} else {
+				dst = append(dst, 0)
+			}
+		default:
+			return dst, fmt.Errorf("%w: attribute %q has an invalid value", ErrCorrupt, a.Key)
+		}
+	}
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(e.Payload)))
+	dst = append(dst, e.Payload...)
+	return dst, nil
+}
+
+// DecodeEvent decodes a single standalone event record, consuming the
+// whole buffer exactly (the framing pubsub.Event.UnmarshalBinary
+// enforces too).
+func DecodeEvent(data []byte) (*pubsub.Event, error) {
+	r := reader{buf: data}
+	ev, err := readEvent(&r)
+	if err != nil {
+		return nil, err
+	}
+	if r.off != len(data) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(data)-r.off)
+	}
+	return ev, nil
+}
+
+// AppendEventID appends the 8-byte encoding of an event ID.
+func AppendEventID(dst []byte, id pubsub.EventID) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, id.Publisher)
+	return binary.BigEndian.AppendUint32(dst, id.Seq)
+}
+
+// DecodeEventID decodes an 8-byte event ID; the buffer must be exactly
+// EventIDSize bytes.
+func DecodeEventID(data []byte) (pubsub.EventID, error) {
+	if len(data) != EventIDSize {
+		return pubsub.EventID{}, fmt.Errorf("%w: %d bytes, want %d", ErrCorrupt, len(data), EventIDSize)
+	}
+	return pubsub.EventID{
+		Publisher: binary.BigEndian.Uint32(data[0:4]),
+		Seq:       binary.BigEndian.Uint32(data[4:8]),
+	}, nil
+}
+
+// readEvent decodes one event record at the reader's cursor. The
+// returned event owns all of its memory — nothing aliases r.buf.
+func readEvent(r *reader) (*pubsub.Event, error) {
+	e := &pubsub.Event{}
+	e.ID.Publisher = r.u32()
+	e.ID.Seq = r.u32()
+	e.Topic = string(r.take(int(r.u16())))
+	nattrs := int(r.u16())
+	if r.err == nil && nattrs*attrMinSize > r.rem() {
+		r.fail(fmt.Errorf("%w: %d attributes cannot fit in %d bytes", ErrCorrupt, nattrs, r.rem()))
+	}
+	if nattrs > 0 && r.err == nil {
+		e.Attrs = make([]pubsub.Attr, 0, nattrs)
+	}
+	for i := 0; i < nattrs && r.err == nil; i++ {
+		key := string(r.take(int(r.u16())))
+		kind := pubsub.Kind(r.u8())
+		var v pubsub.Value
+		switch kind {
+		case pubsub.KindString:
+			v = pubsub.String(string(r.take(int(r.u16()))))
+		case pubsub.KindNum:
+			v = pubsub.Num(math.Float64frombits(r.u64()))
+		case pubsub.KindBool:
+			switch r.u8() {
+			case 0:
+				v = pubsub.Bool(false)
+			case 1:
+				v = pubsub.Bool(true)
+			default:
+				r.fail(fmt.Errorf("%w: invalid bool byte", ErrCorrupt))
+			}
+		default:
+			r.fail(fmt.Errorf("%w: invalid attribute kind %d", ErrCorrupt, kind))
+		}
+		e.Attrs = append(e.Attrs, pubsub.Attr{Key: key, Val: v})
+	}
+	plen := int(r.u32())
+	if r.err == nil && plen > r.rem() {
+		r.fail(fmt.Errorf("%w: payload of %d bytes with %d remaining", ErrTruncated, plen, r.rem()))
+	}
+	if plen > 0 && r.err == nil {
+		e.Payload = append([]byte(nil), r.take(plen)...)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return e, nil
+}
+
+// reader is a bounds-checked cursor that records the first error and
+// then no-ops, so decode paths read linearly without per-field
+// branching.
+type reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *reader) rem() int { return len(r.buf) - r.off }
+
+func (r *reader) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+func (r *reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || n > len(r.buf)-r.off {
+		r.fail(fmt.Errorf("%w: need %d bytes at offset %d of %d", ErrTruncated, n, r.off, len(r.buf)))
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *reader) u8() byte {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *reader) u16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(b)
+}
+
+func (r *reader) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+func (r *reader) u64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}

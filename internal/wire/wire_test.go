@@ -1,0 +1,325 @@
+package wire
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"fairgossip/internal/gossip"
+	"fairgossip/internal/pubsub"
+)
+
+// sampleEvents covers the full vocabulary: every attribute kind, empty
+// and non-empty topics/payloads, no attrs and many attrs.
+func sampleEvents() []*pubsub.Event {
+	return []*pubsub.Event{
+		{ID: pubsub.EventID{Publisher: 0, Seq: 1}},
+		{ID: pubsub.EventID{Publisher: 3, Seq: 9}, Topic: "news.eu", Payload: []byte("payload")},
+		{
+			ID:    pubsub.EventID{Publisher: math.MaxUint32, Seq: math.MaxUint32},
+			Topic: "ticks",
+			Attrs: []pubsub.Attr{
+				{Key: "symbol", Val: pubsub.String("ACME")},
+				{Key: "price", Val: pubsub.Num(101.25)},
+				{Key: "halted", Val: pubsub.Bool(false)},
+				{Key: "hot", Val: pubsub.Bool(true)},
+				{Key: "", Val: pubsub.String("")},
+				{Key: "nan", Val: pubsub.Num(math.NaN())},
+				{Key: "inf", Val: pubsub.Num(math.Inf(-1))},
+				{Key: "zero", Val: pubsub.Num(0)},
+			},
+			Payload: bytes.Repeat([]byte{0, 1, 2, 0xff}, 64),
+		},
+		{ID: pubsub.EventID{Publisher: 7, Seq: 2}, Topic: strings.Repeat("t", 300)},
+	}
+}
+
+func eventsEqual(t *testing.T, got, want *pubsub.Event) {
+	t.Helper()
+	if got.ID != want.ID || got.Topic != want.Topic {
+		t.Fatalf("id/topic mismatch: got %v %q, want %v %q", got.ID, got.Topic, want.ID, want.Topic)
+	}
+	if len(got.Attrs) != len(want.Attrs) {
+		t.Fatalf("attr count %d, want %d", len(got.Attrs), len(want.Attrs))
+	}
+	for i := range want.Attrs {
+		g, w := got.Attrs[i], want.Attrs[i]
+		if g.Key != w.Key || g.Val.Kind() != w.Val.Kind() {
+			t.Fatalf("attr %d: got %v, want %v", i, g, w)
+		}
+		// NaN != NaN, so compare numeric payloads at the bit level.
+		if g.Val.Kind() == pubsub.KindNum {
+			if math.Float64bits(g.Val.NumVal()) != math.Float64bits(w.Val.NumVal()) {
+				t.Fatalf("attr %d numeric bits differ", i)
+			}
+		} else if !g.Val.Equal(w.Val) {
+			t.Fatalf("attr %d: got %v, want %v", i, g, w)
+		}
+	}
+	if !bytes.Equal(got.Payload, want.Payload) {
+		t.Fatalf("payload mismatch: %q vs %q", got.Payload, want.Payload)
+	}
+}
+
+// TestEventRecordMatchesPubsubCodec: AppendEvent must produce exactly
+// the pubsub MarshalBinary bytes (and therefore exactly WireSize bytes)
+// — the invariant that makes encoded size equal accounted size.
+func TestEventRecordMatchesPubsubCodec(t *testing.T) {
+	for i, ev := range sampleEvents() {
+		want, err := ev.MarshalBinary()
+		if err != nil {
+			t.Fatalf("event %d: MarshalBinary: %v", i, err)
+		}
+		got, err := AppendEvent(nil, ev)
+		if err != nil {
+			t.Fatalf("event %d: AppendEvent: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("event %d: AppendEvent diverges from MarshalBinary\n got %x\nwant %x", i, got, want)
+		}
+		if len(got) != ev.WireSize() {
+			t.Fatalf("event %d: encoded %d bytes, WireSize says %d", i, len(got), ev.WireSize())
+		}
+		back, err := DecodeEvent(got)
+		if err != nil {
+			t.Fatalf("event %d: DecodeEvent: %v", i, err)
+		}
+		eventsEqual(t, back, ev)
+		// Cross-decoder check: pubsub's decoder accepts our bytes too.
+		var pb pubsub.Event
+		if err := pb.UnmarshalBinary(got); err != nil {
+			t.Fatalf("event %d: pubsub.UnmarshalBinary rejects wire bytes: %v", i, err)
+		}
+	}
+}
+
+// TestEnvelopeRoundTrip: multi-event envelopes round-trip exactly, the
+// size matches EnvelopeSize, and EnvelopeSize matches the accounting
+// size gossip.MsgWireSize (header parity with gossip.MsgHeaderSize).
+func TestEnvelopeRoundTrip(t *testing.T) {
+	events := sampleEvents()
+	for n := 0; n <= len(events); n++ {
+		batch := events[:n]
+		buf, err := AppendEnvelope(nil, 42, batch)
+		if err != nil {
+			t.Fatalf("n=%d: AppendEnvelope: %v", n, err)
+		}
+		if len(buf) != EnvelopeSize(batch) {
+			t.Fatalf("n=%d: encoded %d bytes, EnvelopeSize says %d", n, len(buf), EnvelopeSize(batch))
+		}
+		if len(buf) != gossip.MsgWireSize(batch) {
+			t.Fatalf("n=%d: encoded %d bytes, accounting charges %d — the ledgers would drift", n, len(buf), gossip.MsgWireSize(batch))
+		}
+		var env Envelope
+		if err := DecodeEnvelope(buf, &env); err != nil {
+			t.Fatalf("n=%d: DecodeEnvelope: %v", n, err)
+		}
+		if env.Sender != 42 {
+			t.Fatalf("n=%d: sender %d, want 42", n, env.Sender)
+		}
+		if len(env.Events) != n {
+			t.Fatalf("n=%d: decoded %d events", n, len(env.Events))
+		}
+		for i := range batch {
+			eventsEqual(t, env.Events[i], batch[i])
+		}
+		// Canonical: re-encoding the decoded envelope reproduces the bytes.
+		back, err := AppendEnvelope(nil, env.Sender, env.Events)
+		if err != nil {
+			t.Fatalf("n=%d: re-encode: %v", n, err)
+		}
+		if !bytes.Equal(back, buf) {
+			t.Fatalf("n=%d: decode→encode is not the identity", n)
+		}
+	}
+}
+
+// TestEnvelopeDecodeReusesEventsSlice: the Events backing array is
+// recycled across decodes (receivers decode in a loop).
+func TestEnvelopeDecodeReusesEventsSlice(t *testing.T) {
+	buf, err := AppendEnvelope(nil, 1, sampleEvents())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env Envelope
+	if err := DecodeEnvelope(buf, &env); err != nil {
+		t.Fatal(err)
+	}
+	first := cap(env.Events)
+	for i := 0; i < 8; i++ {
+		if err := DecodeEnvelope(buf, &env); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cap(env.Events) != first {
+		t.Fatalf("Events slice reallocated: cap %d -> %d", first, cap(env.Events))
+	}
+}
+
+// TestDecodeRejectsHostileInput: a gauntlet of malformed buffers; every
+// one must return an error (never panic, never succeed).
+func TestDecodeRejectsHostileInput(t *testing.T) {
+	good, err := AppendEnvelope(nil, 7, sampleEvents())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":        {},
+		"short header": good[:HeaderSize-1],
+		"bad magic":    append([]byte{0xde, 0xad}, good[2:]...),
+		"bad version":  mutate(good, 2, 99),
+		"flags set":    mutate(good, 3, 1),
+		"reserved set": mutate(good, 10, 1),
+		"body too big": mutate(good, 15, good[15]+1),
+		"truncated":    good[:len(good)-3],
+	}
+	// Truncation sweep: every prefix must fail cleanly. (The body-length
+	// field makes all of them header-level mismatches, but the event
+	// cursor is exercised by the fuzz target's mutations too.)
+	for i := 0; i < len(good); i++ {
+		cases["prefix"] = good[:i]
+		for name, data := range cases {
+			var env Envelope
+			if err := DecodeEnvelope(data, &env); err == nil {
+				t.Fatalf("%s (prefix %d): decode accepted malformed input", name, i)
+			}
+		}
+		delete(cases, "prefix")
+	}
+	// A count that cannot fit the body is rejected before allocation.
+	huge := append([]byte(nil), good...)
+	huge[8], huge[9] = 0xff, 0xff
+	var env Envelope
+	if err := DecodeEnvelope(huge, &env); err == nil {
+		t.Fatal("hostile event count accepted")
+	}
+}
+
+func mutate(b []byte, at int, v byte) []byte {
+	out := append([]byte(nil), b...)
+	out[at] = v
+	return out
+}
+
+// TestDecodedEventsDoNotAliasInput: receivers hand decoded events to
+// their buffers while the input buffer may be shared with other
+// receivers — nothing in a decoded event may point into it.
+func TestDecodedEventsDoNotAliasInput(t *testing.T) {
+	src := &pubsub.Event{
+		ID: pubsub.EventID{Publisher: 1, Seq: 1}, Topic: "t",
+		Attrs:   []pubsub.Attr{{Key: "k", Val: pubsub.String("v")}},
+		Payload: []byte("payload"),
+	}
+	buf, err := AppendEnvelope(nil, 1, []*pubsub.Event{src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env Envelope
+	if err := DecodeEnvelope(buf, &env); err != nil {
+		t.Fatal(err)
+	}
+	got := env.Events[0]
+	for i := range buf {
+		buf[i] = 0xff // scribble over the wire bytes
+	}
+	if got.Topic != "t" || !bytes.Equal(got.Payload, []byte("payload")) {
+		t.Fatal("decoded event aliases the input buffer")
+	}
+	if got.Attrs[0].Key != "k" || got.Attrs[0].Val.Str() != "v" {
+		t.Fatal("decoded attribute aliases the input buffer")
+	}
+}
+
+// TestEventIDRoundTrip: the smallest vocabulary item.
+func TestEventIDRoundTrip(t *testing.T) {
+	id := pubsub.EventID{Publisher: 0xdeadbeef, Seq: 0x01020304}
+	buf := AppendEventID(nil, id)
+	if len(buf) != EventIDSize {
+		t.Fatalf("encoded %d bytes, want %d", len(buf), EventIDSize)
+	}
+	back, err := DecodeEventID(buf)
+	if err != nil || back != id {
+		t.Fatalf("round trip: %v, %v", back, err)
+	}
+	if _, err := DecodeEventID(buf[:7]); err == nil {
+		t.Fatal("short event id accepted")
+	}
+	if _, err := DecodeEventID(append(buf, 0)); err == nil {
+		t.Fatal("long event id accepted")
+	}
+}
+
+// TestEncodeLimits: unencodable events (oversized fields, invalid
+// values) are refused with ErrTooLarge/ErrCorrupt rather than producing
+// an undecodable envelope.
+func TestEncodeLimits(t *testing.T) {
+	if _, err := AppendEvent(nil, &pubsub.Event{Topic: strings.Repeat("x", math.MaxUint16+1)}); err == nil {
+		t.Fatal("oversized topic accepted")
+	}
+	if _, err := AppendEvent(nil, &pubsub.Event{Attrs: []pubsub.Attr{{Key: "z"}}}); err == nil {
+		t.Fatal("invalid (zero) attribute value accepted")
+	}
+	if _, err := AppendEvent(nil, &pubsub.Event{Attrs: []pubsub.Attr{
+		{Key: strings.Repeat("k", math.MaxUint16+1), Val: pubsub.Bool(true)},
+	}}); err == nil {
+		t.Fatal("oversized attribute key accepted")
+	}
+}
+
+// TestRandomisedRoundTrip: property check over a few hundred randomly
+// generated envelopes.
+func TestRandomisedRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	letters := "abcdefghij.2"
+	randStr := func(max int) string {
+		n := rng.Intn(max + 1)
+		var sb strings.Builder
+		for i := 0; i < n; i++ {
+			sb.WriteByte(letters[rng.Intn(len(letters))])
+		}
+		return sb.String()
+	}
+	for trial := 0; trial < 300; trial++ {
+		batch := make([]*pubsub.Event, rng.Intn(6))
+		for i := range batch {
+			ev := &pubsub.Event{
+				ID:    pubsub.EventID{Publisher: rng.Uint32(), Seq: rng.Uint32()},
+				Topic: randStr(20),
+			}
+			for a := rng.Intn(5); a > 0; a-- {
+				var v pubsub.Value
+				switch rng.Intn(3) {
+				case 0:
+					v = pubsub.String(randStr(12))
+				case 1:
+					v = pubsub.Num(rng.NormFloat64())
+				default:
+					v = pubsub.Bool(rng.Intn(2) == 1)
+				}
+				ev.Attrs = append(ev.Attrs, pubsub.Attr{Key: randStr(8), Val: v})
+			}
+			if n := rng.Intn(100); n > 0 {
+				ev.Payload = make([]byte, n)
+				rng.Read(ev.Payload)
+			}
+			batch[i] = ev
+		}
+		sender := rng.Uint32()
+		buf, err := AppendEnvelope(nil, sender, batch)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		var env Envelope
+		if err := DecodeEnvelope(buf, &env); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if env.Sender != sender || len(env.Events) != len(batch) {
+			t.Fatalf("trial %d: envelope header mangled", trial)
+		}
+		for i := range batch {
+			eventsEqual(t, env.Events[i], batch[i])
+		}
+	}
+}
