@@ -14,14 +14,16 @@ all: build
 build:
 	$(GO) build $(PKGS)
 
+# -shuffle=on randomises test (and subtest-sibling) execution order on
+# every run, so order-dependent tests cannot hide behind file order.
 test:
-	$(GO) test $(PKGS)
+	$(GO) test -shuffle=on $(PKGS)
 
 # The scenario package's race run includes the full builtin table over
 # real loopback UDP sockets (TestBuiltinsOnLiveUDP) — the transport /
 # codec concurrency is exercised under the detector on every CI run.
 race:
-	$(GO) test -race ./internal/fairness/ ./internal/gossip/ ./internal/live/ ./internal/eventsim/ ./internal/simnet/ ./internal/scenario/ ./internal/transport/ ./internal/wire/
+	$(GO) test -race -shuffle=on ./internal/fairness/ ./internal/gossip/ ./internal/live/ ./internal/eventsim/ ./internal/simnet/ ./internal/scenario/ ./internal/transport/ ./internal/wire/ ./internal/membership/
 
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem -benchtime 3x .

@@ -15,6 +15,7 @@
 //
 //	fairnode demo
 //	fairnode demo -n 12 -events 48 -transport udp -target 2500
+//	fairnode demo -n 8 -join 4       # four peers join the running cluster
 package main
 
 import (
@@ -53,7 +54,8 @@ func runDemo(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("fairnode demo", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		n         = fs.Int("n", 8, "number of peers (one socket each)")
+		n         = fs.Int("n", 8, "number of founding peers (one socket each)")
+		join      = fs.Int("join", 0, "extra peers that join the running cluster before publishing")
 		events    = fs.Int("events", 24, "events to publish")
 		payload   = fs.Int("payload", 64, "event payload bytes")
 		topics    = fs.Int("topics", 4, "topic count")
@@ -107,6 +109,32 @@ func runDemo(args []string, stdout, stderr io.Writer) int {
 
 	cluster.Start()
 	rng := rand.New(rand.NewSource(*seed))
+
+	// Late joiners: boot mid-run through round-robin seeds (each join is
+	// a real membership handshake over the transport), subscribe, and
+	// count toward expected deliveries like everyone else. A short pause
+	// lets their addresses spread through view shuffles before events
+	// start flowing.
+	total := *n
+	for k := 0; k < *join; k++ {
+		id, err := cluster.Join(k % *n)
+		if err != nil {
+			fmt.Fprintf(stderr, "fairnode demo: join: %v\n", err)
+			return 1
+		}
+		topic := fmt.Sprintf("t%d", id%*topics)
+		if _, ok := cluster.Subscribe(id, fairgossip.TopicFilter(topic)); !ok {
+			fmt.Fprintln(stderr, "fairnode demo: subscribe on joiner failed")
+			return 1
+		}
+		subsOf[topic]++
+		total++
+		fmt.Fprintf(stdout, "node %2d  %-22s joins, watches %s\n", id, cluster.Addr(id), topic)
+	}
+	if *join > 0 {
+		time.Sleep(8 * *period)
+	}
+
 	expected := uint64(0)
 	for k := 0; k < *events; k++ {
 		topic := fmt.Sprintf("t%d", rng.Intn(*topics))
@@ -121,7 +149,7 @@ func runDemo(args []string, stdout, stderr io.Writer) int {
 
 	delivered := func() uint64 {
 		var d uint64
-		for i := 0; i < *n; i++ {
+		for i := 0; i < total; i++ {
 			d += cluster.Ledger().Account(i).Delivered
 		}
 		return d

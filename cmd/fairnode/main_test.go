@@ -26,6 +26,26 @@ func TestFairnodeDemoUDP(t *testing.T) {
 	}
 }
 
+// TestFairnodeDemoJoiners: -join boots extra peers into the running
+// cluster through real membership handshakes; they get addresses,
+// subscribe, and the demo still reaches full delivery counting them.
+func TestFairnodeDemoJoiners(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"demo", "-n", "6", "-join", "3", "-events", "10", "-seed", "4"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d\nstderr: %s\nstdout: %s", code, errb.String(), out.String())
+	}
+	s := out.String()
+	for _, want := range []string{"node  6", "node  8", "joins, watches"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("missing %q in output:\n%s", want, s)
+		}
+	}
+	if strings.Contains(s, "delivered 0 of") {
+		t.Fatalf("nothing was delivered:\n%s", s)
+	}
+}
+
 // TestFairnodeDemoChanTransport: the same demo runs on the in-process
 // transport via the -transport knob.
 func TestFairnodeDemoChanTransport(t *testing.T) {

@@ -38,6 +38,16 @@
 // codec on both ends (see cmd/fairnode and examples/udpmesh for a
 // multi-socket cluster end to end).
 //
+// Live membership is a Cyclon partial view per peer, maintained as real
+// wire traffic: shuffle offers and replies are encoded envelopes whose
+// bytes are charged to the fairness ledger as infrastructure
+// contribution, and gossip partner selection samples the view — no peer
+// reads a full membership roster. Clusters are dynamic:
+// LiveCluster.Join boots a new peer into a running cluster through a
+// seed peer (on UDP it binds a fresh socket), and the scenario engine's
+// JoinNodes action / "join-wave" builtin exercise joining under the
+// checked invariants.
+//
 // Quick start (live runtime):
 //
 //	c, err := fairgossip.NewLive(fairgossip.LiveConfig{N: 16, TargetRatio: 2000})

@@ -19,6 +19,7 @@ type Cluster struct {
 	Nodes  []*Node
 
 	cfg     Config
+	seed    int64
 	tickers []*eventsim.Ticker
 }
 
@@ -45,6 +46,7 @@ func NewCluster(n int, cfg Config, opts ClusterOptions) *Cluster {
 		Net:    net,
 		Ledger: ledger,
 		cfg:    cfg,
+		seed:   opts.Seed,
 		Nodes:  make([]*Node, 0, n),
 	}
 	for i := 0; i < n; i++ {
@@ -95,6 +97,37 @@ func (c *Cluster) Stop() {
 		t.Stop()
 	}
 	c.tickers = nil
+}
+
+// Join boots a new node into the cluster mid-run, bootstrapped through
+// seed. Under MemberCyclon the joiner starts with only the seed in its
+// view and pays for a charged view-repair exchange (the same
+// introduction a rejoining node buys); under MemberFull the idealised
+// directory tells every node the new population size for free, the
+// same way the initial roster was free. The joiner's round ticker
+// starts immediately when the cluster is running. Returns the new
+// node's id.
+func (c *Cluster) Join(seed simnet.NodeID) simnet.NodeID {
+	n := len(c.Nodes) + 1
+	c.Ledger.Grow(n)
+	id := simnet.NodeID(len(c.Nodes))
+	nd := newNode(id, c.Net, c.Ledger, c.cfg, n, rand.New(rand.NewSource(c.seed^int64(0x9e3779b9*uint32(id+1)))))
+	c.Net.AddNode(nd)
+	c.Nodes = append(c.Nodes, nd)
+	if c.cfg.Membership == MemberCyclon {
+		if seed >= 0 && int(seed) < len(c.Nodes)-1 {
+			nd.cyclon.View().Add(seed)
+			nd.send(seed, &wireMsg{Kind: kindViewRepair}, fairness.ClassInfra)
+		}
+	} else {
+		for _, other := range c.Nodes {
+			other.SetPopulation(n)
+		}
+	}
+	if len(c.tickers) > 0 {
+		c.tickers = append(c.tickers, c.Sim.Every(c.cfg.RoundPeriod, c.cfg.Jitter, nd.Round))
+	}
+	return id
 }
 
 // RunRounds advances virtual time by r round periods, starting the

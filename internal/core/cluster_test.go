@@ -253,3 +253,76 @@ func TestCyclonGeneratesInfraTraffic(t *testing.T) {
 		t.Fatalf("only %d/32 nodes paid membership costs", withInfra)
 	}
 }
+
+// TestClusterJoinMidRun: a node joining a running cluster grows the
+// ledger, gets a round ticker, integrates into the membership substrate
+// of either mode (Cyclon through a charged view-repair exchange, full
+// membership through the idealised directory), and both sends and
+// receives events.
+func TestClusterJoinMidRun(t *testing.T) {
+	for _, membership := range []Membership{MemberCyclon, MemberFull} {
+		name := "cyclon"
+		if membership == MemberFull {
+			name = "full"
+		}
+		t.Run(name, func(t *testing.T) {
+			c := NewCluster(16, Config{
+				Mode:       ModeContent,
+				Membership: membership,
+				Fanout:     5,
+				Batch:      8,
+			}, ClusterOptions{
+				Seed:      21,
+				NetConfig: simnet.Config{Latency: simnet.ConstantLatency(2 * time.Millisecond)},
+			})
+			for _, nd := range c.Nodes {
+				nd.Subscribe(pubsub.MatchAll())
+			}
+			c.RunRounds(8)
+			id := c.Join(3)
+			if int(id) != 16 || len(c.Nodes) != 17 || c.Ledger.Len() != 17 {
+				t.Fatalf("join bookkeeping: id %d, %d nodes, ledger %d", id, len(c.Nodes), c.Ledger.Len())
+			}
+			joiner := c.Node(int(id))
+			joiner.Subscribe(pubsub.MatchAll())
+			c.RunRounds(8) // let the joiner's address spread
+			c.Node(5).Publish("to-the-joiner", nil, []byte("x"))
+			c.RunRounds(20)
+			if got := c.Ledger.Account(int(id)).Delivered; got != 1 {
+				t.Fatalf("joiner delivered %d of 1 events published after it joined", got)
+			}
+			joiner.Publish("from-the-joiner", nil, []byte("y"))
+			c.RunRounds(20)
+			all := make([]int, len(c.Nodes))
+			for i := range all {
+				all[i] = i
+			}
+			if ratio := c.DeliveryRatio(all, 2); ratio < 0.99 {
+				t.Fatalf("delivery ratio %.3f after joiner published, want ≈1", ratio)
+			}
+		})
+	}
+}
+
+// TestClusterJoinDeterminism: joins preserve the simulator's
+// fixed-seed determinism.
+func TestClusterJoinDeterminism(t *testing.T) {
+	run := func() uint64 {
+		c := contentCluster(12, 9, ControllerSpec{Kind: ControllerStatic})
+		for _, nd := range c.Nodes {
+			nd.Subscribe(pubsub.MatchAll())
+		}
+		c.RunRounds(5)
+		c.Join(0)
+		c.Join(2)
+		c.Node(12).Subscribe(pubsub.MatchAll())
+		c.Node(13).Subscribe(pubsub.MatchAll())
+		c.RunRounds(5)
+		c.Node(1).Publish("t", nil, []byte("z"))
+		c.RunRounds(15)
+		return c.DeliveredTotal() + c.Net.TotalTraffic().MsgsSent*1000
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("join broke determinism: %d vs %d", a, b)
+	}
+}

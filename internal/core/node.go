@@ -114,6 +114,11 @@ func (nd *Node) WalkRelays() uint64 { return nd.walkRelays }
 // Interest exposes the node's interest function (read-only use).
 func (nd *Node) Interest() *pubsub.Interest { return &nd.interest }
 
+// SetPopulation updates the idealised full sampler's population after a
+// join (no-op under Cyclon, whose views learn of joiners through
+// charged shuffle traffic instead).
+func (nd *Node) SetPopulation(n int) { nd.full.N = n }
+
 // bootstrapView seeds the overlay view (cluster wiring).
 func (nd *Node) bootstrapView(ids []simnet.NodeID) {
 	if nd.cyclon == nil {
@@ -504,6 +509,9 @@ func (nd *Node) HandleMessage(msg simnet.Message) {
 			Kind:    kindViewRepairAck,
 			Entries: nd.cyclon.View().Entries(),
 		}, fairness.ClassInfra)
+		// Knowing the requester is alive is free information: remember it,
+		// so a joining node becomes reachable the moment its seed answers.
+		nd.cyclon.View().Add(msg.From)
 	case kindViewRepairAck:
 		if nd.cyclon == nil {
 			return

@@ -10,34 +10,44 @@ import (
 
 // TestLiveSamplePeersZeroAlloc: SELECTPARTICIPANTS used to build a
 // map[int]struct{} plus a fresh slice on every round of every peer; the
-// PermInto port must allocate nothing once its scratch buffers are
+// view-sampling port must allocate nothing once its scratch buffers are
 // warm.
 func TestLiveSamplePeersZeroAlloc(t *testing.T) {
 	c := mustCluster(t, Config{N: 32, Fanout: 5, Seed: 21})
-	p := c.peers[0]
+	p := c.peerAt(0)
 	p.samplePeers(5) // warm the scratch buffers
 	if avg := testing.AllocsPerRun(200, func() { p.samplePeers(5) }); avg != 0 {
 		t.Fatalf("samplePeers allocates %.2f times per call, want 0", avg)
 	}
 }
 
-// TestLiveSamplePeersExcludesSelfAndDups: the refactored sampler keeps
-// the SELECTPARTICIPANTS contract.
-func TestLiveSamplePeersExcludesSelfAndDups(t *testing.T) {
-	c := mustCluster(t, Config{N: 10, Seed: 22})
-	p := c.peers[3]
+// TestLiveSamplePeersDrawsFromTheView: partner selection reads the
+// peer's partial view only — distinct partners, never self, every one
+// a current view member, and an oversized k is capped at the view size
+// (not the population: nothing on this path may know the population).
+func TestLiveSamplePeersDrawsFromTheView(t *testing.T) {
+	c := mustCluster(t, Config{N: 40, ViewCap: 8, Seed: 22})
+	p := c.peerAt(3)
+	inView := func() map[int]bool {
+		m := map[int]bool{}
+		for _, e := range p.cyclon.View().Entries() {
+			m[int(e.ID)] = true
+		}
+		return m
+	}
 	for trial := 0; trial < 200; trial++ {
+		view := inView()
 		got := p.samplePeers(4)
-		if len(got) != 4 {
-			t.Fatalf("sampled %d peers, want 4", len(got))
+		if want := min(4, len(view)); len(got) != want {
+			t.Fatalf("sampled %d peers, want %d", len(got), want)
 		}
 		seen := map[int]bool{}
 		for _, q := range got {
 			if q == 3 {
 				t.Fatal("sampled self")
 			}
-			if q < 0 || q >= 10 {
-				t.Fatalf("peer %d out of population", q)
+			if !view[q] {
+				t.Fatalf("peer %d is not in the view %v", q, view)
 			}
 			if seen[q] {
 				t.Fatalf("duplicate peer %d", q)
@@ -45,8 +55,8 @@ func TestLiveSamplePeersExcludesSelfAndDups(t *testing.T) {
 			seen[q] = true
 		}
 	}
-	if got := p.samplePeers(99); len(got) != 9 {
-		t.Fatalf("oversized k: %d peers, want 9", len(got))
+	if got := p.samplePeers(99); len(got) != p.cyclon.View().Len() {
+		t.Fatalf("oversized k: %d peers, want the whole view (%d)", len(got), p.cyclon.View().Len())
 	}
 	if got := p.samplePeers(0); got != nil {
 		t.Fatalf("k=0 sampled %v", got)
@@ -63,12 +73,13 @@ func TestLiveRoundPathAllocs(t *testing.T) {
 		N: 16, Fanout: 4, Batch: 4,
 		BufferMaxAge: 1 << 20, // events stay forwardable for the whole test
 		InboxDepth:   4,       // inboxes fill, then sends drop (no allocation either way)
+		ShuffleEvery: 1 << 20, // membership off-path: shuffles allocate by design (fresh envelope)
 		Seed:         23,
 	})
 	for k := 0; k < 8; k++ {
 		c.Publish(0, "topic", []pubsub.Attr{{Key: "k", Val: pubsub.Num(float64(k))}}, []byte("steady"))
 	}
-	p := c.peers[0]
+	p := c.peerAt(0)
 	for r := 0; r < 50; r++ {
 		p.round() // warm scratch buffers, fill inboxes, settle the ledger
 	}

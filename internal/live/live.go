@@ -16,10 +16,25 @@
 // contribution a peer is billed is literally the number of bytes put on
 // the wire.
 //
+// Membership is a partial view, not a roster: each peer runs the Cyclon
+// view-shuffling protocol (membership.Cyclon) as real wire traffic —
+// shuffle offers and replies are encoded envelopes, charged to the
+// fairness ledger as infrastructure contribution, byte for byte
+// (wire.MembershipSize is both the encoded and the charged size).
+// Partner selection samples the peer's current view; nothing on the
+// gossip path reads a full membership list, which is what lets clusters
+// grow while running: Join boots a new peer mid-run that announces
+// itself to a seed and integrates through ordinary shuffles. Hostile or
+// stale view entries (a crashed peer, a garbage id off the wire) are
+// self-healing: they age, become shuffle targets, draw no reply, and
+// are culled — every send they attract lands in a counted drop bucket.
+//
 // Concurrency model: each peer's protocol state is owned by its single
 // goroutine. External calls (Subscribe, Publish) are funneled into the
 // peer loop through a command channel and executed there, so no protocol
-// state needs locks. The shared fairness.Ledger is internally
+// state needs locks. The peer table itself lives behind an atomic
+// pointer and grows copy-on-write (peers never move), so Join does not
+// block running peers. The shared fairness.Ledger is internally
 // synchronised. A peer whose inbox overflows drops messages, which is
 // exactly how a saturated UDP socket behaves — except here every such
 // drop is counted (see Traffic), so load can never lose messages
@@ -27,6 +42,7 @@
 package live
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"sync"
@@ -36,15 +52,17 @@ import (
 	"fairgossip/internal/adaptive"
 	"fairgossip/internal/fairness"
 	"fairgossip/internal/gossip"
+	"fairgossip/internal/membership"
 	"fairgossip/internal/pubsub"
-	"fairgossip/internal/randutil"
+	"fairgossip/internal/simnet"
 	"fairgossip/internal/transport"
 	"fairgossip/internal/wire"
 )
 
 // Config parameterises a live cluster.
 type Config struct {
-	// N is the number of peers (minimum 2).
+	// N is the number of founding peers (minimum 2); Join can grow the
+	// population afterwards.
 	N int
 	// Fanout and Batch are the initial (or static) levers. Defaults 4/8.
 	Fanout int
@@ -65,6 +83,13 @@ type Config struct {
 	// Policy is the SELECTEVENTS policy (default random; least-sent
 	// guarantees fresh events win send slots under backlog).
 	Policy gossip.Policy
+	// ViewCap is each peer's partial-view capacity (default 16),
+	// ShuffleLen the entries exchanged per Cyclon shuffle (default 8,
+	// clamped to ViewCap), ShuffleEvery the rounds between a peer's
+	// shuffle initiations (default 2).
+	ViewCap      int
+	ShuffleLen   int
+	ShuffleEvery int
 	// Seed drives per-peer randomness (peer i uses Seed^i).
 	Seed int64
 	// Transport selects the message substrate: nil means in-process
@@ -99,37 +124,39 @@ func (c Config) withDefaults() Config {
 	if c.Policy == 0 {
 		c.Policy = gossip.PolicyRandom
 	}
+	if c.ViewCap <= 0 {
+		c.ViewCap = 16
+	}
+	if c.ShuffleLen <= 0 {
+		c.ShuffleLen = 8
+	}
+	if c.ShuffleLen > c.ViewCap {
+		c.ShuffleLen = c.ViewCap
+	}
+	if c.ShuffleEvery <= 0 {
+		c.ShuffleEvery = 2
+	}
 	return c
 }
 
-// faults is the cluster's shared fault-injection state. Scenario drivers
-// flip it from outside the peer goroutines, so every field is atomic:
-// peers consult it on their own goroutines without locks. The zero value
-// injects nothing, and the hot path pays one relaxed load per send.
+// faults is the cluster-wide fault-injection state (per-peer state —
+// crashed, free-riding, partition group — lives on the peer structs, so
+// it grows with the cluster). Scenario drivers flip it from outside the
+// peer goroutines, so every field is atomic; the zero value injects
+// nothing.
 type faults struct {
-	down  []atomic.Bool  // crashed peers: no rounds, no receives, links dropped
-	free  []atomic.Bool  // free-riders: receive and deliver but never forward
-	group []atomic.Int32 // partition group; cross-group links drop while split
 	split atomic.Bool
 	loss  atomic.Uint64 // i.i.d. link-loss probability, stored as float64 bits
-}
-
-func newFaults(n int) *faults {
-	return &faults{
-		down:  make([]atomic.Bool, n),
-		free:  make([]atomic.Bool, n),
-		group: make([]atomic.Int32, n),
-	}
 }
 
 // dropLink reports whether a message from -> to should be lost to an
 // injected fault. rng is the sender's own stream (loss draws stay
 // per-goroutine).
-func (f *faults) dropLink(from, to int, rng *rand.Rand) bool {
-	if f.down[to].Load() {
+func (f *faults) dropLink(from, to *peer, rng *rand.Rand) bool {
+	if to.down.Load() {
 		return true
 	}
-	if f.split.Load() && f.group[from].Load() != f.group[to].Load() {
+	if f.split.Load() && from.group.Load() != to.group.Load() {
 		return true
 	}
 	if p := math.Float64frombits(f.loss.Load()); p > 0 && rng.Float64() < p {
@@ -171,7 +198,7 @@ type Traffic struct {
 	// counter exists for used to be silent.
 	InboxDrops uint64
 	// TransportDrops: the transport refused or failed the send
-	// (oversized datagram, closed socket).
+	// (oversized datagram, closed socket, an address nobody holds).
 	TransportDrops uint64
 	// Malformed counts received envelopes that failed to decode or
 	// carried an invalid sender (a subset of Recv, not of Dropped).
@@ -179,11 +206,12 @@ type Traffic struct {
 }
 
 // Cluster is a set of live peers. Create with NewCluster, then Start;
-// Stop blocks until every peer goroutine has exited.
+// Join grows a running cluster; Stop blocks until every peer goroutine
+// has exited.
 type Cluster struct {
 	cfg     Config
 	ledger  *fairness.Ledger
-	peers   []*peer
+	peers   atomic.Pointer[[]*peer] // copy-on-write: Join appends, peers never move
 	faults  *faults
 	net     transport.Net
 	traffic traffic
@@ -192,30 +220,40 @@ type Cluster struct {
 	wg      sync.WaitGroup
 	started bool
 	stopped bool
-	mu      sync.Mutex
+	mu      sync.Mutex // guards started/stopped and structural growth (Join)
 }
 
 type peer struct {
-	id      int
-	c       *Cluster
-	rng     *rand.Rand
-	tr      transport.Transport
-	inbox   chan []byte
-	cmds    chan func()
-	buffer  *gossip.Buffer
-	seen    *gossip.SeenSet
-	in      pubsub.Interest
-	ctrl    adaptive.Controller
-	fanout  int
-	batch   int
-	rounds  int
-	last    fairness.Account
-	pubSeq  uint32
-	deliver func(*pubsub.Event)
+	id       int
+	c        *Cluster
+	rng      *rand.Rand
+	tr       transport.Transport
+	inbox    chan []byte
+	cmds     chan func()
+	buffer   *gossip.Buffer
+	seen     *gossip.SeenSet
+	in       pubsub.Interest
+	ctrl     adaptive.Controller
+	cyclon   *membership.Cyclon
+	joinSeed int // seed to (re)announce to while the view is empty; -1 for founders
+	fanout   int
+	batch    int
+	rounds   int
+	last     fairness.Account
+	pubSeq   uint32
+	deliver  func(*pubsub.Event)
 
-	env    wire.Envelope // decode scratch: Events backing array is reused
-	perm   []int         // PermInto scratch for samplePeers
-	sample []int         // sampled-partner scratch
+	// Per-peer fault state (atomic: scenario drivers flip it from
+	// outside the peer goroutine).
+	down  atomic.Bool
+	free  atomic.Bool
+	group atomic.Int32
+
+	env     wire.Envelope      // decode scratch: backing arrays are reused
+	targets []simnet.NodeID    // SampleInto scratch for partner selection
+	sample  []int              // int-converted partner scratch
+	entOut  []wire.ViewEntry   // membership encode scratch
+	entIn   []membership.Entry // membership decode conversion scratch
 }
 
 // NewCluster builds a stopped cluster. The only error source is the
@@ -234,41 +272,89 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	c := &Cluster{
 		cfg:    cfg,
 		ledger: fairness.NewLedger(cfg.N, fairness.DefaultWeights()),
-		faults: newFaults(cfg.N),
+		faults: &faults{},
 		net:    nw,
 		stop:   make(chan struct{}),
 	}
+	peers := make([]*peer, 0, cfg.N)
 	for i := 0; i < cfg.N; i++ {
-		var ctrl adaptive.Controller
-		if cfg.TargetRatio > 0 {
-			ctrl = adaptive.NewAIMD(adaptive.Config{
-				TargetRatio: cfg.TargetRatio,
-				Limits:      adaptive.DefaultLimits(cfg.N),
-			}, adaptive.LeverBoth, cfg.Fanout, cfg.Batch)
-		} else {
-			ctrl = adaptive.Static{F: cfg.Fanout, N: cfg.Batch}
-		}
-		p := &peer{
-			id:     i,
-			c:      c,
-			rng:    rand.New(rand.NewSource(cfg.Seed ^ int64(i*2654435761+1))),
-			inbox:  make(chan []byte, cfg.InboxDepth),
-			cmds:   make(chan func(), 64),
-			buffer: gossip.NewBuffer(256, cfg.BufferMaxAge),
-			seen:   gossip.NewSeenSet(8192),
-			ctrl:   ctrl,
-		}
-		p.fanout, p.batch = ctrl.Fanout(), ctrl.Batch()
+		p := c.newPeer(i)
 		tr, err := nw.Attach(i, p.ingress)
 		if err != nil {
 			_ = nw.Close()
 			return nil, err
 		}
 		p.tr = tr
-		c.peers = append(c.peers, p)
+		peers = append(peers, p)
 	}
+	// Bootstrap overlay views with random contacts (a join service in a
+	// deployed system; free here, like handing out a seed-peer list —
+	// late joiners pay for their introduction instead, see Join).
+	boot := rand.New(rand.NewSource(cfg.Seed + 7))
+	k := cfg.ViewCap / 2
+	if k < 3 {
+		k = 3
+	}
+	if k > cfg.N-1 {
+		k = cfg.N - 1
+	}
+	for _, p := range peers {
+		for added := 0; added < k; added++ {
+			cand := boot.Intn(cfg.N)
+			if cand == p.id {
+				added--
+				continue
+			}
+			p.cyclon.View().Add(simnet.NodeID(cand))
+		}
+	}
+	c.peers.Store(&peers)
 	return c, nil
 }
+
+// newPeer builds one peer's protocol state (transport endpoint attached
+// by the caller).
+func (c *Cluster) newPeer(id int) *peer {
+	cfg := c.cfg
+	var ctrl adaptive.Controller
+	if cfg.TargetRatio > 0 {
+		ctrl = adaptive.NewAIMD(adaptive.Config{
+			TargetRatio: cfg.TargetRatio,
+			Limits:      adaptive.DefaultLimits(cfg.N),
+		}, adaptive.LeverBoth, cfg.Fanout, cfg.Batch)
+	} else {
+		ctrl = adaptive.Static{F: cfg.Fanout, N: cfg.Batch}
+	}
+	p := &peer{
+		id:       id,
+		c:        c,
+		rng:      rand.New(rand.NewSource(cfg.Seed ^ int64(id*2654435761+1))),
+		inbox:    make(chan []byte, cfg.InboxDepth),
+		cmds:     make(chan func(), 64),
+		buffer:   gossip.NewBuffer(256, cfg.BufferMaxAge),
+		seen:     gossip.NewSeenSet(8192),
+		ctrl:     ctrl,
+		cyclon:   membership.NewCyclon(membership.NewView(simnet.NodeID(id), cfg.ViewCap), cfg.ShuffleLen),
+		joinSeed: -1,
+	}
+	p.fanout, p.batch = ctrl.Fanout(), ctrl.Batch()
+	return p
+}
+
+// peerList returns the current peer table (immutable snapshot).
+func (c *Cluster) peerList() []*peer { return *c.peers.Load() }
+
+// peerAt returns peer id, or nil when id is not (yet) in the table.
+func (c *Cluster) peerAt(id int) *peer {
+	peers := c.peerList()
+	if id < 0 || id >= len(peers) {
+		return nil
+	}
+	return peers[id]
+}
+
+// N returns the current population size (founders plus joiners).
+func (c *Cluster) N() int { return len(c.peerList()) }
 
 // Ledger exposes the shared fairness ledger (safe for concurrent reads).
 func (c *Cluster) Ledger() *fairness.Ledger { return c.ledger }
@@ -293,10 +379,11 @@ func (c *Cluster) Traffic() Traffic {
 // Addr returns peer id's transport address ("chan://3" in-process, a
 // real socket address on UDP), or "" for invalid ids.
 func (c *Cluster) Addr(id int) string {
-	if id < 0 || id >= len(c.peers) {
+	p := c.peerAt(id)
+	if p == nil {
 		return ""
 	}
-	return c.peers[id].tr.LocalAddr()
+	return p.tr.LocalAddr()
 }
 
 // Start launches every peer goroutine. Idempotent.
@@ -307,7 +394,7 @@ func (c *Cluster) Start() {
 		return
 	}
 	c.started = true
-	for _, p := range c.peers {
+	for _, p := range c.peerList() {
 		p := p
 		c.wg.Add(1)
 		go func() {
@@ -315,6 +402,53 @@ func (c *Cluster) Start() {
 			p.loop()
 		}()
 	}
+}
+
+// Join boots a new peer into the cluster through seed: the joiner gets
+// a fresh transport endpoint (on UDP, a newly bound socket), a view
+// holding only the seed's address, and a goroutine that announces
+// itself with a join envelope — real, ledger-charged infrastructure
+// traffic — then integrates through ordinary view shuffles. It returns
+// the new peer's id. Joining is legal before Start (the peer launches
+// with the rest) or while the cluster runs; after Stop it fails.
+func (c *Cluster) Join(seed int) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.stopped {
+		return 0, fmt.Errorf("live: cluster is stopped")
+	}
+	peers := c.peerList()
+	if seed < 0 || seed >= len(peers) {
+		return 0, fmt.Errorf("live: seed peer %d out of range [0,%d)", seed, len(peers))
+	}
+	id := len(peers)
+	p := c.newPeer(id)
+	p.joinSeed = seed
+	p.cyclon.View().Add(simnet.NodeID(seed))
+	tr, err := c.net.Attach(id, p.ingress)
+	if err != nil {
+		// Nothing to roll back: the ledger has not grown yet (Grow has
+		// no inverse, and a phantom account would skew fairness reports
+		// and admit forged sender ids).
+		return 0, fmt.Errorf("live: attach joining peer %d: %w", id, err)
+	}
+	p.tr = tr
+	// Grow the ledger before the peer becomes visible: the joiner's id
+	// first reaches the wire after the table store below, so any peer
+	// that can observe it is already able to account for it.
+	c.ledger.Grow(id + 1)
+	grown := make([]*peer, id+1)
+	copy(grown, peers)
+	grown[id] = p
+	c.peers.Store(&grown)
+	if c.started {
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			p.loop()
+		}()
+	}
+	return id, nil
 }
 
 // Stop signals every peer to exit, waits for them, then closes the
@@ -341,7 +475,8 @@ func (c *Cluster) Stop() {
 // peer's command channel afterwards. It returns false if the cluster is
 // stopped or the id is invalid.
 func (c *Cluster) do(id int, fn func()) bool {
-	if id < 0 || id >= len(c.peers) {
+	p := c.peerAt(id)
+	if p == nil {
 		return false
 	}
 	c.mu.Lock()
@@ -356,7 +491,7 @@ func (c *Cluster) do(id int, fn func()) bool {
 	}
 	done := make(chan struct{})
 	select {
-	case c.peers[id].cmds <- func() { fn(); close(done) }:
+	case p.cmds <- func() { fn(); close(done) }:
 	case <-c.stop:
 		return false
 	}
@@ -372,7 +507,7 @@ func (c *Cluster) do(id int, fn func()) bool {
 func (c *Cluster) Subscribe(id int, f pubsub.Filter) (pubsub.SubID, bool) {
 	var sub pubsub.SubID
 	ok := c.do(id, func() {
-		p := c.peers[id]
+		p := c.peerAt(id)
 		sub = p.in.Subscribe(f)
 		c.ledger.SetFilters(id, p.in.Count())
 	})
@@ -383,7 +518,7 @@ func (c *Cluster) Subscribe(id int, f pubsub.Filter) (pubsub.SubID, bool) {
 func (c *Cluster) Unsubscribe(id int, sub pubsub.SubID) bool {
 	removed := false
 	ok := c.do(id, func() {
-		p := c.peers[id]
+		p := c.peerAt(id)
 		removed = p.in.Unsubscribe(sub)
 		c.ledger.SetFilters(id, p.in.Count())
 	})
@@ -397,16 +532,30 @@ func (c *Cluster) Unsubscribe(id int, sub pubsub.SubID) bool {
 // forwarding — treat it as read-only, or the peer forwards the
 // mutation.
 func (c *Cluster) OnDeliver(id int, fn func(*pubsub.Event)) bool {
-	return c.do(id, func() { c.peers[id].deliver = fn })
+	return c.do(id, func() { c.peerAt(id).deliver = fn })
 }
 
 // Levers reports a peer's current fanout and batch levers (synchronised
 // through the peer's own goroutine).
 func (c *Cluster) Levers(id int) (fanout, batch int, ok bool) {
 	ok = c.do(id, func() {
-		fanout, batch = c.peers[id].fanout, c.peers[id].batch
+		p := c.peerAt(id)
+		fanout, batch = p.fanout, p.batch
 	})
 	return fanout, batch, ok
+}
+
+// View returns a snapshot of a peer's current partial view
+// (synchronised through the peer's own goroutine), or nil for invalid
+// ids.
+func (c *Cluster) View(id int) []int {
+	var out []int
+	c.do(id, func() {
+		for _, e := range c.peerAt(id).cyclon.View().Entries() {
+			out = append(out, int(e.ID))
+		}
+	})
+	return out
 }
 
 // --- Fault injection ---------------------------------------------------------
@@ -420,47 +569,55 @@ func (c *Cluster) Levers(id int) (fanout, batch int, ok bool) {
 // everything in its inbox, and other peers' messages to it are lost —
 // the live analogue of core.Node.Leave.
 func (c *Cluster) Crash(id int) bool {
-	if id < 0 || id >= len(c.peers) {
+	p := c.peerAt(id)
+	if p == nil {
 		return false
 	}
-	c.faults.down[id].Store(true)
+	p.down.Store(true)
 	return true
 }
 
-// Rejoin brings a crashed peer back. Its buffer and dedup memory survive
-// the outage, like a process that was suspended rather than wiped.
+// Rejoin brings a crashed peer back. Its buffer, dedup memory and
+// partial view survive the outage, like a process that was suspended
+// rather than wiped; stale view entries heal through shuffling.
 func (c *Cluster) Rejoin(id int) bool {
-	if id < 0 || id >= len(c.peers) {
+	p := c.peerAt(id)
+	if p == nil {
 		return false
 	}
-	c.faults.down[id].Store(false)
+	p.down.Store(false)
 	return true
 }
 
 // Up reports whether the peer is currently up (not crashed).
 func (c *Cluster) Up(id int) bool {
-	return id >= 0 && id < len(c.peers) && !c.faults.down[id].Load()
+	p := c.peerAt(id)
+	return p != nil && !p.down.Load()
 }
 
 // SetFreeRider makes a peer stop forwarding while still receiving and
-// delivering — the classic gossip defector.
+// delivering — the classic gossip defector. Membership maintenance
+// continues, so the free-rider stays reachable (and keeps benefiting).
 func (c *Cluster) SetFreeRider(id int, on bool) bool {
-	if id < 0 || id >= len(c.peers) {
+	p := c.peerAt(id)
+	if p == nil {
 		return false
 	}
-	c.faults.free[id].Store(on)
+	p.free.Store(on)
 	return true
 }
 
 // Partition splits the cluster: peers in side keep talking to each other
-// but lose connectivity with everyone else until Heal is called.
+// but lose connectivity with everyone else until Heal is called. Peers
+// joining during a split land on the majority (zero) side.
 func (c *Cluster) Partition(side []int) {
-	for i := range c.faults.group {
-		c.faults.group[i].Store(0)
+	peers := c.peerList()
+	for _, p := range peers {
+		p.group.Store(0)
 	}
 	for _, id := range side {
-		if id >= 0 && id < len(c.peers) {
-			c.faults.group[id].Store(1)
+		if id >= 0 && id < len(peers) {
+			peers[id].group.Store(1)
 		}
 	}
 	c.faults.split.Store(true)
@@ -483,7 +640,7 @@ func (c *Cluster) SetLoss(p float64) {
 // Publish originates an event at the given peer.
 func (c *Cluster) Publish(id int, topic string, attrs []pubsub.Attr, payload []byte) bool {
 	return c.do(id, func() {
-		p := c.peers[id]
+		p := c.peerAt(id)
 		p.pubSeq++
 		ev := &pubsub.Event{
 			ID:      pubsub.EventID{Publisher: uint32(id), Seq: p.pubSeq},
@@ -515,6 +672,11 @@ func (p *peer) ingress(buf []byte) {
 }
 
 func (p *peer) loop() {
+	// A joiner announces itself before its first round: the seed learns
+	// the new address immediately and replies with bootstrap entries.
+	if p.joinSeed >= 0 {
+		p.sendJoin()
+	}
 	// The command channel must be drained before Start too; tickers with
 	// jitter desynchronise the rounds.
 	jitter := time.Duration(p.rng.Int63n(int64(p.c.cfg.RoundPeriod)))
@@ -536,13 +698,18 @@ func (p *peer) loop() {
 }
 
 func (p *peer) round() {
-	if p.c.faults.down[p.id].Load() {
+	if p.down.Load() {
 		return // crashed: no protocol activity at all
 	}
 	p.rounds++
+	// Membership maintenance runs for free-riders too (they stay
+	// reachable, like core's defectors), never for crashed peers.
+	if p.rounds%p.c.cfg.ShuffleEvery == 0 {
+		p.membershipRound()
+	}
 	// A free-rider receives and delivers but never forwards; its buffer
 	// still ages so it does not hoard a backlog to replay on reform.
-	if !p.c.faults.free[p.id].Load() {
+	if !p.free.Load() {
 		p.gossip()
 	}
 	p.buffer.Tick()
@@ -556,6 +723,21 @@ func (p *peer) round() {
 			Contribution: fairness.Contribution(delta, w),
 		})
 	}
+}
+
+// membershipRound runs one Cyclon step: age the view, cull the oldest
+// entry as shuffle target, send it our offer. An isolated peer (a
+// joiner whose handshake died, or a view decimated by churn) falls back
+// to re-announcing itself to its join seed.
+func (p *peer) membershipRound() {
+	target, offer, ok := p.cyclon.InitiateShuffle(p.rng)
+	if !ok {
+		if p.joinSeed >= 0 {
+			p.sendJoin()
+		}
+		return
+	}
+	p.sendMembership(wire.KindShuffleOffer, int(target), offer)
 }
 
 // gossip runs one round's push: SELECTEVENTS, SELECTPARTICIPANTS,
@@ -579,54 +761,77 @@ func (p *peer) gossip() {
 		return
 	}
 	for _, q := range targets {
-		p.send(q, buf)
+		p.send(q, buf, fairness.ClassApp)
 	}
 }
 
-// samplePeers draws k distinct partners (excluding self) from the full
-// population — SELECTPARTICIPANTS(F) over randutil.PermInto scratch
-// buffers, the same pattern core's samplers use, so steady-state rounds
-// allocate nothing here.
+// samplePeers draws up to k distinct partners from the peer's partial
+// view — SELECTPARTICIPANTS(F) over the membership substrate, not a
+// full roster. SampleInto runs over reused scratch, so steady-state
+// rounds allocate nothing here.
 func (p *peer) samplePeers(k int) []int {
-	n := len(p.c.peers)
-	if k > n-1 {
-		k = n - 1
-	}
-	if k <= 0 {
+	got := p.cyclon.View().SampleInto(p.rng, k, p.targets[:0])
+	if got == nil {
 		return nil
 	}
-	perm := randutil.PermInto(p.rng, &p.perm, n)
+	p.targets = got
 	out := p.sample[:0]
-	for _, q := range perm {
-		if q == p.id {
-			continue
-		}
-		out = append(out, q)
-		if len(out) == k {
-			break
-		}
+	for _, q := range got {
+		out = append(out, int(q))
 	}
 	p.sample = out
 	return out
 }
 
-func (p *peer) send(to int, buf []byte) {
-	// The sender pays for the attempt whether or not the network delivers
-	// it — the same accounting simnet applies to lossy links. The charge
-	// is the encoded size: ledger bytes and wire bytes are one number.
-	p.c.ledger.AddSend(p.id, fairness.ClassApp, len(buf))
+// sendJoin announces this peer to its join seed (real, charged
+// infrastructure traffic — a joiner pays for its own introduction).
+func (p *peer) sendJoin() {
+	p.sendMembership(wire.KindJoin, p.joinSeed, nil)
+}
+
+// sendMembership encodes and sends one membership envelope. The buffer
+// is fresh per send — the receiver owns it asynchronously — while the
+// entry conversion runs over reused scratch.
+func (p *peer) sendMembership(kind byte, to int, entries []membership.Entry) {
+	p.entOut = p.entOut[:0]
+	for _, e := range entries {
+		age := e.Age
+		if age > math.MaxUint16 {
+			age = math.MaxUint16
+		}
+		if e.ID < 0 {
+			continue
+		}
+		p.entOut = append(p.entOut, wire.ViewEntry{ID: uint32(e.ID), Age: uint16(age)})
+	}
+	buf, err := wire.AppendMembership(make([]byte, 0, wire.MembershipSize(len(p.entOut))), kind, uint32(p.id), p.entOut)
+	if err != nil {
+		return
+	}
+	p.send(to, buf, fairness.ClassInfra)
+}
+
+// send transmits an encoded envelope. The sender pays for the attempt
+// whether or not the network delivers it — the same accounting simnet
+// applies to lossy links. The charge is the encoded size: ledger bytes
+// and wire bytes are one number, for gossip and membership traffic
+// alike.
+func (p *peer) send(to int, buf []byte, class fairness.Class) {
+	p.c.ledger.AddSend(p.id, class, len(buf))
 	p.c.traffic.sent.Add(1)
-	if p.c.faults.dropLink(p.id, to, p.rng) {
+	if q := p.c.peerAt(to); q != nil && p.c.faults.dropLink(p, q, p.rng) {
 		p.c.traffic.faultDrops.Add(1)
 		return
 	}
+	// An address outside the table (a stale or hostile view entry) falls
+	// through to the transport, which refuses it — a counted drop.
 	if err := p.tr.Send(to, buf); err != nil {
 		p.c.traffic.transportDrops.Add(1)
 	}
 }
 
 func (p *peer) receive(buf []byte) {
-	if p.c.faults.down[p.id].Load() {
+	if p.down.Load() {
 		return // crashed: anything already queued in the inbox is lost
 	}
 	if err := wire.DecodeEnvelope(buf, &p.env); err != nil {
@@ -634,10 +839,26 @@ func (p *peer) receive(buf []byte) {
 		return
 	}
 	from := int(p.env.Sender)
-	if from < 0 || from >= len(p.c.peers) {
+	// The ledger is grown before a joiner's endpoint can emit traffic,
+	// so its length bounds every well-formed sender id.
+	if from < 0 || from >= p.c.ledger.Len() || from == p.id {
 		p.c.traffic.malformed.Add(1)
 		return
 	}
+	switch p.env.Kind {
+	case wire.KindEvents:
+		p.receiveEvents(from)
+	case wire.KindShuffleOffer:
+		reply := p.cyclon.HandleShuffle(p.rng, simnet.NodeID(from), p.entriesIn())
+		p.sendMembership(wire.KindShuffleReply, from, reply)
+	case wire.KindShuffleReply:
+		p.cyclon.HandleReply(simnet.NodeID(from), p.entriesIn())
+	case wire.KindJoin:
+		p.handleJoin(from)
+	}
+}
+
+func (p *peer) receiveEvents(from int) {
 	novel, dup := 0, 0
 	for _, ev := range p.env.Events {
 		if !p.seen.Add(ev.ID) {
@@ -649,6 +870,45 @@ func (p *peer) receive(buf []byte) {
 		p.deliverIfInterested(ev)
 	}
 	p.c.ledger.AddAudit(from, novel, dup)
+}
+
+// entriesIn converts the decoded envelope's entries into membership
+// entries over reused scratch.
+func (p *peer) entriesIn() []membership.Entry {
+	p.entIn = p.entIn[:0]
+	for _, e := range p.env.Entries {
+		p.entIn = append(p.entIn, membership.Entry{ID: simnet.NodeID(e.ID), Age: int(e.Age)})
+	}
+	return p.entIn
+}
+
+// handleJoin admits a joining peer: merge whatever view it announced,
+// remember its address, and bootstrap it with a sample of our own view
+// sent back as a shuffle reply (the joiner merges it conservatively,
+// learning our address too).
+func (p *peer) handleJoin(from int) {
+	v := p.cyclon.View()
+	for _, e := range p.entriesIn() {
+		v.AddAged(e)
+	}
+	v.Add(simnet.NodeID(from))
+	ents := v.Entries()
+	p.rng.Shuffle(len(ents), func(i, j int) { ents[i], ents[j] = ents[j], ents[i] })
+	k := p.cyclon.ShuffleLen()
+	if k > len(ents) {
+		k = len(ents)
+	}
+	boot := ents[:0]
+	for _, e := range ents {
+		if len(boot) == k {
+			break
+		}
+		if int(e.ID) == from {
+			continue // the joiner does not need its own address back
+		}
+		boot = append(boot, e)
+	}
+	p.sendMembership(wire.KindShuffleReply, from, boot)
 }
 
 func (p *peer) deliverIfInterested(ev *pubsub.Event) {

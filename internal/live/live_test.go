@@ -125,7 +125,7 @@ func TestLiveAdaptiveLeversMove(t *testing.T) {
 		time.Sleep(5 * time.Millisecond)
 	}
 	moved := waitFor(t, 5*time.Second, func() bool {
-		for i := range c.peers {
+		for i := 0; i < c.N(); i++ {
 			f, b, ok := c.Levers(i)
 			if ok && (f != 8 || b != 16) {
 				return true
@@ -241,10 +241,13 @@ func TestLiveInvalidIDs(t *testing.T) {
 
 func TestLiveConfigDefaults(t *testing.T) {
 	c := mustCluster(t, Config{})
-	if len(c.peers) != 2 {
-		t.Fatalf("default N = %d", len(c.peers))
+	if c.N() != 2 {
+		t.Fatalf("default N = %d", c.N())
 	}
 	if c.cfg.Fanout != 4 || c.cfg.Batch != 8 || c.cfg.InboxDepth != 1024 {
 		t.Fatalf("defaults: %+v", c.cfg)
+	}
+	if c.cfg.ViewCap != 16 || c.cfg.ShuffleLen != 8 || c.cfg.ShuffleEvery != 2 {
+		t.Fatalf("membership defaults: %+v", c.cfg)
 	}
 }

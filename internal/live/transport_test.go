@@ -94,7 +94,7 @@ func TestLiveInboxOverflowCounted(t *testing.T) {
 	for k := 0; k < 4; k++ {
 		c.Publish(0, "t", nil, []byte("flood"))
 	}
-	p := c.peers[0]
+	p := c.peerAt(0)
 	for r := 0; r < 20; r++ {
 		p.round()
 	}
@@ -112,7 +112,7 @@ func TestLiveInboxOverflowCounted(t *testing.T) {
 // panicked on.
 func TestLiveMalformedEnvelopeCounted(t *testing.T) {
 	c := mustCluster(t, Config{N: 4, Seed: 14})
-	p := c.peers[1]
+	p := c.peerAt(1)
 	p.receive([]byte("definitely not an envelope"))
 	if got := c.Traffic().Malformed; got != 1 {
 		t.Fatalf("malformed count %d, want 1", got)
@@ -132,7 +132,7 @@ func TestLiveFaultDropsCounted(t *testing.T) {
 	c := mustCluster(t, Config{N: 6, Fanout: 3, Seed: 15, BufferMaxAge: 1 << 20})
 	c.Publish(0, "t", nil, []byte("lossy"))
 	c.SetLoss(1) // every link drop is a fault drop
-	p := c.peers[0]
+	p := c.peerAt(0)
 	for r := 0; r < 5; r++ {
 		p.round()
 	}

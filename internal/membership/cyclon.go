@@ -128,6 +128,17 @@ func (c *Cyclon) merge(received, sent []Entry, from simnet.NodeID) {
 		}
 		if c.view.Contains(e.ID) {
 			c.view.AddAged(e) // refreshes age if younger
+			// An entry we sent that came straight back was re-confirmed
+			// by the exchange: it is no longer a replacement victim.
+			// (Without this, both sides of a shuffle whose offer and
+			// reply overlap can each evict their copy, and the address
+			// vanishes from the overlay — silent address loss.)
+			for i, victim := range replaceable {
+				if victim == e.ID {
+					replaceable = append(replaceable[:i], replaceable[i+1:]...)
+					break
+				}
+			}
 			continue
 		}
 		if c.view.Len() < c.view.Cap() {

@@ -1,0 +1,197 @@
+package membership
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"fairgossip/internal/simnet"
+)
+
+// checkViewInvariants asserts the structural invariants every view must
+// hold at every moment: no self entry, no duplicate ids, never more
+// than ViewCap entries, no negative ids.
+func checkViewInvariants(t *testing.T, label string, v *View) {
+	t.Helper()
+	if v.Len() > v.Cap() {
+		t.Fatalf("%s: view holds %d entries, cap %d", label, v.Len(), v.Cap())
+	}
+	seen := map[simnet.NodeID]bool{}
+	for _, e := range v.Entries() {
+		if e.ID == v.Self() {
+			t.Fatalf("%s: view contains self", label)
+		}
+		if e.ID < 0 {
+			t.Fatalf("%s: view contains invalid id %d", label, e.ID)
+		}
+		if seen[e.ID] {
+			t.Fatalf("%s: view contains %d twice", label, e.ID)
+		}
+		seen[e.ID] = true
+	}
+}
+
+// inflight is one undelivered shuffle message in the property test's
+// toy network.
+type inflight struct {
+	from, to simnet.NodeID
+	reply    bool
+	entries  []Entry
+}
+
+// TestCyclonRandomShuffleSequencesKeepViewsSound drives whole
+// populations of Cyclon nodes through long randomised shuffle
+// sequences over an adversarial toy network — messages are delivered
+// out of order, dropped, and duplicated — and asserts after every
+// delivery that no view ever contains its owner or a duplicate, never
+// exceeds its capacity, and never holds an invalid id. This is the
+// property-based hardening behind running shuffles over a real lossy
+// transport in the live runtime.
+func TestCyclonRandomShuffleSequencesKeepViewsSound(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			n := 3 + rng.Intn(20)
+			viewCap := 2 + rng.Intn(9)
+			shuffleLen := 1 + rng.Intn(viewCap+2) // may exceed cap: NewCyclon clamps
+
+			nodes := make([]*Cyclon, n)
+			for i := range nodes {
+				nodes[i] = NewCyclon(NewView(simnet.NodeID(i), viewCap), shuffleLen)
+			}
+			// Ring bootstrap plus a few random contacts.
+			for i, nd := range nodes {
+				nd.View().Add(simnet.NodeID((i + 1) % n))
+				for k := 0; k < 3; k++ {
+					nd.View().Add(simnet.NodeID(rng.Intn(n)))
+				}
+			}
+
+			var net []inflight
+			check := func(label string) {
+				for _, nd := range nodes {
+					checkViewInvariants(t, label, nd.View())
+				}
+			}
+			for step := 0; step < 400; step++ {
+				switch op := rng.Intn(10); {
+				case op < 4: // a random node initiates a shuffle
+					nd := nodes[rng.Intn(n)]
+					if target, offer, ok := nd.InitiateShuffle(rng); ok {
+						net = append(net, inflight{from: nd.View().Self(), to: target,
+							entries: append([]Entry(nil), offer...)})
+					}
+				case op < 8 && len(net) > 0: // deliver a random in-flight message
+					i := rng.Intn(len(net))
+					m := net[i]
+					net = append(net[:i], net[i+1:]...)
+					if int(m.to) >= n {
+						break // a hostile id: the network has nowhere to put it
+					}
+					dst := nodes[m.to]
+					if m.reply {
+						dst.HandleReply(m.from, m.entries)
+					} else {
+						reply := dst.HandleShuffle(rng, m.from, m.entries)
+						net = append(net, inflight{from: m.to, to: m.from, reply: true,
+							entries: append([]Entry(nil), reply...)})
+					}
+				case op == 8 && len(net) > 0: // drop a message
+					i := rng.Intn(len(net))
+					net = append(net[:i], net[i+1:]...)
+				case op == 9 && len(net) > 0: // duplicate a message
+					m := net[rng.Intn(len(net))]
+					net = append(net, inflight{from: m.from, to: m.to, reply: m.reply,
+						entries: append([]Entry(nil), m.entries...)})
+				}
+				check(fmt.Sprintf("step %d", step))
+			}
+			// Drain what is left, still checking.
+			for len(net) > 0 {
+				m := net[0]
+				net = net[1:]
+				if int(m.to) >= n {
+					continue
+				}
+				dst := nodes[m.to]
+				if m.reply {
+					dst.HandleReply(m.from, m.entries)
+				} else {
+					reply := dst.HandleShuffle(rng, m.from, m.entries)
+					net = append(net, inflight{from: m.to, to: m.from, reply: true,
+						entries: append([]Entry(nil), reply...)})
+				}
+				check("drain")
+			}
+		})
+	}
+}
+
+// addressSet collects every distinct id reachable from a set of views.
+func addressSet(views ...*View) map[simnet.NodeID]bool {
+	s := map[simnet.NodeID]bool{}
+	for _, v := range views {
+		for _, e := range v.Entries() {
+			s[e.ID] = true
+		}
+	}
+	return s
+}
+
+// TestCyclonPairExchangePreservesUnion: one complete, isolated shuffle
+// exchange between two nodes never silently loses an address. Every id
+// known to the pair before the exchange is afterwards held by at least
+// one of them — modulo the two participants' own addresses, which each
+// node re-advertises with a fresh age-0 self entry on its next
+// initiation (so they are trivially alive in the overlay). This is the
+// "entries are swapped, not destroyed" half of Cyclon's design, run
+// over hundreds of random view configurations.
+func TestCyclonPairExchangePreservesUnion(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 500; trial++ {
+		viewCap := 2 + rng.Intn(9)
+		shuffleLen := 1 + rng.Intn(viewCap)
+		a := NewCyclon(NewView(0, viewCap), shuffleLen)
+		b := NewCyclon(NewView(1, viewCap), shuffleLen)
+
+		// Random views over a shared address pool; B is in A's view and
+		// aged to be the shuffle target.
+		pool := 2 + rng.Intn(40)
+		for k := rng.Intn(viewCap); k > 0; k-- {
+			a.View().AddAged(Entry{ID: simnet.NodeID(2 + rng.Intn(pool)), Age: rng.Intn(4)})
+		}
+		for k := rng.Intn(viewCap + 1); k > 0; k-- {
+			b.View().AddAged(Entry{ID: simnet.NodeID(2 + rng.Intn(pool)), Age: rng.Intn(8)})
+		}
+		a.View().Remove(1)
+		if a.View().Len() == a.Cap() {
+			a.View().Remove(a.View().Entries()[rng.Intn(a.View().Len())].ID)
+		}
+		a.View().AddAged(Entry{ID: 1, Age: 1000}) // oldest by construction
+
+		before := addressSet(a.View(), b.View())
+
+		target, offer, ok := a.InitiateShuffle(rng)
+		if !ok || target != 1 {
+			t.Fatalf("trial %d: shuffle targeted %d, want node 1", trial, target)
+		}
+		reply := b.HandleShuffle(rng, 0, offer)
+		a.HandleReply(1, reply)
+
+		after := addressSet(a.View(), b.View())
+		after[0], after[1] = true, true // selves re-advertise themselves
+		for id := range before {
+			if !after[id] {
+				t.Fatalf("trial %d: address %d silently lost by the exchange\nA %v\nB %v",
+					trial, id, a.View().Entries(), b.View().Entries())
+			}
+		}
+		checkViewInvariants(t, "A after", a.View())
+		checkViewInvariants(t, "B after", b.View())
+	}
+}
+
+// Cap returns the view capacity through the Cyclon (helper for the
+// property test).
+func (c *Cyclon) Cap() int { return c.view.Cap() }

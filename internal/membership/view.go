@@ -147,6 +147,13 @@ func (v *View) IDs() []simnet.NodeID {
 // Sample returns min(k, Len) distinct peers drawn uniformly without
 // replacement using rng.
 func (v *View) Sample(rng *rand.Rand, k int) []simnet.NodeID {
+	return v.SampleInto(rng, k, nil)
+}
+
+// SampleInto is Sample drawing into dst's backing array — the live
+// runtime's per-round partner selection, which must not allocate in
+// steady state. It makes exactly the draws Sample makes.
+func (v *View) SampleInto(rng *rand.Rand, k int, dst []simnet.NodeID) []simnet.NodeID {
 	n := len(v.entries)
 	if k > n {
 		k = n
@@ -155,11 +162,11 @@ func (v *View) Sample(rng *rand.Rand, k int) []simnet.NodeID {
 		return nil
 	}
 	perm := randutil.PermInto(rng, &v.perm, n)
-	out := make([]simnet.NodeID, k)
+	dst = dst[:0]
 	for i := 0; i < k; i++ {
-		out[i] = v.entries[perm[i]].ID
+		dst = append(dst, v.entries[perm[i]].ID)
 	}
-	return out
+	return dst
 }
 
 // Sampler provides random communication partners for dissemination — the

@@ -62,6 +62,7 @@ type Run struct {
 	everDown   []bool
 	free       []bool
 	group      []int
+	joinedAt   []int // publishing round a peer joined; founderJoined for founders
 	split      bool
 	subs       [][]subRec
 	events     map[pubsub.EventID]*evRec
@@ -76,6 +77,10 @@ type Run struct {
 	snapEarly, snapMid, snapEnd []fairness.Account
 	violations                  []string
 }
+
+// founderJoined is the joinedAt sentinel for founding peers: they are
+// eligible from the first round, whatever the scenario's JoinGrace.
+const founderJoined = -1 << 30
 
 // testInspect, when set by a test, observes the finished Run before the
 // runtime is closed.
@@ -100,12 +105,14 @@ func Execute(rt Runtime, sc Scenario, seed int64) *Result {
 		everDown: make([]bool, n),
 		free:     make([]bool, n),
 		group:    make([]int, n),
+		joinedAt: make([]int, n),
 		subs:     make([][]subRec, n),
 		events:   make(map[pubsub.EventID]*evRec, sc.Rounds*sc.PerRound),
 		pubSeq:   make([]uint32, n),
 	}
 	for i := range r.up {
 		r.up[i] = true
+		r.joinedAt[i] = founderJoined
 	}
 	r.setup()
 	rt.Start()
@@ -233,7 +240,8 @@ func (r *Run) Crash(id int) {
 	r.everDown[id] = true
 	for _, evID := range r.evOrder {
 		rec := r.events[evID]
-		if rec.eligible[id] && !rec.delivered[id] {
+		// Joiners are absent from the pair arrays of pre-join events.
+		if id < len(rec.eligible) && rec.eligible[id] && !rec.delivered[id] {
 			rec.eligible[id] = false
 			rec.nEligible--
 		}
@@ -269,6 +277,54 @@ func (r *Run) Rejoin(id int) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.up[id] = true
+}
+
+// JoinNode boots one new peer into the running cluster through a
+// random up, honest seed, draws it an interest set, and registers it in
+// the model. The joiner is not eligible for events already published,
+// nor for events published before its JoinGrace expires (its partial
+// view needs a few shuffles before partner selection can reach it); a
+// joiner landing during a partition starts on the zero side on both
+// runtimes, so its seed must be drawn from that side too — a cross-side
+// seed could never answer the handshake and would strand the joiner.
+// Returns the new id, or -1 when no usable seed is available.
+func (r *Run) JoinNode() int {
+	r.mu.Lock()
+	seeds := make([]int, 0, len(r.up))
+	for id := range r.up {
+		if r.up[id] && !r.free[id] && (!r.split || r.group[id] == 0) {
+			seeds = append(seeds, id)
+		}
+	}
+	r.mu.Unlock()
+	if len(seeds) == 0 {
+		return -1
+	}
+	seed := seeds[r.Rng.Intn(len(seeds))]
+	id, ok := r.rt.Join(seed)
+	if !ok {
+		return -1
+	}
+	r.mu.Lock()
+	// Runtime ids are dense; grow the model to cover the new peer.
+	for len(r.up) <= id {
+		r.up = append(r.up, true)
+		r.everDown = append(r.everDown, false)
+		r.free = append(r.free, false)
+		r.group = append(r.group, 0)
+		r.joinedAt = append(r.joinedAt, r.Round)
+		r.subs = append(r.subs, nil)
+		r.pubSeq = append(r.pubSeq, 0)
+	}
+	r.mu.Unlock()
+	// Observer before subscriptions: the first delivery a joiner can
+	// legally receive is gated on a filter existing.
+	r.rt.OnDeliver(id, func(ev *pubsub.Event) { r.onDeliver(id, ev) })
+	count := workload.SubCount(r.Rng, 1, r.sc.MaxSubs)
+	for _, topic := range r.topics.SampleSet(r.Rng, count) {
+		r.subscribe(id, topic, r.Round)
+	}
+	return id
 }
 
 // SetFreeRider toggles free-riding. A free-rider still receives, so its
@@ -368,7 +424,7 @@ func (r *Run) Resubscribe(id int) {
 	defer r.mu.Unlock()
 	for _, evID := range r.evOrder {
 		rec := r.events[evID]
-		if rec.eligible[id] && !rec.delivered[id] && !r.matchNowLocked(id, rec.ev) {
+		if id < len(rec.eligible) && rec.eligible[id] && !rec.delivered[id] && !r.matchNowLocked(id, rec.ev) {
 			rec.eligible[id] = false
 			rec.nEligible--
 		}
@@ -434,7 +490,8 @@ func (r *Run) publish(pub int, topic string) {
 		delivered: make([]bool, len(r.up)),
 	}
 	for i := range r.up {
-		if r.up[i] && (!r.split || r.group[i] == r.group[pub]) && r.matchNowLocked(i, ev) {
+		if r.up[i] && r.Round >= r.joinedAt[i]+r.sc.JoinGrace &&
+			(!r.split || r.group[i] == r.group[pub]) && r.matchNowLocked(i, ev) {
 			rec.eligible[i] = true
 			rec.nEligible++
 		}
@@ -487,7 +544,12 @@ func (r *Run) onDeliver(id int, ev *pubsub.Event) {
 	if !matched {
 		r.recordFalse(fmt.Sprintf("node %d delivered %q without a matching filter", id, ev.Topic))
 	}
-	rec.delivered[id] = true
+	// A joiner can legally deliver an event published before it joined
+	// (old copies still circulate in buffers); the pair arrays of such
+	// events predate it, so there is nothing to mark.
+	if id < len(rec.delivered) {
+		rec.delivered[id] = true
+	}
 }
 
 func (r *Run) recordFalse(desc string) {

@@ -24,15 +24,15 @@ const (
 )
 
 // Runtime is the small surface a scenario needs from a cluster: the three
-// pub/sub operations, fault injection, and time. It is implemented by
-// both the deterministic simulation (core.Cluster) and the
-// goroutine-per-peer runtime (live.Cluster), which is what makes
+// pub/sub operations, fault injection, membership growth, and time. It
+// is implemented by both the deterministic simulation (core.Cluster) and
+// the goroutine-per-peer runtime (live.Cluster), which is what makes
 // differential testing possible: one seeded schedule, two runtimes, the
 // same invariants.
 type Runtime interface {
 	// Name labels the runtime in results ("sim" or "live").
 	Name() string
-	// N returns the fixed population size.
+	// N returns the current population size (it grows under Join).
 	N() int
 	// Has reports an optional capability.
 	Has(c Capability) bool
@@ -59,6 +59,12 @@ type Runtime interface {
 	Heal()
 	SetLoss(p float64)
 
+	// Join boots a new peer mid-run, bootstrapped through seed, and
+	// returns its id (ids stay dense). On the live runtime the joiner
+	// buys its introduction with charged membership traffic; on the sim
+	// the idealised directory admits it for free.
+	Join(seed int) (int, bool)
+
 	// Step advances time by whole gossip rounds (virtual time on sim,
 	// wall-clock sleeps on live).
 	Step(rounds int)
@@ -83,9 +89,11 @@ type SimRuntime struct {
 }
 
 // NewSimRuntime builds a simulated cluster configured for a scenario.
-// Scenarios run content mode over the idealised full-membership sampler —
-// the same sampling the live runtime uses — so the two runtimes disagree
-// only in scheduling, never in topology maintenance.
+// Scenarios run content mode over the idealised full-membership sampler;
+// the live runtime runs real Cyclon partial views, so the differential
+// table compares the idealised-topology column against two
+// partial-view-over-real-transport columns and demands the same
+// invariants of all three.
 func NewSimRuntime(sc Scenario, seed int64) *SimRuntime {
 	sc = sc.withDefaults()
 	cfg := core.Config{
@@ -183,6 +191,13 @@ func (s *SimRuntime) SetFreeRider(id int, on bool) bool {
 	return true
 }
 
+func (s *SimRuntime) Join(seed int) (int, bool) {
+	if !s.valid(seed) {
+		return -1, false
+	}
+	return int(s.C.Join(simnet.NodeID(seed))), true
+}
+
 func (s *SimRuntime) Partition(side []int) {
 	ids := make([]simnet.NodeID, 0, len(side))
 	for _, id := range side {
@@ -260,6 +275,9 @@ func newLiveRuntime(sc Scenario, seed int64, tf transport.Factory, name string) 
 		TargetRatio:  sc.TargetRatio,
 		BufferMaxAge: sc.BufferMaxAge,
 		Policy:       gossip.PolicyLeastSent, // see NewSimRuntime
+		ViewCap:      sc.ViewCap,
+		ShuffleLen:   sc.ShuffleLen,
+		ShuffleEvery: sc.ShuffleEvery,
 		Seed:         seed,
 		Transport:    tf,
 	})
@@ -296,6 +314,14 @@ func (l *LiveRuntime) SetFreeRider(id int, on bool) bool { return l.C.SetFreeRid
 func (l *LiveRuntime) Partition(side []int)              { l.C.Partition(side) }
 func (l *LiveRuntime) Heal()                             { l.C.Heal() }
 func (l *LiveRuntime) SetLoss(p float64)                 { l.C.SetLoss(p) }
+
+func (l *LiveRuntime) Join(seed int) (int, bool) {
+	id, err := l.C.Join(seed)
+	if err != nil {
+		return -1, false
+	}
+	return id, true
+}
 
 func (l *LiveRuntime) Step(rounds int) {
 	time.Sleep(time.Duration(rounds) * l.period)

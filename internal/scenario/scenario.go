@@ -58,6 +58,22 @@ type Scenario struct {
 	// the live ledger has no churn-penalty hook wired yet).
 	RepairPenalty float64
 
+	// Live-runtime membership knobs: partial-view capacity (default 24 —
+	// large enough that a 32-peer scenario's views mix well, small
+	// enough that they stay genuinely partial and join-wave joiners must
+	// propagate), entries exchanged per Cyclon shuffle (default 8), and
+	// rounds between a peer's shuffle initiations (default 2). The sim
+	// column keeps the idealised full-membership sampler — see
+	// NewSimRuntime.
+	ViewCap      int
+	ShuffleLen   int
+	ShuffleEvery int
+	// JoinGrace is the joiner eligibility rule: a peer added by
+	// JoinNodes is only required to deliver events published at least
+	// JoinGrace rounds after it joined (default 3) — its view needs a
+	// few shuffles to integrate before partner selection can find it.
+	JoinGrace int
+
 	// Workload: a Zipf topic set with heterogeneous subscriptions, then
 	// PerRound popularity-sampled publications per round for Rounds
 	// rounds.
@@ -101,6 +117,18 @@ func (sc Scenario) withDefaults() Scenario {
 	}
 	if sc.BufferMaxAge <= 0 {
 		sc.BufferMaxAge = 10
+	}
+	if sc.ViewCap <= 0 {
+		sc.ViewCap = 24
+	}
+	if sc.ShuffleLen <= 0 {
+		sc.ShuffleLen = 8
+	}
+	if sc.ShuffleEvery <= 0 {
+		sc.ShuffleEvery = 2
+	}
+	if sc.JoinGrace <= 0 {
+		sc.JoinGrace = 3
 	}
 	if sc.Topics <= 0 {
 		sc.Topics = 16
@@ -255,6 +283,22 @@ func FreeRiderFrac(frac float64) Action {
 	}
 }
 
+// JoinNodes boots k new peers mid-run, each bootstrapped through a
+// random up, honest seed. Joiners draw a fresh interest set and become
+// eligible for delivery once the scenario's JoinGrace expires (their
+// views need a few shuffles to integrate — the fault-aware eligibility
+// rule for joiners).
+func JoinNodes(k int) Action {
+	return Action{
+		Name: fmt.Sprintf("join %d", k),
+		Do: func(r *Run) {
+			for i := 0; i < k; i++ {
+				r.JoinNode()
+			}
+		},
+	}
+}
+
 // ResubscribeFrac makes ⌈frac·N⌉ random up peers drop all their
 // subscriptions and draw a fresh interest set — subscription churn.
 func ResubscribeFrac(frac float64) Action {
@@ -403,6 +447,18 @@ func Builtins() []Scenario {
 				{Round: 12, Action: Burst(30)},
 				{Round: 16, Action: RejoinAll()},
 				{Round: 26, Action: Loss(0)},
+			},
+		},
+		{
+			Name:         "join-wave",
+			Note:         "two waves of newcomers join mid-run through seed peers; they must integrate and deliver",
+			N:            24,
+			Rounds:       36,
+			BufferMaxAge: 12,
+			MinDelivery:  0.98,
+			Steps: []Step{
+				{Round: 8, Action: JoinNodes(4)},
+				{Round: 18, Action: JoinNodes(4)},
 			},
 		},
 		rageQuitScenario(),

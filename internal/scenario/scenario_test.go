@@ -96,7 +96,7 @@ func TestLiveTrafficCountersBalance(t *testing.T) {
 // identical invariant metrics, bit for bit — the property fixed-seed
 // regression baselines (and reproducible bug reports) rest on.
 func TestSimDeterminism(t *testing.T) {
-	for _, name := range []string{"calm", "storm", "sub-churn"} {
+	for _, name := range []string{"calm", "storm", "sub-churn", "join-wave"} {
 		sc, ok := ByName(name)
 		if !ok {
 			t.Fatalf("missing builtin %q", name)
@@ -154,6 +154,147 @@ func TestFreeRiderStillReceives(t *testing.T) {
 	}
 	if res.DeliveryRatio != 1 {
 		t.Errorf("delivery ratio %v with free-riders, want 1 (they still receive)", res.DeliveryRatio)
+	}
+}
+
+// TestJoinWaveGrowsPopulation: the join-wave builtin must actually
+// grow the cluster, the joiners must subscribe and deliver, and the
+// invariants (including ledger conservation over the grown population)
+// must hold on the deterministic runtime.
+func TestJoinWaveGrowsPopulation(t *testing.T) {
+	sc, ok := ByName("join-wave")
+	if !ok {
+		t.Fatal("join-wave builtin missing")
+	}
+	var joined int
+	var joinerDelivered bool
+	testInspect = func(r *Run) {
+		joined = len(r.up) - sc.N
+		for id := sc.N; id < len(r.up); id++ {
+			for _, evID := range r.evOrder {
+				rec := r.events[evID]
+				if id < len(rec.delivered) && rec.delivered[id] {
+					joinerDelivered = true
+				}
+			}
+		}
+	}
+	defer func() { testInspect = nil }()
+	res := Execute(NewSimRuntime(sc, 11), sc, 11)
+	if !res.Ok() {
+		t.Fatalf("violations:\n%s", res.String())
+	}
+	if joined != 8 {
+		t.Fatalf("%d peers joined, want 8", joined)
+	}
+	if !joinerDelivered {
+		t.Fatal("no joiner ever delivered an event")
+	}
+}
+
+// TestJoinerEligibilityGrace: events published before a joiner's grace
+// expires never require it, events published after do — the fault-aware
+// eligibility rule for joiners.
+func TestJoinerEligibilityGrace(t *testing.T) {
+	sc := Scenario{
+		Name:      "join-grace",
+		N:         16,
+		Rounds:    20,
+		JoinGrace: 4,
+		Topics:    1, // every peer subscribes the one topic: eligibility is total
+		MaxSubs:   1,
+		Steps: []Step{
+			{Round: 6, Action: JoinNodes(2)},
+		},
+	}
+	checked := false
+	testInspect = func(r *Run) {
+		for _, evID := range r.evOrder {
+			rec := r.events[evID]
+			for id := 16; id < 18; id++ {
+				covered := id < len(rec.eligible) && rec.eligible[id]
+				if rec.round < 6+4 && covered {
+					t.Errorf("joiner %d eligible for round-%d event inside its grace", id, rec.round)
+				}
+				if rec.round >= 6+4 && !covered {
+					t.Errorf("joiner %d not eligible for round-%d event after its grace", id, rec.round)
+				}
+				if rec.round >= 6+4 {
+					checked = true
+				}
+			}
+		}
+	}
+	defer func() { testInspect = nil }()
+	res := Execute(NewSimRuntime(sc, 13), sc, 13)
+	if !res.Ok() {
+		t.Fatalf("violations:\n%s", res.String())
+	}
+	if !checked {
+		t.Fatal("no post-grace event was published — the test checked nothing")
+	}
+}
+
+// TestJoinDuringAdversity: joins racing crash waves and loss must keep
+// every invariant sound (joiners picked through up seeds only; a
+// joiner that is itself crashed later is released like anyone else).
+func TestJoinDuringAdversity(t *testing.T) {
+	sc := Scenario{
+		Name:        "join-storm",
+		N:           20,
+		Rounds:      30,
+		MinDelivery: 0.97,
+		Steps: []Step{
+			{Round: 4, Action: Loss(0.05)},
+			{Round: 6, Action: CrashFrac(0.25)},
+			{Round: 8, Action: JoinNodes(5)},
+			{Round: 14, Action: RejoinAll()},
+			{Round: 16, Action: JoinNodes(3)},
+			{Round: 20, Action: CrashFrac(0.2)},
+			{Round: 24, Action: Loss(0)},
+		},
+	}
+	res := Execute(NewSimRuntime(sc, 17), sc, 17)
+	if !res.Ok() {
+		t.Fatalf("violations:\n%s", res.String())
+	}
+	if res.Published == 0 || res.Deliveries == 0 {
+		t.Fatalf("degenerate run:\n%s", res.String())
+	}
+}
+
+// TestJoinDuringPartition: joiners arriving mid-split must be seeded
+// from the zero side (where joiners land on every runtime) — a
+// cross-side seed could never answer the handshake and the joiner
+// would be demanded deliveries it provably cannot receive. Runs on
+// both the deterministic and the live runtime.
+func TestJoinDuringPartition(t *testing.T) {
+	// MinDelivery leaves slack for the hardest stochastic pair (an event
+	// published at the heal round racing a mid-split joiner's overlay
+	// integration) while staying far above what a stranded joiner would
+	// score: missing all of its ~dozen demanded pairs lands near 0.96.
+	sc := Scenario{
+		Name:        "join-under-split",
+		N:           24,
+		Rounds:      28,
+		MinDelivery: 0.98,
+		Steps: []Step{
+			{Round: 4, Action: SplitRandomHalf()},
+			{Round: 8, Action: JoinNodes(3)},
+			{Round: 18, Action: HealAll()},
+		},
+	}
+	for _, build := range []func() Runtime{
+		func() Runtime { return NewSimRuntime(sc, 19) },
+		func() Runtime { return NewLiveRuntime(sc, 19) },
+	} {
+		res := Execute(build(), sc, 19)
+		if !res.Ok() {
+			t.Fatalf("%s violations:\n%s", res.Runtime, res.String())
+		}
+		if res.Published == 0 || res.Deliveries == 0 {
+			t.Fatalf("degenerate run:\n%s", res.String())
+		}
 	}
 }
 
@@ -232,7 +373,7 @@ func TestByNameAndNames(t *testing.T) {
 		t.Fatal("ByName accepted an unknown name")
 	}
 	// The required adversity axes are all covered.
-	for _, want := range []string{"calm", "churn-waves", "partition-heal", "lossy", "flash-crowd", "sub-churn", "free-riders", "storm"} {
+	for _, want := range []string{"calm", "churn-waves", "partition-heal", "lossy", "flash-crowd", "sub-churn", "free-riders", "storm", "join-wave"} {
 		if !seen[want] {
 			t.Errorf("missing required builtin %q", want)
 		}

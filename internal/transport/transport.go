@@ -32,6 +32,7 @@ package transport
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 )
 
@@ -54,8 +55,14 @@ type Transport interface {
 }
 
 // Net wires the N endpoints of one cluster together. Attach must be
-// called exactly once per peer id before any traffic flows (the live
-// runtime attaches every peer during cluster construction).
+// called exactly once per peer id before any traffic flows to it (the
+// live runtime attaches every peer during cluster construction).
+//
+// Nets are growable: Attach with id equal to the current population
+// extends the net by one endpoint — how a peer joins a running cluster.
+// Growth is dense (ids are assigned in order); any other out-of-range
+// id is an error. Attach is safe to call concurrently with Sends on
+// existing endpoints.
 type Net interface {
 	Attach(id int, h Handler) (Transport, error)
 	// Close tears down every endpoint. Socket transports first quiesce:
@@ -85,8 +92,13 @@ func Chan() Factory {
 // handler's own inbox push is the only queueing, so drop accounting is
 // exact and synchronous — the property the scenario engine's tightened
 // drop-conservation invariant leans on.
+//
+// The handler table lives behind an atomic pointer and grows
+// copy-on-write, so a joining peer's Attach never blocks (or races)
+// the cluster's in-flight Sends.
 type ChanNet struct {
-	handlers []Handler
+	handlers atomic.Pointer[[]Handler]
+	mu       sync.Mutex // serialises Attach
 }
 
 // NewChanNet builds an in-process substrate for n peers.
@@ -94,21 +106,32 @@ func NewChanNet(n int) (*ChanNet, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("transport: need at least 1 peer, got %d", n)
 	}
-	return &ChanNet{handlers: make([]Handler, n)}, nil
+	c := &ChanNet{}
+	hs := make([]Handler, n)
+	c.handlers.Store(&hs)
+	return c, nil
 }
 
-// Attach implements Net.
+// Attach implements Net; id == current population grows the net by one.
 func (c *ChanNet) Attach(id int, h Handler) (Transport, error) {
-	if id < 0 || id >= len(c.handlers) {
-		return nil, fmt.Errorf("transport: peer id %d out of range [0,%d)", id, len(c.handlers))
-	}
-	if c.handlers[id] != nil {
-		return nil, fmt.Errorf("transport: peer %d attached twice", id)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	hs := *c.handlers.Load()
+	if id < 0 || id > len(hs) {
+		return nil, fmt.Errorf("transport: peer id %d out of range [0,%d]", id, len(hs))
 	}
 	if h == nil {
 		return nil, fmt.Errorf("transport: peer %d attached a nil handler", id)
 	}
-	c.handlers[id] = h
+	if id < len(hs) && hs[id] != nil {
+		return nil, fmt.Errorf("transport: peer %d attached twice", id)
+	}
+	// Copy-on-write even for pre-sized slots: a concurrent Send must
+	// never observe a half-written table.
+	grown := make([]Handler, max(len(hs), id+1))
+	copy(grown, hs)
+	grown[id] = h
+	c.handlers.Store(&grown)
 	return &chanEndpoint{net: c, id: id}, nil
 }
 
@@ -125,10 +148,11 @@ func (e *chanEndpoint) Send(to int, buf []byte) error {
 	if e.closed.Load() {
 		return ErrClosed
 	}
-	if to < 0 || to >= len(e.net.handlers) {
+	hs := *e.net.handlers.Load()
+	if to < 0 || to >= len(hs) {
 		return fmt.Errorf("transport: no peer %d", to)
 	}
-	h := e.net.handlers[to]
+	h := hs[to]
 	if h == nil {
 		// An unattached destination would otherwise be an uncounted
 		// loss, and every loss must land in some bucket.

@@ -29,17 +29,39 @@ func UDP() Factory {
 // the kernel with WriteToUDP; a reader goroutine per attached peer
 // hands each datagram (copied, owned by the receiver) to the peer's
 // handler.
-type UDPNet struct {
+//
+// The socket table lives behind an atomic pointer and grows
+// copy-on-write: a joining peer's Attach binds one more socket without
+// blocking (or racing) the cluster's in-flight Sends.
+type udpTable struct {
 	conns    []*net.UDPConn
 	addrs    []*net.UDPAddr
 	attached []bool
+}
+
+type UDPNet struct {
+	table atomic.Pointer[udpTable]
+	mu    sync.Mutex // serialises Attach (table growth) against Close
 
 	readers sync.WaitGroup
 	// sentD/recvD count datagrams accepted by and read back from the
 	// kernel; Close uses them to quiesce before tearing sockets down.
 	sentD, recvD atomic.Uint64
 
+	closed    bool
 	closeOnce sync.Once
+}
+
+// bindLoopback binds one loopback socket on an ephemeral port.
+func bindLoopback() (*net.UDPConn, error) {
+	conn, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		return nil, err
+	}
+	// Best effort: a small default rcvbuf is the one way loopback
+	// datagrams get lost invisibly under load.
+	_ = conn.SetReadBuffer(udpReadBuffer)
+	return conn, nil
 }
 
 // NewUDPNet binds n loopback sockets on ephemeral ports. On any bind
@@ -48,40 +70,66 @@ func NewUDPNet(n int) (*UDPNet, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("transport: need at least 1 peer, got %d", n)
 	}
-	u := &UDPNet{
+	u := &UDPNet{}
+	tbl := &udpTable{
 		conns:    make([]*net.UDPConn, n),
 		addrs:    make([]*net.UDPAddr, n),
 		attached: make([]bool, n),
 	}
+	u.table.Store(tbl)
 	for i := 0; i < n; i++ {
-		conn, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+		conn, err := bindLoopback()
 		if err != nil {
 			u.Close()
 			return nil, fmt.Errorf("transport: bind socket for peer %d: %w", i, err)
 		}
-		// Best effort: a small default rcvbuf is the one way loopback
-		// datagrams get lost invisibly under load.
-		_ = conn.SetReadBuffer(udpReadBuffer)
-		u.conns[i] = conn
-		u.addrs[i] = conn.LocalAddr().(*net.UDPAddr)
+		tbl.conns[i] = conn
+		tbl.addrs[i] = conn.LocalAddr().(*net.UDPAddr)
 	}
 	return u, nil
 }
 
-// Attach implements Net: it starts peer id's reader goroutine.
+// Attach implements Net: it starts peer id's reader goroutine. id ==
+// current population grows the net by one freshly bound socket.
 func (u *UDPNet) Attach(id int, h Handler) (Transport, error) {
-	if id < 0 || id >= len(u.conns) {
-		return nil, fmt.Errorf("transport: peer id %d out of range [0,%d)", id, len(u.conns))
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if u.closed {
+		return nil, ErrClosed
 	}
-	if u.attached[id] {
+	tbl := u.table.Load()
+	if id < 0 || id > len(tbl.conns) {
+		return nil, fmt.Errorf("transport: peer id %d out of range [0,%d]", id, len(tbl.conns))
+	}
+	if id < len(tbl.conns) && tbl.attached[id] {
 		return nil, fmt.Errorf("transport: peer %d attached twice", id)
 	}
 	if h == nil {
 		return nil, fmt.Errorf("transport: peer %d attached a nil handler", id)
 	}
-	u.attached[id] = true
+	// Copy-on-write even for pre-sized slots: a concurrent Send must
+	// never observe a half-written table.
+	n := max(len(tbl.conns), id+1)
+	grown := &udpTable{
+		conns:    make([]*net.UDPConn, n),
+		addrs:    make([]*net.UDPAddr, n),
+		attached: make([]bool, n),
+	}
+	copy(grown.conns, tbl.conns)
+	copy(grown.addrs, tbl.addrs)
+	copy(grown.attached, tbl.attached)
+	if grown.conns[id] == nil {
+		conn, err := bindLoopback()
+		if err != nil {
+			return nil, fmt.Errorf("transport: bind socket for joining peer %d: %w", id, err)
+		}
+		grown.conns[id] = conn
+		grown.addrs[id] = conn.LocalAddr().(*net.UDPAddr)
+	}
+	grown.attached[id] = true
+	u.table.Store(grown)
 	u.readers.Add(1)
-	go u.readLoop(u.conns[id], h)
+	go u.readLoop(grown.conns[id], h)
 	return &udpEndpoint{net: u, id: id}, nil
 }
 
@@ -108,11 +156,14 @@ func (u *UDPNet) readLoop(conn *net.UDPConn, h Handler) {
 // caller's sent/recv accounting shows the leak — which is the point.
 func (u *UDPNet) Close() error {
 	u.closeOnce.Do(func() {
+		u.mu.Lock()
+		u.closed = true // no further Attach can bind sockets
+		u.mu.Unlock()
 		deadline := time.Now().Add(time.Second)
 		for u.recvD.Load() < u.sentD.Load() && time.Now().Before(deadline) {
 			time.Sleep(time.Millisecond)
 		}
-		for _, c := range u.conns {
+		for _, c := range u.table.Load().conns {
 			if c != nil {
 				_ = c.Close()
 			}
@@ -132,20 +183,21 @@ func (e *udpEndpoint) Send(to int, buf []byte) error {
 	if e.closed.Load() {
 		return ErrClosed
 	}
-	if to < 0 || to >= len(e.net.addrs) {
+	tbl := e.net.table.Load()
+	if to < 0 || to >= len(tbl.addrs) || tbl.addrs[to] == nil {
 		return fmt.Errorf("transport: no peer %d", to)
 	}
 	if len(buf) > MaxDatagram {
 		return fmt.Errorf("%w: %d > %d bytes", ErrOversize, len(buf), MaxDatagram)
 	}
-	if _, err := e.net.conns[e.id].WriteToUDP(buf, e.net.addrs[to]); err != nil {
+	if _, err := tbl.conns[e.id].WriteToUDP(buf, tbl.addrs[to]); err != nil {
 		return err
 	}
 	e.net.sentD.Add(1)
 	return nil
 }
 
-func (e *udpEndpoint) LocalAddr() string { return e.net.addrs[e.id].String() }
+func (e *udpEndpoint) LocalAddr() string { return e.net.table.Load().addrs[e.id].String() }
 
 // Close marks the endpoint closed for further Sends. The socket itself
 // is shared with the reader and torn down by Net.Close, which owns the

@@ -41,6 +41,48 @@ func BenchmarkWireEncode(b *testing.B) {
 	}
 }
 
+// benchEntries is a full-length shuffle offer (the default ShuffleLen).
+func benchEntries() []ViewEntry {
+	entries := make([]ViewEntry, 8)
+	for i := range entries {
+		entries[i] = ViewEntry{ID: uint32(i * 13), Age: uint16(i)}
+	}
+	return entries
+}
+
+// BenchmarkWireEncodeShuffle measures membership-envelope encoding into
+// a reused buffer — the per-shuffle sender cost.
+func BenchmarkWireEncodeShuffle(b *testing.B) {
+	entries := benchEntries()
+	buf := make([]byte, 0, MembershipSize(len(entries)))
+	b.ReportAllocs()
+	b.SetBytes(int64(MembershipSize(len(entries))))
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf, err = AppendMembership(buf[:0], KindShuffleOffer, 1, entries)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWireDecodeShuffle measures membership-envelope decoding with
+// a reused Envelope — the per-shuffle receiver cost.
+func BenchmarkWireDecodeShuffle(b *testing.B) {
+	buf, err := AppendMembership(nil, KindShuffleOffer, 1, benchEntries())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var env Envelope
+	b.ReportAllocs()
+	b.SetBytes(int64(len(buf)))
+	for i := 0; i < b.N; i++ {
+		if err := DecodeEnvelope(buf, &env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkWireDecode measures envelope decoding with a reused Envelope
 // — the per-datagram receiver cost (the decoded events themselves are
 // fresh allocations by design: receivers own them).

@@ -48,6 +48,17 @@ func FuzzWireDecode(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(multi)
+	// Membership vocabulary: offers, replies and joins, empty and full.
+	entries := []ViewEntry{{ID: 4, Age: 0}, {ID: 90, Age: 3}, {ID: 0xffffffff, Age: 0xffff}}
+	for _, kind := range []byte{KindShuffleOffer, KindShuffleReply, KindJoin} {
+		for _, n := range []int{0, len(entries)} {
+			m, err := AppendMembership(nil, kind, 17, entries[:n])
+			if err != nil {
+				f.Fatal(err)
+			}
+			f.Add(m)
+		}
+	}
 	f.Add([]byte{})
 	f.Add([]byte{0xfa, 0x15})
 
@@ -56,7 +67,13 @@ func FuzzWireDecode(f *testing.F) {
 		if err := DecodeEnvelope(data, &env); err != nil {
 			return // rejected: fine, as long as it did not panic
 		}
-		back, err := AppendEnvelope(nil, env.Sender, env.Events)
+		var back []byte
+		var err error
+		if env.Kind == KindEvents {
+			back, err = AppendEnvelope(nil, env.Sender, env.Events)
+		} else {
+			back, err = AppendMembership(nil, env.Kind, env.Sender, env.Entries)
+		}
 		if err != nil {
 			t.Fatalf("decoded envelope does not re-encode: %v", err)
 		}

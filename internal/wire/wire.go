@@ -1,17 +1,21 @@
 // Package wire is the binary codec for the live runtime's message
-// vocabulary: events (with typed attributes and payload), event IDs, and
-// the gossip envelope that frames a batch of events with its sender.
+// vocabulary: events (with typed attributes and payload), event IDs,
+// membership view entries, and the envelope that frames each protocol
+// message with its kind and sender — event gossip (KindEvents) and the
+// Cyclon membership traffic (KindShuffleOffer, KindShuffleReply,
+// KindJoin).
 //
 // The format is compact, big-endian, and length-prefixed at every
 // variable-size field. An envelope is a fixed 16-byte header followed by
-// the event records back to back; each record is self-delimiting (its
-// topic, attribute keys, string values and payload all carry explicit
-// lengths), so the decoder walks the body with a bounds-checked cursor
-// and must land exactly on the last byte. Decoding is hardened against
-// truncated and hostile input: it never panics, never reads past the
-// buffer, validates every kind/flag byte, and cross-checks the header's
-// count and body-length fields against what it actually consumed
-// (FuzzWireDecode keeps it that way).
+// the kind's records back to back: event records are self-delimiting
+// (topic, attribute keys, string values and payload all carry explicit
+// lengths), membership entries are fixed 6-byte cells, and in both cases
+// the decoder walks the body with a bounds-checked cursor and must land
+// exactly on the last byte. Decoding is hardened against truncated and
+// hostile input: it never panics, never reads past the buffer, validates
+// every kind/flag byte, and cross-checks the header's count and
+// body-length fields against what it actually consumed (FuzzWireDecode
+// keeps it that way).
 //
 // Two deliberate invariants tie the codec to the rest of the system:
 //
@@ -23,7 +27,10 @@
 //     has always charged MsgWireSize; with this codec the number of
 //     bytes charged and the number of bytes on the wire are the same
 //     number, which keeps ChanTransport ledgers byte-identical to the
-//     pre-codec live runtime.
+//     pre-codec live runtime. The same discipline extends to membership
+//     traffic: EntryWireSize == membership.EntryWireSize, so the shuffle
+//     bytes the ledger charges as infrastructure contribution are
+//     exactly the bytes a shuffle envelope occupies on the wire.
 //
 // Encoding is allocation-conscious: Append* functions append into a
 // caller-provided buffer (encode a fanout's envelope once, reuse
@@ -46,12 +53,16 @@ const (
 	// Version is the only envelope version this codec speaks.
 	Version byte = 1
 	// HeaderSize is the fixed envelope header:
-	// magic(2) version(1) flags(1) sender(4) count(2) reserved(2) body(4).
+	// magic(2) version(1) kind(1) sender(4) count(2) reserved(2) body(4).
 	// It deliberately equals gossip.MsgHeaderSize so encoded bytes equal
 	// accounted bytes.
 	HeaderSize = 16
 	// EventIDSize is the encoded size of an EventID.
 	EventIDSize = 8
+	// EntryWireSize is the encoded size of one membership view entry:
+	// id(4) + age(2). It equals membership.EntryWireSize, the accounting
+	// size the simulated runtime has always charged per entry.
+	EntryWireSize = 6
 	// eventMinSize is the smallest possible event record: id(8) +
 	// topicLen(2) + attrCount(2) + payloadLen(4), all lengths zero.
 	eventMinSize = 16
@@ -59,6 +70,35 @@ const (
 	// key + kind(1) + bool payload(1).
 	attrMinSize = 4
 )
+
+// Message kinds (header byte 3). KindEvents is 0, which makes every
+// pre-kind envelope (the byte was "flags, must be zero") decode
+// unchanged as an event batch.
+const (
+	// KindEvents frames a batch of event records — gossip dissemination.
+	KindEvents byte = 0
+	// KindShuffleOffer carries the initiator's half of a Cyclon view
+	// shuffle: a batch of membership entries.
+	KindShuffleOffer byte = 1
+	// KindShuffleReply answers an offer (or a join) with entries from
+	// the responder's view.
+	KindShuffleReply byte = 2
+	// KindJoin announces a booting peer to its seed. The sender field
+	// identifies the joiner; the body carries its (usually empty) view.
+	KindJoin byte = 3
+
+	// maxKind is the highest kind this codec speaks.
+	maxKind = KindJoin
+)
+
+// ViewEntry is one membership view slot on the wire: a peer id and the
+// age (in shuffle periods, saturated at 65535) of the information about
+// it. It mirrors membership.Entry without importing protocol logic into
+// the codec.
+type ViewEntry struct {
+	ID  uint32
+	Age uint16
+}
 
 // Decode errors. Errors wrap one of these sentinels; decode never
 // panics and never reads outside the input buffer.
@@ -70,14 +110,17 @@ var (
 	ErrTooLarge  = errors.New("wire: message exceeds encodable limits")
 )
 
-// Envelope is one decoded gossip message: the sending peer and its
-// batch of events. DecodeEnvelope reuses the Events backing array
-// across calls; the *pubsub.Event values themselves are freshly
-// allocated and never alias the input buffer, so receivers own them
-// outright.
+// Envelope is one decoded protocol message: its kind, the sending
+// peer, and the kind's payload — Events for KindEvents, Entries for
+// the membership kinds (the other slice is always empty).
+// DecodeEnvelope reuses the Events and Entries backing arrays across
+// calls; the *pubsub.Event values themselves are freshly allocated and
+// never alias the input buffer, so receivers own them outright.
 type Envelope struct {
-	Sender uint32
-	Events []*pubsub.Event
+	Kind    byte
+	Sender  uint32
+	Events  []*pubsub.Event
+	Entries []ViewEntry
 }
 
 // EnvelopeSize returns the exact number of bytes AppendEnvelope will
@@ -100,7 +143,7 @@ func AppendEnvelope(dst []byte, sender uint32, events []*pubsub.Event) ([]byte, 
 	}
 	start := len(dst)
 	dst = binary.BigEndian.AppendUint16(dst, Magic)
-	dst = append(dst, Version, 0) // version, flags (must be zero)
+	dst = append(dst, Version, KindEvents)
 	dst = binary.BigEndian.AppendUint32(dst, sender)
 	dst = binary.BigEndian.AppendUint16(dst, uint16(len(events)))
 	dst = binary.BigEndian.AppendUint16(dst, 0) // reserved (must be zero)
@@ -124,10 +167,12 @@ func AppendEnvelope(dst []byte, sender uint32, events []*pubsub.Event) ([]byte, 
 
 // DecodeEnvelope decodes data into env. The whole buffer must be
 // consumed exactly: short input, trailing bytes, a count/body-length
-// mismatch, or any malformed event record is an error.
+// mismatch, or any malformed record is an error.
 func DecodeEnvelope(data []byte, env *Envelope) error {
+	env.Kind = KindEvents
 	env.Sender = 0
 	env.Events = env.Events[:0]
+	env.Entries = env.Entries[:0]
 	if len(data) < HeaderSize {
 		return fmt.Errorf("%w: %d header bytes of %d", ErrTruncated, len(data), HeaderSize)
 	}
@@ -137,9 +182,10 @@ func DecodeEnvelope(data []byte, env *Envelope) error {
 	if data[2] != Version {
 		return fmt.Errorf("%w: %d", ErrVersion, data[2])
 	}
-	if data[3] != 0 {
-		return fmt.Errorf("%w: nonzero flags %#02x", ErrCorrupt, data[3])
+	if data[3] > maxKind {
+		return fmt.Errorf("%w: unknown message kind %#02x", ErrCorrupt, data[3])
 	}
+	env.Kind = data[3]
 	env.Sender = binary.BigEndian.Uint32(data[4:8])
 	count := int(binary.BigEndian.Uint16(data[8:10]))
 	if rsv := binary.BigEndian.Uint16(data[10:12]); rsv != 0 {
@@ -148,6 +194,20 @@ func DecodeEnvelope(data []byte, env *Envelope) error {
 	body := int(binary.BigEndian.Uint32(data[12:16]))
 	if body != len(data)-HeaderSize {
 		return fmt.Errorf("%w: header claims %d body bytes, have %d", ErrCorrupt, body, len(data)-HeaderSize)
+	}
+	if env.Kind != KindEvents {
+		// Membership kinds: the body is exactly count fixed-size cells.
+		if body != count*EntryWireSize {
+			return fmt.Errorf("%w: %d entries need %d body bytes, have %d",
+				ErrCorrupt, count, count*EntryWireSize, body)
+		}
+		for off := HeaderSize; off < len(data); off += EntryWireSize {
+			env.Entries = append(env.Entries, ViewEntry{
+				ID:  binary.BigEndian.Uint32(data[off : off+4]),
+				Age: binary.BigEndian.Uint16(data[off+4 : off+6]),
+			})
+		}
+		return nil
 	}
 	// Cheap hostile-count guard before any event allocation.
 	if count*eventMinSize > body {
@@ -165,6 +225,34 @@ func DecodeEnvelope(data []byte, env *Envelope) error {
 		return fmt.Errorf("%w: %d trailing bytes after %d events", ErrCorrupt, len(data)-r.off, count)
 	}
 	return nil
+}
+
+// MembershipSize returns the exact number of bytes AppendMembership
+// will produce for n entries — HeaderSize + n·EntryWireSize, the same
+// formula the simulated runtime's accounting charges for shuffle
+// traffic, so ledger bytes and wire bytes are one number here too.
+func MembershipSize(n int) int { return HeaderSize + n*EntryWireSize }
+
+// AppendMembership appends an encoded membership envelope (a shuffle
+// offer, shuffle reply, or join) to dst and returns the extended slice.
+func AppendMembership(dst []byte, kind byte, sender uint32, entries []ViewEntry) ([]byte, error) {
+	if kind != KindShuffleOffer && kind != KindShuffleReply && kind != KindJoin {
+		return dst, fmt.Errorf("%w: %#02x is not a membership kind", ErrCorrupt, kind)
+	}
+	if len(entries) > math.MaxUint16 {
+		return dst, fmt.Errorf("%w: %d entries in one envelope", ErrTooLarge, len(entries))
+	}
+	dst = binary.BigEndian.AppendUint16(dst, Magic)
+	dst = append(dst, Version, kind)
+	dst = binary.BigEndian.AppendUint32(dst, sender)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(entries)))
+	dst = binary.BigEndian.AppendUint16(dst, 0) // reserved (must be zero)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(entries)*EntryWireSize))
+	for _, e := range entries {
+		dst = binary.BigEndian.AppendUint32(dst, e.ID)
+		dst = binary.BigEndian.AppendUint16(dst, e.Age)
+	}
+	return dst, nil
 }
 
 // AppendEvent appends one event record to dst — the exact pubsub

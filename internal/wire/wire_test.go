@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"fairgossip/internal/gossip"
+	"fairgossip/internal/membership"
 	"fairgossip/internal/pubsub"
 )
 
@@ -170,7 +171,8 @@ func TestDecodeRejectsHostileInput(t *testing.T) {
 		"short header": good[:HeaderSize-1],
 		"bad magic":    append([]byte{0xde, 0xad}, good[2:]...),
 		"bad version":  mutate(good, 2, 99),
-		"flags set":    mutate(good, 3, 1),
+		"unknown kind": mutate(good, 3, maxKind+1),
+		"kind flipped": mutate(good, 3, KindShuffleOffer), // event body is no entry grid
 		"reserved set": mutate(good, 10, 1),
 		"body too big": mutate(good, 15, good[15]+1),
 		"truncated":    good[:len(good)-3],
@@ -265,6 +267,142 @@ func TestEncodeLimits(t *testing.T) {
 		{Key: strings.Repeat("k", math.MaxUint16+1), Val: pubsub.Bool(true)},
 	}}); err == nil {
 		t.Fatal("oversized attribute key accepted")
+	}
+}
+
+// TestMembershipRoundTrip: decode→encode is the identity for every
+// membership kind, the encoded size matches MembershipSize, and the
+// per-entry cost matches the accounting constant the simulated runtime
+// charges (membership.EntryWireSize) — shuffle bytes charged to the
+// fairness ledger are exactly the bytes on the wire.
+func TestMembershipRoundTrip(t *testing.T) {
+	if EntryWireSize != membership.EntryWireSize {
+		t.Fatalf("wire entry is %d bytes, accounting charges %d — shuffle ledgers would drift",
+			EntryWireSize, membership.EntryWireSize)
+	}
+	entries := []ViewEntry{
+		{ID: 0, Age: 0},
+		{ID: 7, Age: 1},
+		{ID: math.MaxUint32, Age: math.MaxUint16},
+	}
+	for _, kind := range []byte{KindShuffleOffer, KindShuffleReply, KindJoin} {
+		for n := 0; n <= len(entries); n++ {
+			buf, err := AppendMembership(nil, kind, 9, entries[:n])
+			if err != nil {
+				t.Fatalf("kind %d n=%d: %v", kind, n, err)
+			}
+			if len(buf) != MembershipSize(n) {
+				t.Fatalf("kind %d n=%d: encoded %d bytes, MembershipSize says %d",
+					kind, n, len(buf), MembershipSize(n))
+			}
+			var env Envelope
+			if err := DecodeEnvelope(buf, &env); err != nil {
+				t.Fatalf("kind %d n=%d: decode: %v", kind, n, err)
+			}
+			if env.Kind != kind || env.Sender != 9 {
+				t.Fatalf("kind %d n=%d: header mangled: %+v", kind, n, env)
+			}
+			if len(env.Events) != 0 || len(env.Entries) != n {
+				t.Fatalf("kind %d n=%d: decoded %d events, %d entries",
+					kind, n, len(env.Events), len(env.Entries))
+			}
+			for i := range entries[:n] {
+				if env.Entries[i] != entries[i] {
+					t.Fatalf("kind %d entry %d: got %+v, want %+v", kind, i, env.Entries[i], entries[i])
+				}
+			}
+			back, err := AppendMembership(nil, env.Kind, env.Sender, env.Entries)
+			if err != nil {
+				t.Fatalf("kind %d n=%d: re-encode: %v", kind, n, err)
+			}
+			if !bytes.Equal(back, buf) {
+				t.Fatalf("kind %d n=%d: decode→encode is not the identity", kind, n)
+			}
+		}
+	}
+}
+
+// TestMembershipRejectsMalformed: hostile membership envelopes — a body
+// that is not a whole number of entry cells, a count disagreeing with
+// the body, and non-membership kinds at the encoder — all fail cleanly.
+func TestMembershipRejectsMalformed(t *testing.T) {
+	good, err := AppendMembership(nil, KindShuffleOffer, 3, []ViewEntry{{ID: 1, Age: 2}, {ID: 4, Age: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(good); i++ {
+		var env Envelope
+		if err := DecodeEnvelope(good[:i], &env); err == nil {
+			t.Fatalf("prefix of %d bytes accepted", i)
+		}
+	}
+	undercount := mutate(good, 9, good[9]-1) // count 1, body still 2 cells
+	var env Envelope
+	if err := DecodeEnvelope(undercount, &env); err == nil {
+		t.Fatal("count/body mismatch accepted")
+	}
+	ragged := append(append([]byte(nil), good...), 0xab) // body not a multiple of EntryWireSize
+	ragged[15] += 1
+	if err := DecodeEnvelope(ragged, &env); err == nil {
+		t.Fatal("ragged entry grid accepted")
+	}
+	if _, err := AppendMembership(nil, KindEvents, 1, nil); err == nil {
+		t.Fatal("AppendMembership accepted the events kind")
+	}
+	if _, err := AppendMembership(nil, maxKind+1, 1, nil); err == nil {
+		t.Fatal("AppendMembership accepted an unknown kind")
+	}
+}
+
+// TestMembershipDecodeReusesEntriesSlice: like the Events slice, the
+// Entries backing array is recycled across decodes.
+func TestMembershipDecodeReusesEntriesSlice(t *testing.T) {
+	buf, err := AppendMembership(nil, KindShuffleReply, 1, []ViewEntry{{ID: 1}, {ID: 2}, {ID: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env Envelope
+	if err := DecodeEnvelope(buf, &env); err != nil {
+		t.Fatal(err)
+	}
+	first := cap(env.Entries)
+	for i := 0; i < 8; i++ {
+		if err := DecodeEnvelope(buf, &env); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cap(env.Entries) != first {
+		t.Fatalf("Entries slice reallocated: cap %d -> %d", first, cap(env.Entries))
+	}
+}
+
+// TestKindSwitchClearsPayloads: a decoder whose scratch Envelope last
+// held events must not leak them into a membership decode, and vice
+// versa.
+func TestKindSwitchClearsPayloads(t *testing.T) {
+	evBuf, err := AppendEnvelope(nil, 1, sampleEvents())
+	if err != nil {
+		t.Fatal(err)
+	}
+	memBuf, err := AppendMembership(nil, KindJoin, 2, []ViewEntry{{ID: 5, Age: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env Envelope
+	if err := DecodeEnvelope(evBuf, &env); err != nil {
+		t.Fatal(err)
+	}
+	if err := DecodeEnvelope(memBuf, &env); err != nil {
+		t.Fatal(err)
+	}
+	if len(env.Events) != 0 || len(env.Entries) != 1 || env.Kind != KindJoin {
+		t.Fatalf("stale events survived a kind switch: %+v", env)
+	}
+	if err := DecodeEnvelope(evBuf, &env); err != nil {
+		t.Fatal(err)
+	}
+	if len(env.Entries) != 0 || len(env.Events) != len(sampleEvents()) || env.Kind != KindEvents {
+		t.Fatalf("stale entries survived a kind switch: %+v", env)
 	}
 }
 
