@@ -25,8 +25,13 @@ test:
 race:
 	$(GO) test -race -shuffle=on ./internal/fairness/ ./internal/gossip/ ./internal/live/ ./internal/eventsim/ ./internal/simnet/ ./internal/scenario/ ./internal/transport/ ./internal/wire/ ./internal/membership/
 
+# bench runs the Go benchmarks, then regenerates the dated
+# BENCH_<date>.json run record via fairbench — every bench invocation
+# leaves a fresh machine-readable baseline (CI uploads it as an
+# artifact).
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem -benchtime 3x .
+	$(GO) run ./cmd/fairbench -small -out $(OUT)
 
 microbench:
 	$(GO) test -run '^$$' -bench . -benchmem ./internal/eventsim/ ./internal/simnet/ ./internal/fairness/

@@ -16,6 +16,7 @@
 //	fairnode demo
 //	fairnode demo -n 12 -events 48 -transport udp -target 2500
 //	fairnode demo -n 8 -join 4       # four peers join the running cluster
+//	fairnode demo -n 10 -leave 2     # two peers depart gracefully mid-run
 package main
 
 import (
@@ -56,6 +57,7 @@ func runDemo(args []string, stdout, stderr io.Writer) int {
 	var (
 		n         = fs.Int("n", 8, "number of founding peers (one socket each)")
 		join      = fs.Int("join", 0, "extra peers that join the running cluster before publishing")
+		leave     = fs.Int("leave", 0, "founders that depart gracefully once the cluster runs (they subscribe to nothing)")
 		events    = fs.Int("events", 24, "events to publish")
 		payload   = fs.Int("payload", 64, "event payload bytes")
 		topics    = fs.Int("topics", 4, "topic count")
@@ -94,10 +96,18 @@ func runDemo(args []string, stdout, stderr io.Writer) int {
 	}
 	defer cluster.Stop()
 
+	if *leave < 0 || *leave >= *n {
+		fmt.Fprintf(stderr, "fairnode demo: -leave %d out of range [0,%d)\n", *leave, *n)
+		return 2
+	}
+
 	// Interest: peer i watches topic i mod T, so every topic has a known
-	// subscriber set and expected delivery counts are exact.
+	// subscriber set and expected delivery counts are exact. The last
+	// -leave founders subscribe to nothing: they will depart gracefully
+	// mid-run, so they must owe no deliveries.
+	staying := *n - *leave
 	subsOf := make(map[string]int, *topics)
-	for i := 0; i < *n; i++ {
+	for i := 0; i < staying; i++ {
 		topic := fmt.Sprintf("t%d", i%*topics)
 		if _, ok := cluster.Subscribe(i, fairgossip.TopicFilter(topic)); !ok {
 			fmt.Fprintln(stderr, "fairnode demo: subscribe failed")
@@ -107,8 +117,27 @@ func runDemo(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "node %2d  %-22s watches %s\n", i, cluster.Addr(i), topic)
 	}
 
+	for i := staying; i < *n; i++ {
+		fmt.Fprintf(stdout, "node %2d  %-22s will depart gracefully\n", i, cluster.Addr(i))
+	}
+
 	cluster.Start()
 	rng := rand.New(rand.NewSource(*seed))
+
+	// Graceful departures: each leaver hands its freshest view entries
+	// to its neighbours in KindLeave envelopes before going silent, so
+	// the survivors scrub its address without probe timeouts. A short
+	// pause first lets the overlay mix so there are views to hand over.
+	if *leave > 0 {
+		time.Sleep(6 * *period)
+		for i := staying; i < *n; i++ {
+			if !cluster.Leave(i) {
+				fmt.Fprintf(stderr, "fairnode demo: leave of node %d failed\n", i)
+				return 1
+			}
+			fmt.Fprintf(stdout, "node %2d  departed gracefully\n", i)
+		}
+	}
 
 	// Late joiners: boot mid-run through round-robin seeds (each join is
 	// a real membership handshake over the transport), subscribe, and
@@ -117,7 +146,7 @@ func runDemo(args []string, stdout, stderr io.Writer) int {
 	// start flowing.
 	total := *n
 	for k := 0; k < *join; k++ {
-		id, err := cluster.Join(k % *n)
+		id, err := cluster.Join(k % staying) // seeds must still be up: departed founders answer nothing
 		if err != nil {
 			fmt.Fprintf(stderr, "fairnode demo: join: %v\n", err)
 			return 1
@@ -138,7 +167,7 @@ func runDemo(args []string, stdout, stderr io.Writer) int {
 	expected := uint64(0)
 	for k := 0; k < *events; k++ {
 		topic := fmt.Sprintf("t%d", rng.Intn(*topics))
-		pub := rng.Intn(*n)
+		pub := rng.Intn(staying) // departed peers cannot publish
 		if !cluster.Publish(pub, topic, nil, make([]byte, *payload)) {
 			fmt.Fprintln(stderr, "fairnode demo: publish failed")
 			return 1

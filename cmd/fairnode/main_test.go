@@ -79,3 +79,26 @@ func TestFairnodeUsageAndErrors(t *testing.T) {
 		t.Fatalf("demo -h: exit %d, want 0", code)
 	}
 }
+
+// TestFairnodeDemoLeavers: -leave makes the last founders depart
+// gracefully once the cluster runs; they owe no deliveries and the demo
+// still reaches full delivery over the survivors.
+func TestFairnodeDemoLeavers(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"demo", "-n", "8", "-leave", "2", "-events", "10", "-transport", "chan", "-seed", "5"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d\nstderr: %s\nstdout: %s", code, errb.String(), out.String())
+	}
+	s := out.String()
+	for _, want := range []string{"will depart gracefully", "node  7  departed gracefully"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("missing %q in output:\n%s", want, s)
+		}
+	}
+	if strings.Contains(s, "delivered 0 of") {
+		t.Fatalf("nothing was delivered:\n%s", s)
+	}
+	if code := run([]string{"demo", "-n", "4", "-leave", "4"}, &out, &errb); code != 2 {
+		t.Fatalf("-leave == n: exit %d, want 2 (usage error)", code)
+	}
+}

@@ -130,6 +130,17 @@ func (c *Cluster) Join(seed simnet.NodeID) simnet.NodeID {
 	return id
 }
 
+// Leave departs node id gracefully (Node.LeaveGracefully): under Cyclon
+// membership the leaver hands its freshest view entries to its
+// neighbours before going offline; under the idealised full sampler it
+// simply goes offline. The sim mirror of live.Cluster.Leave.
+func (c *Cluster) Leave(id simnet.NodeID) {
+	if id < 0 || int(id) >= len(c.Nodes) {
+		return
+	}
+	c.Nodes[id].LeaveGracefully()
+}
+
 // RunRounds advances virtual time by r round periods, starting the
 // cluster if needed.
 func (c *Cluster) RunRounds(r int) {

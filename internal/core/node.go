@@ -454,6 +454,38 @@ func (nd *Node) Leave() {
 	nd.net.SetUp(nd.id, false)
 }
 
+// LeaveGracefully departs with notice — the sim mirror of the live
+// runtime's Cluster.Leave. Under Cyclon membership the node hands up to
+// ShuffleLen of its freshest view entries to every view neighbour in a
+// charged kindLeave message before going offline, so the overlay loses
+// an address without losing degree; under the full sampler there are no
+// views to repair and the departure reduces to Leave.
+func (nd *Node) LeaveGracefully() {
+	if !nd.active {
+		return
+	}
+	if nd.cyclon != nil {
+		ents := nd.cyclon.View().Entries()
+		sort.SliceStable(ents, func(i, j int) bool { return ents[i].Age < ents[j].Age })
+		k := nd.cyclon.ShuffleLen()
+		for _, to := range ents {
+			hand := make([]membership.Entry, 0, k)
+			for _, e := range ents {
+				if len(hand) == k {
+					break
+				}
+				if e.ID != to.ID {
+					hand = append(hand, e)
+				}
+			}
+			// Each message owns its slice: simnet delivers payloads later,
+			// by reference.
+			nd.send(to.ID, &wireMsg{Kind: kindLeave, Entries: hand}, fairness.ClassInfra)
+		}
+	}
+	nd.Leave()
+}
+
 // Rejoin brings the node back, repairing its overlay view through the
 // bootstrap contact and charging the configured instability penalty.
 func (nd *Node) Rejoin(bootstrap simnet.NodeID) {
@@ -518,6 +550,17 @@ func (nd *Node) HandleMessage(msg simnet.Message) {
 		}
 		for _, e := range m.Entries {
 			nd.cyclon.View().AddAged(e)
+		}
+	case kindLeave:
+		if nd.cyclon == nil {
+			return
+		}
+		// Forget the leaver, adopt the replacement contacts it handed over.
+		nd.cyclon.View().Remove(msg.From)
+		for _, e := range m.Entries {
+			if e.ID != msg.From {
+				nd.cyclon.View().AddAged(e)
+			}
 		}
 	}
 }

@@ -19,6 +19,7 @@ const (
 	kindPubWalk                          // publisher hand-off walk (infra)
 	kindViewRepair                       // rejoin view request (infra)
 	kindViewRepairAck                    // rejoin view answer (infra)
+	kindLeave                            // graceful departure + hand-off entries (infra)
 )
 
 // fpAd is a third-party interest-fingerprint advertisement: profile
@@ -71,7 +72,7 @@ func (m *wireMsg) size() int {
 		if m.Kind == kindPubWalk {
 			n += 6 // origin + hops
 		}
-	case kindShuffle, kindShuffleReply, kindSubAck, kindViewRepairAck:
+	case kindShuffle, kindShuffleReply, kindSubAck, kindViewRepairAck, kindLeave:
 		n += len(m.Entries) * membership.EntryWireSize
 		n += topicTagSize + len(m.Topic)
 	case kindSubWalk:

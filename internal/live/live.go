@@ -42,9 +42,11 @@
 package live
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -90,6 +92,23 @@ type Config struct {
 	ViewCap      int
 	ShuffleLen   int
 	ShuffleEvery int
+	// EvictStrikes is the failure detector's threshold: a view entry
+	// whose peer leaves this many consecutive shuffle offers unanswered
+	// is evicted and quarantined (default 3). The detector rides the
+	// ordinary Cyclon traffic — no extra probe messages, no extra bytes.
+	EvictStrikes int
+	// QuarantineRounds is how many rounds an evicted address is refused
+	// from incoming view entries before it gets the benefit of the
+	// doubt again (default 64). Direct contact lifts it immediately.
+	QuarantineRounds int
+	// JoinAttempts bounds how many times an isolated joiner re-announces
+	// itself before giving up (default 8). Attempts are spaced by capped
+	// exponential backoff with seeded jitter; a give-up is surfaced by
+	// JoinErr and counted in Traffic().JoinGiveUps.
+	JoinAttempts int
+	// JoinBackoffCap caps the backoff between announcements, in
+	// membership rounds (default 16).
+	JoinBackoffCap int
 	// Seed drives per-peer randomness (peer i uses Seed^i).
 	Seed int64
 	// Transport selects the message substrate: nil means in-process
@@ -136,6 +155,18 @@ func (c Config) withDefaults() Config {
 	if c.ShuffleEvery <= 0 {
 		c.ShuffleEvery = 2
 	}
+	if c.EvictStrikes <= 0 {
+		c.EvictStrikes = 3
+	}
+	if c.QuarantineRounds <= 0 {
+		c.QuarantineRounds = 64
+	}
+	if c.JoinAttempts <= 0 {
+		c.JoinAttempts = 8
+	}
+	if c.JoinBackoffCap <= 0 {
+		c.JoinBackoffCap = 16
+	}
 	return c
 }
 
@@ -175,6 +206,7 @@ type traffic struct {
 	inboxDrops     atomic.Uint64
 	transportDrops atomic.Uint64
 	malformed      atomic.Uint64
+	joinGiveUps    atomic.Uint64
 }
 
 // Traffic is a snapshot of the cluster's envelope-level counters. The
@@ -203,6 +235,10 @@ type Traffic struct {
 	// Malformed counts received envelopes that failed to decode or
 	// carried an invalid sender (a subset of Recv, not of Dropped).
 	Malformed uint64
+	// JoinGiveUps counts joiners that abandoned the handshake after
+	// Config.JoinAttempts announcements (not part of Dropped: nothing
+	// was sent, which is the point of giving up).
+	JoinGiveUps uint64
 }
 
 // Cluster is a set of live peers. Create with NewCluster, then Start;
@@ -242,6 +278,18 @@ type peer struct {
 	last     fairness.Account
 	pubSeq   uint32
 	deliver  func(*pubsub.Event)
+
+	// Failure-detector state (peer-goroutine-owned): the outstanding
+	// shuffle probe and the evidence ledger behind eviction decisions.
+	det        detector
+	probe      simnet.NodeID // current unanswered shuffle target, or None
+	probeEntry membership.Entry
+
+	// Join-handshake backoff (peer-goroutine-owned except the flag,
+	// which JoinErr reads from outside).
+	joinAttempts int
+	joinWait     int // membership rounds to sit out before re-announcing
+	joinFailed   atomic.Bool
 
 	// Per-peer fault state (atomic: scenario drivers flip it from
 	// outside the peer goroutine).
@@ -336,6 +384,8 @@ func (c *Cluster) newPeer(id int) *peer {
 		ctrl:     ctrl,
 		cyclon:   membership.NewCyclon(membership.NewView(simnet.NodeID(id), cfg.ViewCap), cfg.ShuffleLen),
 		joinSeed: -1,
+		det:      newDetector(cfg.EvictStrikes, cfg.QuarantineRounds),
+		probe:    simnet.None,
 	}
 	p.fanout, p.batch = ctrl.Fanout(), ctrl.Batch()
 	return p
@@ -371,6 +421,7 @@ func (c *Cluster) Traffic() Traffic {
 		InboxDrops:     c.traffic.inboxDrops.Load(),
 		TransportDrops: c.traffic.transportDrops.Load(),
 		Malformed:      c.traffic.malformed.Load(),
+		JoinGiveUps:    c.traffic.joinGiveUps.Load(),
 	}
 	t.Dropped = t.FaultDrops + t.InboxDrops + t.TransportDrops
 	return t
@@ -558,6 +609,51 @@ func (c *Cluster) View(id int) []int {
 	return out
 }
 
+// Views snapshots every peer's partial view at once, indexed by peer
+// id. While the cluster runs each snapshot goes through its peer's
+// goroutine like View; after Stop the goroutines are gone (Stop waits
+// for them) and the read is direct — which is what lets the scenario
+// engine's view-hygiene invariant inspect views after Close.
+func (c *Cluster) Views() [][]int {
+	c.mu.Lock()
+	running := c.started && !c.stopped
+	c.mu.Unlock()
+	peers := c.peerList()
+	out := make([][]int, len(peers))
+	for i, p := range peers {
+		if running {
+			out[i] = c.View(i)
+			continue
+		}
+		ids := p.cyclon.View().IDs()
+		v := make([]int, len(ids))
+		for j, id := range ids {
+			v[j] = int(id)
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// ErrJoinAbandoned is JoinErr's verdict for a joiner that exhausted its
+// announcement budget without ever building a view.
+var ErrJoinAbandoned = errors.New("live: join handshake abandoned after bounded retries")
+
+// JoinErr reports the join handshake's outcome for a peer: nil while
+// the handshake is pending or succeeded, ErrJoinAbandoned once the
+// peer has given up (Config.JoinAttempts announcements, capped
+// exponential backoff between them, and still no view).
+func (c *Cluster) JoinErr(id int) error {
+	p := c.peerAt(id)
+	if p == nil {
+		return fmt.Errorf("live: no peer %d", id)
+	}
+	if p.joinFailed.Load() {
+		return ErrJoinAbandoned
+	}
+	return nil
+}
+
 // --- Fault injection ---------------------------------------------------------
 //
 // These mirror the simulated network's fault surface (simnet.SetUp,
@@ -575,6 +671,22 @@ func (c *Cluster) Crash(id int) bool {
 	}
 	p.down.Store(true)
 	return true
+}
+
+// Leave departs a peer gracefully: on its own goroutine it hands its
+// freshest view entries to every view neighbour in KindLeave envelopes
+// (real, ledger-charged infrastructure traffic), then goes silent
+// exactly like a crashed peer. Compare Crash, the departure without
+// notice. Returns false for invalid ids or a stopped cluster.
+func (c *Cluster) Leave(id int) bool {
+	return c.do(id, func() {
+		p := c.peerAt(id)
+		if p.down.Load() {
+			return // already offline: nothing to announce
+		}
+		p.sendLeave()
+		p.down.Store(true)
+	})
 }
 
 // Rejoin brings a crashed peer back. Its buffer, dedup memory and
@@ -674,8 +786,10 @@ func (p *peer) ingress(buf []byte) {
 func (p *peer) loop() {
 	// A joiner announces itself before its first round: the seed learns
 	// the new address immediately and replies with bootstrap entries.
+	// Routing through announce() makes this attempt #1 of the bounded,
+	// backed-off handshake.
 	if p.joinSeed >= 0 {
-		p.sendJoin()
+		p.announce()
 	}
 	// The command channel must be drained before Start too; tickers with
 	// jitter desynchronise the rounds.
@@ -725,19 +839,92 @@ func (p *peer) round() {
 	}
 }
 
-// membershipRound runs one Cyclon step: age the view, cull the oldest
-// entry as shuffle target, send it our offer. An isolated peer (a
-// joiner whose handshake died, or a view decimated by churn) falls back
-// to re-announcing itself to its join seed.
+// membershipRound runs one Cyclon step: settle the previous shuffle's
+// probe verdict, then age the view, cull the oldest entry as shuffle
+// target, and send it our offer — which doubles as the failure
+// detector's probe of that target. An isolated peer (a joiner whose
+// handshake died, or a view decimated by churn) falls back to
+// re-announcing itself to its join seed, under capped backoff.
 func (p *peer) membershipRound() {
+	p.resolveProbe()
+	// Capture the current oldest before initiating: IncrementAges
+	// preserves the age order (ties and all), so this is the entry
+	// InitiateShuffle is about to cull, at one round younger.
+	old, _ := p.cyclon.View().Oldest()
 	target, offer, ok := p.cyclon.InitiateShuffle(p.rng)
 	if !ok {
-		if p.joinSeed >= 0 {
-			p.sendJoin()
-		}
+		p.announce()
 		return
 	}
+	// A non-empty view means the peer is integrated; a later isolation
+	// (churn eating the whole view) gets a fresh retry budget.
+	p.joinAttempts, p.joinWait = 0, 0
+	p.joinFailed.Store(false)
+	p.probe = target
+	p.probeEntry = membership.Entry{ID: target, Age: old.Age + 1}
 	p.sendMembership(wire.KindShuffleOffer, int(target), offer)
+}
+
+// resolveProbe settles the verdict on the previous membership round's
+// shuffle target. Silence since then is a strike; EvictStrikes
+// consecutive strikes evicts and quarantines the address. Anything
+// less restores the culled entry with its age frozen (MarkSuspect), so
+// it stays the oldest, is re-targeted promptly, and third-party
+// re-offers cannot launder the suspicion away.
+func (p *peer) resolveProbe() {
+	if p.probe == simnet.None {
+		return
+	}
+	id := p.probe
+	p.probe = simnet.None
+	v := p.cyclon.View()
+	if p.det.strike(id) {
+		p.det.bury(id, p.rounds)
+		// The shuffle already culled the entry; a third party may have
+		// re-offered it mid-probe, so remove defensively.
+		v.Remove(id)
+		return
+	}
+	v.AddAged(p.probeEntry)
+	v.MarkSuspect(id)
+}
+
+// noteAlive records direct contact from a peer: every piece of
+// detector evidence against it is void, a pending probe of it is
+// answered, and any view suspicion is cleared.
+func (p *peer) noteAlive(from simnet.NodeID) {
+	p.det.alive(from)
+	if p.probe == from {
+		p.probe = simnet.None
+	}
+	p.cyclon.View().ClearSuspect(from)
+}
+
+// announce re-sends the join announcement under capped exponential
+// backoff with seeded jitter. After Config.JoinAttempts announcements
+// with no usable view the peer gives up: the abandonment is surfaced
+// through JoinErr and counted in Traffic().JoinGiveUps, instead of the
+// old behaviour of re-announcing every membership round forever.
+func (p *peer) announce() {
+	if p.joinSeed < 0 || p.joinFailed.Load() {
+		return // founders have no seed; a given-up joiner stays quiet
+	}
+	if p.joinWait > 0 {
+		p.joinWait--
+		return
+	}
+	if p.joinAttempts >= p.c.cfg.JoinAttempts {
+		p.joinFailed.Store(true)
+		p.c.traffic.joinGiveUps.Add(1)
+		return
+	}
+	p.sendJoin()
+	p.joinAttempts++
+	backoff := p.c.cfg.JoinBackoffCap
+	if s := p.joinAttempts - 1; s < 10 && 1<<s < backoff {
+		backoff = 1 << s
+	}
+	p.joinWait = backoff + p.rng.Intn(backoff)
 }
 
 // gossip runs one round's push: SELECTEVENTS, SELECTPARTICIPANTS,
@@ -787,6 +974,31 @@ func (p *peer) samplePeers(k int) []int {
 // infrastructure traffic — a joiner pays for its own introduction).
 func (p *peer) sendJoin() {
 	p.sendMembership(wire.KindJoin, p.joinSeed, nil)
+}
+
+// sendLeave notifies every view neighbour of this peer's departure,
+// handing each up to ShuffleLen of the freshest view entries (excluding
+// the neighbour's own address) as replacement contacts — the overlay
+// loses an address but keeps its degree. Every notification is charged
+// like any other membership traffic; sends to already-dead neighbours
+// land in the counted drop buckets as usual.
+func (p *peer) sendLeave() {
+	ents := p.cyclon.View().Entries()
+	sort.SliceStable(ents, func(i, j int) bool { return ents[i].Age < ents[j].Age })
+	k := p.cyclon.ShuffleLen()
+	hand := make([]membership.Entry, 0, k)
+	for _, to := range ents {
+		hand = hand[:0]
+		for _, e := range ents {
+			if len(hand) == k {
+				break
+			}
+			if e.ID != to.ID {
+				hand = append(hand, e)
+			}
+		}
+		p.sendMembership(wire.KindLeave, int(to.ID), hand)
+	}
 }
 
 // sendMembership encodes and sends one membership envelope. The buffer
@@ -845,6 +1057,9 @@ func (p *peer) receive(buf []byte) {
 		p.c.traffic.malformed.Add(1)
 		return
 	}
+	// Any valid envelope is proof of life for its sender — the failure
+	// detector never holds evidence against a peer it can hear.
+	p.noteAlive(simnet.NodeID(from))
 	switch p.env.Kind {
 	case wire.KindEvents:
 		p.receiveEvents(from)
@@ -855,6 +1070,8 @@ func (p *peer) receive(buf []byte) {
 		p.cyclon.HandleReply(simnet.NodeID(from), p.entriesIn())
 	case wire.KindJoin:
 		p.handleJoin(from)
+	case wire.KindLeave:
+		p.handleLeave(from)
 	}
 }
 
@@ -873,13 +1090,36 @@ func (p *peer) receiveEvents(from int) {
 }
 
 // entriesIn converts the decoded envelope's entries into membership
-// entries over reused scratch.
+// entries over reused scratch, refusing quarantined addresses — the
+// half of eviction that keeps third-party gossip from recirculating a
+// dead peer back into the view it was just probed out of.
 func (p *peer) entriesIn() []membership.Entry {
 	p.entIn = p.entIn[:0]
 	for _, e := range p.env.Entries {
-		p.entIn = append(p.entIn, membership.Entry{ID: simnet.NodeID(e.ID), Age: int(e.Age)})
+		id := simnet.NodeID(e.ID)
+		if p.det.buried(id, p.rounds) {
+			continue
+		}
+		p.entIn = append(p.entIn, membership.Entry{ID: id, Age: int(e.Age)})
 	}
 	return p.entIn
+}
+
+// handleLeave processes a graceful departure: forget the leaver, refuse
+// its address from future offers, and adopt the replacement contacts it
+// handed over (already filtered through the quarantine — including the
+// fresh verdict against the leaver itself).
+func (p *peer) handleLeave(from int) {
+	id := simnet.NodeID(from)
+	v := p.cyclon.View()
+	v.Remove(id)
+	p.det.bury(id, p.rounds)
+	if p.probe == id {
+		p.probe = simnet.None
+	}
+	for _, e := range p.entriesIn() {
+		v.AddAged(e)
+	}
 }
 
 // handleJoin admits a joining peer: merge whatever view it announced,

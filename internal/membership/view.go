@@ -29,6 +29,14 @@ type View struct {
 	self    simnet.NodeID
 	cap     int
 	entries []Entry
+	// suspect is parallel to entries: the number of consecutive failed
+	// probes the owner has recorded against each entry (0 = trusted).
+	// While an entry is suspect its age is frozen — a third-party
+	// re-offer must not make a possibly-dead address look fresh again,
+	// or the failure detector's evidence silently resets every time the
+	// address recirculates.
+	suspect []uint8
+	nSusp   int   // count of suspect entries, so the hot path can skip scans
 	perm    []int // scratch for Sample permutations
 }
 
@@ -38,7 +46,12 @@ func NewView(self simnet.NodeID, capacity int) *View {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &View{self: self, cap: capacity, entries: make([]Entry, 0, capacity)}
+	return &View{
+		self:    self,
+		cap:     capacity,
+		entries: make([]Entry, 0, capacity),
+		suspect: make([]uint8, 0, capacity),
+	}
 }
 
 // Self returns the owning node.
@@ -67,12 +80,18 @@ func (v *View) indexOf(id simnet.NodeID) int {
 // full, the oldest entry is evicted. It reports whether the view changed.
 func (v *View) Add(id simnet.NodeID) bool { return v.AddAged(Entry{ID: id}) }
 
-// AddAged inserts an entry preserving its age, with Add's rules.
+// AddAged inserts an entry preserving its age, with Add's rules. A
+// duplicate of a suspect entry is ignored outright: neither the age nor
+// the suspicion changes until the owner hears from the peer directly
+// (ClearSuspect) or evicts it.
 func (v *View) AddAged(e Entry) bool {
 	if e.ID == v.self || e.ID < 0 {
 		return false
 	}
 	if i := v.indexOf(e.ID); i >= 0 {
+		if v.suspect[i] > 0 {
+			return false // suspicion freezes the recorded age
+		}
 		if e.Age < v.entries[i].Age {
 			v.entries[i].Age = e.Age
 			return true
@@ -81,6 +100,7 @@ func (v *View) AddAged(e Entry) bool {
 	}
 	if len(v.entries) < v.cap {
 		v.entries = append(v.entries, e)
+		v.suspect = append(v.suspect, 0)
 		return true
 	}
 	// Evict the oldest to make room; ties broken by slot order.
@@ -94,6 +114,7 @@ func (v *View) AddAged(e Entry) bool {
 		return false // incoming entry is staler than everything held
 	}
 	v.entries[oldest] = e
+	v.clearSuspectSlot(oldest)
 	return true
 }
 
@@ -103,8 +124,57 @@ func (v *View) Remove(id simnet.NodeID) bool {
 	if i < 0 {
 		return false
 	}
+	v.clearSuspectSlot(i)
 	v.entries = append(v.entries[:i], v.entries[i+1:]...)
+	v.suspect = append(v.suspect[:i], v.suspect[i+1:]...)
 	return true
+}
+
+// MarkSuspect records one more failed probe against id and returns the
+// new consecutive-failure count (0 when id is not in the view). The
+// entry's age is frozen until ClearSuspect or eviction.
+func (v *View) MarkSuspect(id simnet.NodeID) int {
+	i := v.indexOf(id)
+	if i < 0 {
+		return 0
+	}
+	if v.suspect[i] == 0 {
+		v.nSusp++
+	}
+	if v.suspect[i] < ^uint8(0) {
+		v.suspect[i]++
+	}
+	return int(v.suspect[i])
+}
+
+// ClearSuspect erases any suspicion against id — direct contact proved
+// it alive. It is a cheap no-op while nothing is suspect.
+func (v *View) ClearSuspect(id simnet.NodeID) {
+	if v.nSusp == 0 {
+		return
+	}
+	if i := v.indexOf(id); i >= 0 {
+		v.clearSuspectSlot(i)
+	}
+}
+
+// SuspectOf returns the consecutive failed-probe count recorded against
+// id (0 for trusted or absent entries).
+func (v *View) SuspectOf(id simnet.NodeID) int {
+	if v.nSusp == 0 {
+		return 0
+	}
+	if i := v.indexOf(id); i >= 0 {
+		return int(v.suspect[i])
+	}
+	return 0
+}
+
+func (v *View) clearSuspectSlot(i int) {
+	if v.suspect[i] > 0 {
+		v.suspect[i] = 0
+		v.nSusp--
+	}
 }
 
 // IncrementAges ages every entry by one period.

@@ -205,3 +205,71 @@ func TestFullSamplerUniformity(t *testing.T) {
 		t.Fatal("self sampled")
 	}
 }
+
+// Regression: a suspect entry's age and suspicion must survive a shuffle
+// round-trip. Before the failure detector landed, AddAged let any
+// third-party re-offer refresh a duplicate's age downward; with
+// suspicion that reset would erase the detector's evidence every time
+// the dead address recirculated, and the entry would never be probed to
+// eviction.
+func TestSuspectSurvivesThirdPartyReoffer(t *testing.T) {
+	v := NewView(0, 4)
+	v.AddAged(Entry{ID: 7, Age: 9})
+	if got := v.MarkSuspect(7); got != 1 {
+		t.Fatalf("MarkSuspect = %d, want 1", got)
+	}
+	// A third party re-offers the suspect with a fresh age: ignored.
+	if v.AddAged(Entry{ID: 7, Age: 0}) {
+		t.Fatal("AddAged refreshed a suspect entry")
+	}
+	if got := v.SuspectOf(7); got != 1 {
+		t.Fatalf("SuspectOf = %d after re-offer, want 1", got)
+	}
+	for _, e := range v.Entries() {
+		if e.ID == 7 && e.Age != 9 {
+			t.Fatalf("suspect age reset to %d, want frozen at 9", e.Age)
+		}
+	}
+	// Repeated failures accumulate.
+	if got := v.MarkSuspect(7); got != 2 {
+		t.Fatalf("second MarkSuspect = %d, want 2", got)
+	}
+	// Direct contact clears the suspicion and unfreezes the age.
+	v.ClearSuspect(7)
+	if got := v.SuspectOf(7); got != 0 {
+		t.Fatalf("SuspectOf = %d after clear, want 0", got)
+	}
+	if !v.AddAged(Entry{ID: 7, Age: 0}) {
+		t.Fatal("AddAged refused to refresh a cleared entry")
+	}
+}
+
+// Suspicion bookkeeping must track removals and evictions: the parallel
+// metadata may never outlive (or shift away from) its entry.
+func TestSuspectClearedByRemoveAndEvict(t *testing.T) {
+	v := NewView(0, 2)
+	v.AddAged(Entry{ID: 1, Age: 5})
+	v.AddAged(Entry{ID: 2, Age: 1})
+	v.MarkSuspect(1)
+	v.MarkSuspect(2)
+	// Evicting the oldest (1, the suspect) overwrites its slot: the new
+	// tenant must start trusted.
+	if !v.AddAged(Entry{ID: 3, Age: 0}) {
+		t.Fatal("eviction insert failed")
+	}
+	if got := v.SuspectOf(3); got != 0 {
+		t.Fatalf("fresh entry inherited suspicion %d", got)
+	}
+	if got := v.SuspectOf(1); got != 0 {
+		t.Fatalf("evicted entry still suspect: %d", got)
+	}
+	// Remove must shift the metadata with the entries.
+	v.Remove(3)
+	if got := v.SuspectOf(2); got != 1 {
+		t.Fatalf("survivor's suspicion lost on Remove: %d, want 1", got)
+	}
+	v.Remove(2)
+	if v.SuspectOf(2) != 0 || v.Len() != 0 {
+		t.Fatal("view not empty after removals")
+	}
+}

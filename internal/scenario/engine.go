@@ -71,6 +71,13 @@ type Run struct {
 	published  uint64
 	falseTotal uint64   // every false delivery
 	falseDel   []string // descriptions of the first few
+	lastFault  int      // publishing round of the most recent fault action
+
+	// Written by settle() and read by the recovery/hygiene invariants —
+	// engine-goroutine only, after the runtime has quiesced.
+	recoveredAt int    // round delivery first met the floor; -1 = never
+	hygieneAt   int    // round views were first clean; -1 = never
+	hygieneNote string // example offender when the hygiene budget ran out
 
 	deliveries atomic.Uint64 // every delivery callback, incl. duplicates-by-design
 
@@ -109,6 +116,9 @@ func Execute(rt Runtime, sc Scenario, seed int64) *Result {
 		subs:     make([][]subRec, n),
 		events:   make(map[pubsub.EventID]*evRec, sc.Rounds*sc.PerRound),
 		pubSeq:   make([]uint32, n),
+
+		recoveredAt: -1,
+		hygieneAt:   -1,
 	}
 	for i := range r.up {
 		r.up[i] = true
@@ -135,6 +145,9 @@ func Execute(rt Runtime, sc Scenario, seed int64) *Result {
 			r.PublishRandom()
 		}
 		rt.Step(1)
+	}
+	if sc.CheckRecovery || sc.CheckViewHygiene {
+		r.settle()
 	}
 	rt.Drain(sc.DrainRounds, r.deliveries.Load)
 	// Close before judging: on the live runtime a straggler delivery
@@ -225,6 +238,28 @@ func (r *Run) NodeFree(id int) bool {
 	return r.free[id]
 }
 
+// noteFaultLocked records the current publishing round as the most
+// recent fault action. The settle phase and the bounded-recovery /
+// view-hygiene invariants measure their budgets from this round.
+// Callers hold r.mu. Warmup-time faults count as round 0.
+func (r *Run) noteFaultLocked() {
+	round := r.Round
+	if round < 0 {
+		round = 0
+	}
+	if round > r.lastFault {
+		r.lastFault = round
+	}
+}
+
+// LastFault returns the publishing round of the most recent fault
+// action (0 when the schedule injected none).
+func (r *Run) LastFault() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lastFault
+}
+
 // Crash takes a node down and releases it from every pending event's
 // eligibility (it can no longer be required to deliver). Events the
 // victim itself published and had not yet spread are released too: on
@@ -236,6 +271,28 @@ func (r *Run) Crash(id int) {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.downLocked(id)
+}
+
+// Leave departs a node gracefully: the runtime hands the leaver's view
+// entries to its neighbours (live/Cyclon) before silencing it. For the
+// engine's delivery model a leaver is a crash — it is released from all
+// pending eligibility — but for the view-hygiene invariant it is the
+// best case: its neighbours were told to drop it, rather than having to
+// detect the departure by probe timeouts.
+func (r *Run) Leave(id int) {
+	if !r.rt.Leave(id) {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.downLocked(id)
+}
+
+// downLocked applies the shared model updates for a peer going offline
+// (crash or graceful leave). Callers hold r.mu.
+func (r *Run) downLocked(id int) {
+	r.noteFaultLocked()
 	r.up[id] = false
 	r.everDown[id] = true
 	for _, evID := range r.evOrder {
@@ -276,6 +333,7 @@ func (r *Run) Rejoin(id int) {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.noteFaultLocked()
 	r.up[id] = true
 }
 
@@ -338,6 +396,7 @@ func (r *Run) SetFreeRider(id int, on bool) {
 	defer r.mu.Unlock()
 	r.free[id] = on
 	if on {
+		r.noteFaultLocked()
 		r.releaseSilencedPublisherLocked(id)
 	}
 }
@@ -351,6 +410,7 @@ func (r *Run) Partition(side []int) {
 	r.rt.Partition(side)
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.noteFaultLocked()
 	for i := range r.group {
 		r.group[i] = 0
 	}
@@ -378,13 +438,21 @@ func (r *Run) Heal() {
 	r.rt.Heal()
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.noteFaultLocked()
 	r.split = false
 }
 
 // SetLoss sets the link-loss probability. Loss does not change
 // eligibility — the delivery invariant's MinDelivery floor carries the
-// stochastic slack instead.
-func (r *Run) SetLoss(p float64) { r.rt.SetLoss(p) }
+// stochastic slack instead. Any change (including clearing loss) counts
+// as a fault action for the recovery clock: the budget runs from the
+// moment the schedule last touched the network.
+func (r *Run) SetLoss(p float64) {
+	r.rt.SetLoss(p)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.noteFaultLocked()
+}
 
 // Resubscribe drops all of a node's subscriptions and draws a fresh
 // interest set. Pending events the node is no longer interested in are
@@ -580,6 +648,91 @@ func (r *Run) pairTotalsLocked() (eligible, delivered int, firstMiss string) {
 		}
 	}
 	return eligible, delivered, firstMiss
+}
+
+// --- Settle phase ------------------------------------------------------------
+
+// settle runs extra rounds after the publishing schedule until the
+// recovery and hygiene conditions are met or their budgets (measured
+// from the last fault action) are exhausted. It records WHEN each
+// condition was first observed; the invariants judge the recorded
+// rounds against the budgets afterwards. The loop only steps the
+// runtime and reads model state, so on the deterministic runtime the
+// settle phase is part of the reproducible schedule.
+func (r *Run) settle() {
+	lastFault := r.LastFault()
+	recDeadline, hygDeadline := -1, -1
+	recovered, clean := true, true
+	if r.sc.CheckRecovery {
+		recovered = false
+		recDeadline = lastFault + int(r.sc.RecoveryC*float64(r.N())+0.5)
+	}
+	if r.sc.CheckViewHygiene {
+		clean = false
+		hygDeadline = lastFault + r.sc.HygieneRounds
+	}
+	round := r.sc.Rounds // rounds elapsed: the publishing phase just ended
+	for {
+		if !recovered && r.recoveryMet() {
+			recovered = true
+			r.recoveredAt = round
+		}
+		if !clean && r.hygieneOffender() == "" {
+			clean = true
+			r.hygieneAt = round
+		}
+		if recovered && clean {
+			return
+		}
+		exhausted := true
+		if !recovered && round < recDeadline {
+			exhausted = false
+		}
+		if !clean && round < hygDeadline {
+			exhausted = false
+		}
+		if exhausted {
+			if !clean {
+				r.hygieneNote = r.hygieneOffender()
+			}
+			return
+		}
+		r.rt.Step(1)
+		round++
+	}
+}
+
+// recoveryMet reports whether delivery has reached the scenario's
+// MinDelivery floor over the pairs eligible right now.
+func (r *Run) recoveryMet() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	eligible, delivered, _ := r.pairTotalsLocked()
+	return float64(delivered) >= r.sc.MinDelivery*float64(eligible)
+}
+
+// hygieneOffender returns a description of one live peer whose
+// membership view still holds the address of a down peer, or "" when
+// every live view is clean. On runtimes without inspectable views (the
+// idealised full-membership sim column) the check is vacuously clean.
+func (r *Run) hygieneOffender() string {
+	views, ok := r.rt.Views()
+	if !ok {
+		return ""
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for id, view := range views {
+		if id >= len(r.up) || !r.up[id] {
+			continue
+		}
+		for _, q := range view {
+			if q >= 0 && q < len(r.up) && !r.up[q] {
+				return fmt.Sprintf("live peer %d still holds dead address %d", id, q)
+			}
+		}
+	}
+	return ""
 }
 
 // --- Result ------------------------------------------------------------------

@@ -30,6 +30,12 @@ func (r *Run) invariants() []Invariant {
 	if r.sc.CheckFairness && r.sc.TargetRatio > 0 {
 		list = append(list, FairnessConvergence())
 	}
+	if r.sc.CheckViewHygiene {
+		list = append(list, ViewHygiene())
+	}
+	if r.sc.CheckRecovery {
+		list = append(list, BoundedRecovery())
+	}
 	return list
 }
 
@@ -138,6 +144,62 @@ func LedgerConservation() Invariant {
 			}
 			if ledgerDelivered > 0 && contrib < benefit {
 				return fmt.Errorf("global contribution %.0f below global benefit %.0f", contrib, benefit)
+			}
+			return nil
+		},
+	}
+}
+
+// ViewHygiene: within HygieneRounds of the last fault action, no live
+// peer's membership view still holds the address of a down peer —
+// graceful leavers are scrubbed by the Leave hand-off, crashed peers by
+// the probe-timeout failure detector riding the Cyclon shuffles. Stale
+// addresses are the paper's §3.2 instability cost made permanent: a
+// view slot pointing at a dead peer wastes a share of every future
+// shuffle and gossip fanout. The settle phase records when clean views
+// were first observed; after Close the final views are audited again
+// (authoritative read — no peer goroutine can resurrect an address).
+// Vacuous on runtimes without inspectable partial views (the idealised
+// full-membership sim column reports ok=false from Views).
+func ViewHygiene() Invariant {
+	return Invariant{
+		Name: "view-hygiene",
+		Check: func(r *Run) error {
+			if _, ok := r.rt.Views(); !ok {
+				return nil
+			}
+			if r.hygieneAt < 0 {
+				return fmt.Errorf("views not clean within %d rounds of the last fault (round %d): %s",
+					r.sc.HygieneRounds, r.LastFault(), r.hygieneNote)
+			}
+			if off := r.hygieneOffender(); off != "" {
+				return fmt.Errorf("dead address resurfaced after round %d: %s", r.hygieneAt, off)
+			}
+			return nil
+		},
+	}
+}
+
+// BoundedRecovery: delivery reaches the MinDelivery floor within
+// ⌈RecoveryC·N⌉ rounds of the last fault action — the recovery-time
+// bound that turns "eventual delivery" into a budgeted guarantee
+// (linear-in-N dissemination bounds in the style of arXiv:1701.06800).
+// The settle phase records the round the floor was first met; never
+// meeting it inside the budget is the violation.
+func BoundedRecovery() Invariant {
+	return Invariant{
+		Name: "bounded-recovery",
+		Check: func(r *Run) error {
+			budget := int(r.sc.RecoveryC*float64(r.N()) + 0.5)
+			if r.recoveredAt < 0 {
+				r.mu.Lock()
+				eligible, delivered, firstMiss := r.pairTotalsLocked()
+				r.mu.Unlock()
+				return fmt.Errorf("delivery did not recover within %d rounds (c=%g, N=%d) of the last fault (round %d): %d/%d pairs; e.g. %s",
+					budget, r.sc.RecoveryC, r.N(), r.LastFault(), delivered, eligible, firstMiss)
+			}
+			if got := r.recoveredAt - r.LastFault(); got > budget {
+				return fmt.Errorf("recovered %d rounds after the last fault, budget %d", got, budget)
 			}
 			return nil
 		},

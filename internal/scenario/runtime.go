@@ -58,6 +58,10 @@ type Runtime interface {
 	Partition(side []int)
 	Heal()
 	SetLoss(p float64)
+	// Leave departs a peer gracefully: it hands its freshest view
+	// entries to its neighbours before going silent (both runtimes
+	// implement the same KindLeave hand-off protocol).
+	Leave(id int) bool
 
 	// Join boots a new peer mid-run, bootstrapped through seed, and
 	// returns its id (ids stay dense). On the live runtime the joiner
@@ -77,6 +81,12 @@ type Runtime interface {
 	Ledger() *fairness.Ledger
 	// Traffic returns network counters when CapDropStats is available.
 	Traffic() (sent, recv, dropped uint64, ok bool)
+	// Views snapshots every peer's partial view (indexed by peer id),
+	// or ok=false when the runtime has no per-peer views to inspect —
+	// the sim column's idealised full-membership sampler keeps no
+	// views, so the view-hygiene invariant binds only the live columns.
+	// Must stay readable after Close (hygiene is judged post-drain).
+	Views() ([][]int, bool)
 	// Close releases the runtime (stops live goroutines).
 	Close()
 }
@@ -190,6 +200,18 @@ func (s *SimRuntime) SetFreeRider(id int, on bool) bool {
 	s.C.Node(id).FreeRide = on
 	return true
 }
+
+func (s *SimRuntime) Leave(id int) bool {
+	if !s.valid(id) {
+		return false
+	}
+	s.C.Leave(simnet.NodeID(id))
+	return true
+}
+
+// Views reports ok=false: scenario sim runs use the idealised
+// full-membership sampler, which holds no partial views to audit.
+func (s *SimRuntime) Views() ([][]int, bool) { return nil, false }
 
 func (s *SimRuntime) Join(seed int) (int, bool) {
 	if !s.valid(seed) {
@@ -309,6 +331,7 @@ func (l *LiveRuntime) OnDeliver(id int, fn func(*pubsub.Event)) bool {
 }
 
 func (l *LiveRuntime) Crash(id int) bool                 { return l.C.Crash(id) }
+func (l *LiveRuntime) Leave(id int) bool                 { return l.C.Leave(id) }
 func (l *LiveRuntime) Rejoin(id int) bool                { return l.C.Rejoin(id) }
 func (l *LiveRuntime) SetFreeRider(id int, on bool) bool { return l.C.SetFreeRider(id, on) }
 func (l *LiveRuntime) Partition(side []int)              { l.C.Partition(side) }
@@ -351,6 +374,10 @@ func (l *LiveRuntime) Drain(rounds int, progress func() uint64) {
 }
 
 func (l *LiveRuntime) Ledger() *fairness.Ledger { return l.C.Ledger() }
+
+// Views snapshots every peer's partial view; works while running and
+// after Close (live.Cluster reads directly once the goroutines exit).
+func (l *LiveRuntime) Views() ([][]int, bool) { return l.C.Views(), true }
 
 // Traffic returns the live runtime's envelope-level counters. Since
 // the transport refactor every loss the runtime can cause is counted

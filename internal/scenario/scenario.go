@@ -103,6 +103,24 @@ type Scenario struct {
 	// index floor (default 0.5).
 	CheckFairness bool
 	FairnessFloor float64
+
+	// CheckRecovery enables the bounded-recovery invariant: delivery
+	// must reach the MinDelivery floor within ⌈RecoveryC·N⌉ rounds
+	// (default c = 2) of the last fault action. The engine appends a
+	// settle phase after the publishing schedule that steps the runtime
+	// one round at a time until the floor is met or the budget runs out,
+	// recording the round recovery was first observed.
+	CheckRecovery bool
+	RecoveryC     float64
+
+	// CheckViewHygiene enables the view-hygiene invariant: within
+	// HygieneRounds (default 2·N) of the last fault action, no live
+	// peer's membership view may still hold the address of a down peer —
+	// graceful leavers via the Leave hand-off, crashed peers via the
+	// probe-timeout failure detector. Vacuous on runtimes without
+	// inspectable partial views (the idealised sim column).
+	CheckViewHygiene bool
+	HygieneRounds    int
 }
 
 func (sc Scenario) withDefaults() Scenario {
@@ -159,6 +177,12 @@ func (sc Scenario) withDefaults() Scenario {
 	if sc.FairnessFloor <= 0 {
 		sc.FairnessFloor = 0.5
 	}
+	if sc.RecoveryC <= 0 {
+		sc.RecoveryC = 2
+	}
+	if sc.HygieneRounds <= 0 {
+		sc.HygieneRounds = 2 * sc.N
+	}
 	return sc
 }
 
@@ -211,6 +235,21 @@ func CrashFrac(frac float64) Action {
 			k := int(frac*float64(r.N()) + 0.5)
 			for _, id := range SampleDistinct(r.Rng, r.N(), k, func(id int) bool { return !r.NodeUp(id) }) {
 				r.Crash(id)
+			}
+		},
+	}
+}
+
+// LeaveFrac departs ⌈frac·N⌉ random up peers gracefully: each hands its
+// freshest view entries to its neighbours before going silent (see
+// Run.Leave). For delivery eligibility a leaver counts like a crash.
+func LeaveFrac(frac float64) Action {
+	return Action{
+		Name: fmt.Sprintf("leave %.0f%%", frac*100),
+		Do: func(r *Run) {
+			k := int(frac*float64(r.N()) + 0.5)
+			for _, id := range SampleDistinct(r.Rng, r.N(), k, func(id int) bool { return !r.NodeUp(id) }) {
+				r.Leave(id)
 			}
 		},
 	}
@@ -459,6 +498,31 @@ func Builtins() []Scenario {
 			Steps: []Step{
 				{Round: 8, Action: JoinNodes(4)},
 				{Round: 18, Action: JoinNodes(4)},
+			},
+		},
+		{
+			Name:             "graceful-drain",
+			Note:             "two 15% graceful-leave waves; leavers hand their views over, so survivors' views scrub fast and delivery holds",
+			CheckRecovery:    true,
+			CheckViewHygiene: true,
+			Steps: []Step{
+				{Round: 8, Action: LeaveFrac(0.15)},
+				{Round: 16, Action: LeaveFrac(0.15)},
+			},
+		},
+		{
+			Name:             "crash-storm-recover",
+			Note:             "crash waves under loss; once faults stop, probe timeouts must scrub the dead from every live view and delivery must recover within c·N rounds",
+			BufferMaxAge:     14,
+			ShuffleEvery:     1, // probe cadence = detection latency; tighten it for the storm
+			MinDelivery:      0.99,
+			CheckRecovery:    true,
+			CheckViewHygiene: true,
+			Steps: []Step{
+				{Round: 4, Action: Loss(0.05)},
+				{Round: 6, Action: CrashFrac(0.15)},
+				{Round: 10, Action: CrashFrac(0.15)},
+				{Round: 14, Action: Loss(0)},
 			},
 		},
 		rageQuitScenario(),

@@ -96,7 +96,7 @@ func TestLiveTrafficCountersBalance(t *testing.T) {
 // identical invariant metrics, bit for bit — the property fixed-seed
 // regression baselines (and reproducible bug reports) rest on.
 func TestSimDeterminism(t *testing.T) {
-	for _, name := range []string{"calm", "storm", "sub-churn", "join-wave"} {
+	for _, name := range []string{"calm", "storm", "sub-churn", "join-wave", "graceful-drain", "crash-storm-recover"} {
 		sc, ok := ByName(name)
 		if !ok {
 			t.Fatalf("missing builtin %q", name)
@@ -377,5 +377,90 @@ func TestByNameAndNames(t *testing.T) {
 		if !seen[want] {
 			t.Errorf("missing required builtin %q", want)
 		}
+	}
+}
+
+// TestGracefulDrainScrubsViews: the graceful-drain builtin on the live
+// runtime must actually take peers down via Leave, and the settle phase
+// must observe both clean views (no live view holding a leaver's
+// address) and recovered delivery inside their budgets — the recorded
+// rounds are what the invariants judge.
+func TestGracefulDrainScrubsViews(t *testing.T) {
+	sc, ok := ByName("graceful-drain")
+	if !ok {
+		t.Fatal("graceful-drain builtin missing")
+	}
+	var left int
+	var recoveredAt, hygieneAt, lastFault int
+	testInspect = func(r *Run) {
+		for _, d := range r.everDown {
+			if d {
+				left++
+			}
+		}
+		recoveredAt, hygieneAt, lastFault = r.recoveredAt, r.hygieneAt, r.lastFault
+	}
+	defer func() { testInspect = nil }()
+	res := Execute(NewLiveRuntime(sc, 3), sc, 3)
+	if !res.Ok() {
+		t.Fatalf("violations:\n%s", res.String())
+	}
+	if want := 2 * 5; left != want { // two LeaveFrac(0.15) waves over N=32
+		t.Errorf("%d peers left, want %d", left, want)
+	}
+	if lastFault != 16 {
+		t.Errorf("lastFault %d, want 16 (the second leave wave)", lastFault)
+	}
+	if recoveredAt < 0 || hygieneAt < 0 {
+		t.Fatalf("settle never observed recovery (%d) / hygiene (%d)", recoveredAt, hygieneAt)
+	}
+	if hygieneAt-lastFault > sc.withDefaults().HygieneRounds {
+		t.Errorf("hygiene at round %d exceeds budget from fault round %d", hygieneAt, lastFault)
+	}
+}
+
+// TestCrashStormRecoveryBounded: crash-storm-recover on the
+// deterministic runtime — the settle phase must record recovery inside
+// the c·N budget measured from the last fault action. (View hygiene is
+// vacuous on the sim column: the idealised sampler has no views.)
+func TestCrashStormRecoveryBounded(t *testing.T) {
+	sc, ok := ByName("crash-storm-recover")
+	if !ok {
+		t.Fatal("crash-storm-recover builtin missing")
+	}
+	var recoveredAt, lastFault int
+	testInspect = func(r *Run) { recoveredAt, lastFault = r.recoveredAt, r.lastFault }
+	defer func() { testInspect = nil }()
+	res := Execute(NewSimRuntime(sc, 5), sc, 5)
+	if !res.Ok() {
+		t.Fatalf("violations:\n%s", res.String())
+	}
+	if lastFault != 14 {
+		t.Errorf("lastFault %d, want 14 (the loss-clearing step)", lastFault)
+	}
+	budget := int(sc.withDefaults().RecoveryC*float64(sc.withDefaults().N) + 0.5)
+	if recoveredAt < 0 || recoveredAt-lastFault > budget {
+		t.Errorf("recovery at round %d violates budget %d from fault round %d", recoveredAt, budget, lastFault)
+	}
+}
+
+// TestLeaveReleasesEligibility: a graceful leaver is released from
+// pending eligibility exactly like a crash victim — survivors keep full
+// delivery and the engine never requires the departed to deliver.
+func TestLeaveReleasesEligibility(t *testing.T) {
+	sc := Scenario{
+		Name:   "leave-eligibility",
+		N:      16,
+		Rounds: 12,
+		Steps: []Step{
+			{Round: 3, Action: LeaveFrac(0.25)},
+		},
+	}
+	res := Execute(NewSimRuntime(sc, 13), sc, 13)
+	if !res.Ok() {
+		t.Fatalf("violations:\n%s", res.String())
+	}
+	if res.DeliveryRatio != 1 {
+		t.Errorf("survivor delivery ratio %v after graceful leaves, want 1", res.DeliveryRatio)
 	}
 }

@@ -48,9 +48,10 @@ func FuzzWireDecode(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(multi)
-	// Membership vocabulary: offers, replies and joins, empty and full.
+	// Membership vocabulary: offers, replies, joins and leaves, empty
+	// and full.
 	entries := []ViewEntry{{ID: 4, Age: 0}, {ID: 90, Age: 3}, {ID: 0xffffffff, Age: 0xffff}}
-	for _, kind := range []byte{KindShuffleOffer, KindShuffleReply, KindJoin} {
+	for _, kind := range []byte{KindShuffleOffer, KindShuffleReply, KindJoin, KindLeave} {
 		for _, n := range []int{0, len(entries)} {
 			m, err := AppendMembership(nil, kind, 17, entries[:n])
 			if err != nil {

@@ -2,8 +2,8 @@
 // vocabulary: events (with typed attributes and payload), event IDs,
 // membership view entries, and the envelope that frames each protocol
 // message with its kind and sender — event gossip (KindEvents) and the
-// Cyclon membership traffic (KindShuffleOffer, KindShuffleReply,
-// KindJoin).
+// membership traffic (KindShuffleOffer, KindShuffleReply, KindJoin,
+// KindLeave).
 //
 // The format is compact, big-endian, and length-prefixed at every
 // variable-size field. An envelope is a fixed 16-byte header followed by
@@ -86,9 +86,13 @@ const (
 	// KindJoin announces a booting peer to its seed. The sender field
 	// identifies the joiner; the body carries its (usually empty) view.
 	KindJoin byte = 3
+	// KindLeave announces a graceful departure: the sender is leaving
+	// and hands the receiver its freshest view entries as replacement
+	// contacts, so the overlay loses an address without losing degree.
+	KindLeave byte = 4
 
 	// maxKind is the highest kind this codec speaks.
-	maxKind = KindJoin
+	maxKind = KindLeave
 )
 
 // ViewEntry is one membership view slot on the wire: a peer id and the
@@ -234,9 +238,12 @@ func DecodeEnvelope(data []byte, env *Envelope) error {
 func MembershipSize(n int) int { return HeaderSize + n*EntryWireSize }
 
 // AppendMembership appends an encoded membership envelope (a shuffle
-// offer, shuffle reply, or join) to dst and returns the extended slice.
+// offer, shuffle reply, join, or leave) to dst and returns the extended
+// slice.
 func AppendMembership(dst []byte, kind byte, sender uint32, entries []ViewEntry) ([]byte, error) {
-	if kind != KindShuffleOffer && kind != KindShuffleReply && kind != KindJoin {
+	switch kind {
+	case KindShuffleOffer, KindShuffleReply, KindJoin, KindLeave:
+	default:
 		return dst, fmt.Errorf("%w: %#02x is not a membership kind", ErrCorrupt, kind)
 	}
 	if len(entries) > math.MaxUint16 {

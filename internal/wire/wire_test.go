@@ -285,7 +285,7 @@ func TestMembershipRoundTrip(t *testing.T) {
 		{ID: 7, Age: 1},
 		{ID: math.MaxUint32, Age: math.MaxUint16},
 	}
-	for _, kind := range []byte{KindShuffleOffer, KindShuffleReply, KindJoin} {
+	for _, kind := range []byte{KindShuffleOffer, KindShuffleReply, KindJoin, KindLeave} {
 		for n := 0; n <= len(entries); n++ {
 			buf, err := AppendMembership(nil, kind, 9, entries[:n])
 			if err != nil {
