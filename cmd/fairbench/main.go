@@ -106,13 +106,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	path := *jsonPath
+	mirror := ""
 	if path == "" && *outDir != "" {
-		path = filepath.Join(*outDir, "BENCH_"+started.UTC().Format("2006-01-02")+".json")
+		base := "BENCH_" + started.UTC().Format("2006-01-02") + ".json"
+		path = filepath.Join(*outDir, base)
+		// Trajectory tooling scans the repository root for BENCH_*.json,
+		// while the CSV bundle (and the historical record location) is
+		// the -out directory — mirror the record to the root so both
+		// consumers see it. No mirror needed when -out already is the
+		// working directory.
+		if filepath.Clean(*outDir) != "." {
+			mirror = base
+		}
 	}
 	if path != "" {
 		blob, err := json.MarshalIndent(record, "", "  ")
 		if err == nil {
 			err = os.WriteFile(path, append(blob, '\n'), 0o644)
+		}
+		if err == nil && mirror != "" {
+			err = os.WriteFile(mirror, append(blob, '\n'), 0o644)
 		}
 		if err != nil {
 			fmt.Fprintf(stderr, "fairbench: %v\n", err)

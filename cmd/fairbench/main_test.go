@@ -110,3 +110,46 @@ func TestFairbenchBadFlag(t *testing.T) {
 		t.Fatalf("exit %d for -h, want 0", code)
 	}
 }
+
+// TestFairbenchRecordMirroredToRoot: with the default record path the
+// BENCH_<date>.json lands both in -out (next to the CSVs) and in the
+// working directory, where the trajectory tooling scans for it. An
+// explicit -json path suppresses the mirror.
+func TestFairbenchRecordMirroredToRoot(t *testing.T) {
+	root := t.TempDir()
+	t.Chdir(root)
+	outDir := filepath.Join(root, "results")
+	if err := os.Mkdir(outDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{"-small", "-seed", "1", "-only", "EXP-A6", "-out", outDir}, &out, &errb); code != 0 {
+		t.Fatalf("fairbench exited %d: %s", code, errb.String())
+	}
+	inOut, err := filepath.Glob(filepath.Join(outDir, "BENCH_*.json"))
+	if err != nil || len(inOut) != 1 {
+		t.Fatalf("record missing from -out dir: %v %v", inOut, err)
+	}
+	atRoot, err := filepath.Glob(filepath.Join(root, "BENCH_*.json"))
+	if err != nil || len(atRoot) != 1 {
+		t.Fatalf("record not mirrored to the working directory: %v %v", atRoot, err)
+	}
+	a, _ := os.ReadFile(inOut[0])
+	b, _ := os.ReadFile(atRoot[0])
+	if !bytes.Equal(a, b) {
+		t.Fatal("mirrored record differs from the -out record")
+	}
+	// An explicit -json path is authoritative: no extra copies.
+	sub := filepath.Join(root, "sub")
+	if err := os.Mkdir(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	t.Chdir(sub)
+	out.Reset()
+	if code := run([]string{"-small", "-seed", "1", "-only", "EXP-A6", "-out", outDir, "-json", filepath.Join(outDir, "rec.json")}, &out, &errb); code != 0 {
+		t.Fatalf("fairbench exited %d: %s", code, errb.String())
+	}
+	if stray, _ := filepath.Glob(filepath.Join(sub, "BENCH_*.json")); len(stray) != 0 {
+		t.Fatalf("-json run still mirrored a record: %v", stray)
+	}
+}

@@ -50,6 +50,7 @@ func runScenario(args []string, stdout, stderr io.Writer) int {
 		runtime   = fs.String("runtime", "sim", "runtime: sim | live | both | all")
 		transport = fs.String("transport", "chan", "live-runtime transport: chan (in-process) | udp (real loopback sockets)")
 		seed      = fs.Int64("seed", 1, "schedule seed (sim: same seed = identical result)")
+		shape     = fs.String("shape", "", "WAN shaping preset applied on top of the scenario: none | wan | lossy-wan | mobile")
 		list      = fs.Bool("list", false, "list the built-in scenario table and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -102,9 +103,25 @@ func runScenario(args []string, stdout, stderr io.Writer) int {
 		}
 		runtimes = []string{*runtime}
 	}
+	sc, ok := fairgossip.ScenarioByName(*name)
+	if !ok {
+		fmt.Fprintf(stderr, "fairsim scenario: unknown scenario %q (see -list)\n", *name)
+		return 2
+	}
+	if *shape != "" {
+		sp, ok := fairgossip.ShapePreset(*shape)
+		if !ok {
+			fmt.Fprintf(stderr, "fairsim scenario: unknown shape preset %q (want %v)\n",
+				*shape, fairgossip.ShapePresetNames())
+			return 2
+		}
+		// The preset overrides the scenario's own profile; a shaped
+		// builtin keeps its loss floors, which were tuned with slack.
+		sc.Shape = sp
+	}
 	code := 0
 	for _, rt := range runtimes {
-		res, err := fairgossip.RunScenario(*name, rt, *seed)
+		res, err := fairgossip.RunScenarioSpec(sc, rt, *seed)
 		if err != nil {
 			fmt.Fprintf(stderr, "fairsim scenario: %v\n", err)
 			return 2

@@ -129,3 +129,30 @@ func TestFairsimHelp(t *testing.T) {
 		t.Fatalf("scenario -h exit %d, want 0", code)
 	}
 }
+
+// TestFairsimScenarioShapePreset: -shape overlays a WAN preset on any
+// scenario; the shaped run still passes and stays deterministic on sim,
+// and unknown presets are usage errors.
+func TestFairsimScenarioShapePreset(t *testing.T) {
+	runOnce := func() string {
+		var out, errb bytes.Buffer
+		if code := run([]string{"scenario", "-name", "calm", "-runtime", "sim", "-seed", "4", "-shape", "lossy-wan"}, &out, &errb); code != 0 {
+			t.Fatalf("exit %d: %s\n%s", code, errb.String(), out.String())
+		}
+		return out.String()
+	}
+	a := runOnce()
+	if !strings.Contains(a, "invariants         all passing") {
+		t.Fatalf("shaped scenario did not pass:\n%s", a)
+	}
+	if !strings.Contains(a, "msgs dropped") {
+		t.Fatalf("traffic counters missing:\n%s", a)
+	}
+	if b := runOnce(); a != b {
+		t.Fatalf("shaped sim run not deterministic:\n--- a\n%s--- b\n%s", a, b)
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{"scenario", "-name", "calm", "-shape", "marsnet"}, &out, &errb); code != 2 {
+		t.Fatalf("unknown preset: exit %d, want 2", code)
+	}
+}

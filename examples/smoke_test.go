@@ -22,6 +22,7 @@ var examples = map[string]string{
 	"stockwatch": "deliveries per peer",
 	"churnstorm": "rage-quits:",
 	"udpmesh":    "over real sockets",
+	"wanmesh":    "books balance",
 }
 
 // TestExamplesBuildAndRun builds each example binary once and runs it

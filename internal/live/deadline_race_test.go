@@ -1,0 +1,8 @@
+//go:build race
+
+package live
+
+// raceDeadlineScale stretches every eventually deadline under -race:
+// detector instrumentation slows the peer goroutines several-fold, and
+// a deadline tuned for a bare run flakes there.
+const raceDeadlineScale = 4

@@ -125,7 +125,7 @@ func TestLiveReceiversOwnTheirEvents(t *testing.T) {
 	for k := 0; k < 4; k++ {
 		c.Publish(k, "t", []pubsub.Attr{{Key: "n", Val: pubsub.Num(float64(k))}}, []byte("scribble-target"))
 	}
-	if !waitFor(t, 10*time.Second, func() bool { return delivered.Load() == 4*12 }) {
+	if !eventually(t, 10*time.Second, func() bool { return delivered.Load() == 4*12 }) {
 		t.Fatalf("delivered %d of %d", delivered.Load(), 4*12)
 	}
 }

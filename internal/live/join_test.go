@@ -1,6 +1,7 @@
 package live
 
 import (
+	"hash/fnv"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -62,7 +63,7 @@ func TestLiveJoinIntegratesAndDelivers(t *testing.T) {
 			if !c.Publish(3, "news", nil, []byte("for-everyone")) {
 				t.Fatal("publish failed")
 			}
-			if !waitFor(t, 10*time.Second, func() bool { return delivered.Load() == 16 }) {
+			if !eventually(t, 10*time.Second, func() bool { return delivered.Load() == 16 }) {
 				t.Fatalf("delivered %d of 16 (joiners not integrated?)", delivered.Load())
 			}
 			// A joiner must by now hold a real partial view, not just its seed.
@@ -94,7 +95,7 @@ func TestLiveJoinValidation(t *testing.T) {
 	c.OnDeliver(id, func(*pubsub.Event) { got.Add(1) })
 	c.Start()
 	c.Publish(1, "t", nil, []byte("x"))
-	if !waitFor(t, 5*time.Second, func() bool { return got.Load() == 1 }) {
+	if !eventually(t, 5*time.Second, func() bool { return got.Load() == 1 }) {
 		t.Fatalf("pre-start joiner delivered %d of 1", got.Load())
 	}
 	c.Stop()
@@ -196,10 +197,26 @@ func TestLiveJoinRacesStop(t *testing.T) {
 
 // countingNet wraps a Net and counts the bytes each sender hands to its
 // endpoint — an independent observer of what actually crossed the wire.
+// With scribble set it additionally retains every envelope with a hash
+// taken at observation time, so a later write to a handed-over buffer
+// (by a shaper that held it, or anyone else) is detectable.
 type countingNet struct {
-	inner transport.Net
-	mu    sync.Mutex
-	bytes map[int]uint64
+	inner    transport.Net
+	scribble bool
+	mu       sync.Mutex
+	bytes    map[int]uint64
+	seen     []observed
+}
+
+type observed struct {
+	buf  []byte
+	hash uint64
+}
+
+func hashOf(buf []byte) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write(buf)
+	return h.Sum64()
 }
 
 func (n *countingNet) Attach(id int, h transport.Handler) (transport.Transport, error) {
@@ -223,6 +240,9 @@ func (e *countingEndpoint) Send(to int, buf []byte) error {
 	if err == nil {
 		e.net.mu.Lock()
 		e.net.bytes[e.id] += uint64(len(buf))
+		if e.net.scribble {
+			e.net.seen = append(e.net.seen, observed{buf: buf, hash: hashOf(buf)})
+		}
 		e.net.mu.Unlock()
 	}
 	return err
@@ -267,7 +287,7 @@ func TestLiveShuffleBytesChargedByteForByte(t *testing.T) {
 	for k := 0; k < 4; k++ {
 		c.Publish(k, "t", nil, []byte("pay-per-byte"))
 	}
-	waitFor(t, 5*time.Second, func() bool { return delivered.Load() >= 40 })
+	eventually(t, 5*time.Second, func() bool { return delivered.Load() >= 40 })
 	time.Sleep(30 * time.Millisecond) // a few more shuffle periods
 	c.Stop()
 

@@ -116,6 +116,14 @@ type Config struct {
 	// transport.UDP() runs one real loopback datagram socket per peer.
 	// Any custom Factory plugs in the same way.
 	Transport transport.Factory
+	// Shape, when non-nil, wraps the transport in the shaping middleware
+	// (transport.Shape) with this initial profile — per-link delay,
+	// jitter, reorder, loss, bandwidth policing and regional outages, all
+	// from a seeded RNG. The zero Profile is inert but still installs the
+	// middleware, which is what lets SetShape/SetOutage act mid-run. A
+	// zero Profile.Seed is filled from Config.Seed. Nil keeps the
+	// transport bare (the historical semantics, byte for byte).
+	Shape *transport.Profile
 }
 
 func (c Config) withDefaults() Config {
@@ -221,7 +229,11 @@ type Traffic struct {
 	// Recv counts envelopes accepted into a peer's inbox.
 	Recv uint64
 	// Dropped is every counted loss: FaultDrops + InboxDrops +
-	// TransportDrops.
+	// TransportDrops + ShaperDrops. A message can only land in one
+	// bucket: the fault check runs before the envelope reaches the
+	// shaper, and the shaper's internal verdicts (outage, loss,
+	// bandwidth) are mutually exclusive — so shaping composed with
+	// scenario faults never double-counts a loss.
 	Dropped uint64
 	// FaultDrops: injected faults ate it (crashed destination,
 	// partition, i.i.d. loss).
@@ -232,6 +244,11 @@ type Traffic struct {
 	// TransportDrops: the transport refused or failed the send
 	// (oversized datagram, closed socket, an address nobody holds).
 	TransportDrops uint64
+	// ShaperDrops: the shaping middleware ate it (profile loss, a
+	// policed bandwidth cap, a regional-outage boundary, or a deferred
+	// delivery the substrate refused). Zero unless Config.Shape
+	// installed the shaper.
+	ShaperDrops uint64
 	// Malformed counts received envelopes that failed to decode or
 	// carried an invalid sender (a subset of Recv, not of Dropped).
 	Malformed uint64
@@ -250,6 +267,7 @@ type Cluster struct {
 	peers   atomic.Pointer[[]*peer] // copy-on-write: Join appends, peers never move
 	faults  *faults
 	net     transport.Net
+	shaped  *transport.ShapedNet // non-nil iff Config.Shape installed the middleware
 	traffic traffic
 
 	stop    chan struct{}
@@ -317,11 +335,21 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
+	var shaped *transport.ShapedNet
+	if cfg.Shape != nil {
+		prof := *cfg.Shape
+		if prof.Seed == 0 {
+			prof.Seed = cfg.Seed ^ 0x5ead
+		}
+		shaped = transport.Shape(nw, prof)
+		nw = shaped
+	}
 	c := &Cluster{
 		cfg:    cfg,
 		ledger: fairness.NewLedger(cfg.N, fairness.DefaultWeights()),
 		faults: &faults{},
 		net:    nw,
+		shaped: shaped,
 		stop:   make(chan struct{}),
 	}
 	peers := make([]*peer, 0, cfg.N)
@@ -423,7 +451,10 @@ func (c *Cluster) Traffic() Traffic {
 		Malformed:      c.traffic.malformed.Load(),
 		JoinGiveUps:    c.traffic.joinGiveUps.Load(),
 	}
-	t.Dropped = t.FaultDrops + t.InboxDrops + t.TransportDrops
+	if c.shaped != nil {
+		t.ShaperDrops = c.shaped.Drops()
+	}
+	t.Dropped = t.FaultDrops + t.InboxDrops + t.TransportDrops + t.ShaperDrops
 	return t
 }
 
@@ -747,6 +778,65 @@ func (c *Cluster) SetLoss(p float64) {
 		p = 1
 	}
 	c.faults.loss.Store(math.Float64bits(p))
+}
+
+// SetShape swaps the shaping middleware's profile mid-run (delay,
+// jitter, reorder, loss, bandwidth). Returns false when the cluster was
+// built without Config.Shape — shaping cannot be bolted on after
+// construction, because peers hold their transport endpoints.
+func (c *Cluster) SetShape(p transport.Profile) bool {
+	if c.shaped == nil {
+		return false
+	}
+	c.shaped.SetProfile(p)
+	return true
+}
+
+// SetOutage marks (on) or clears (off) a correlated regional outage
+// over the given peer ids: boundary-crossing envelopes are eaten with
+// probability Profile.OutageLoss (default 1) and counted in
+// Traffic().ShaperDrops; traffic wholly inside the region still flows.
+// on=false with nil members lifts every outage. Returns false without
+// the shaping middleware.
+func (c *Cluster) SetOutage(members []int, on bool) bool {
+	if c.shaped == nil {
+		return false
+	}
+	c.shaped.SetOutage(members, on)
+	return true
+}
+
+// Rebind moves an up peer to a fresh transport address — the mobile
+// peer primitive. On substrates that implement transport.Rebinder (UDP,
+// shaped-UDP) the endpoint really moves, make-before-break; in-process
+// substrates have nothing to rebind and only the protocol part runs.
+// Either way the peer then re-announces itself through the ordinary
+// join path (real, ledger-charged traffic) using a seed drawn from its
+// current view, so the overlay re-learns the peer promptly at its new
+// address. Runs on the peer's own goroutine; returns false for invalid
+// ids or a stopped cluster.
+func (c *Cluster) Rebind(id int) bool {
+	return c.do(id, func() {
+		p := c.peerAt(id)
+		if p.down.Load() {
+			return
+		}
+		if rb, ok := c.net.(transport.Rebinder); ok {
+			_, _ = rb.Rebind(id) // in-process substrates: nothing to move
+		}
+		if ents := p.cyclon.View().Entries(); len(ents) > 0 {
+			p.joinSeed = int(ents[p.rng.Intn(len(ents))].ID)
+		}
+		if p.joinSeed < 0 {
+			return // an isolated founder has nobody to re-announce to
+		}
+		// Fresh handshake budget: the re-announcement is attempt #1, and
+		// the ordinary backoff machinery covers a silent seed.
+		p.joinAttempts, p.joinWait = 0, 0
+		p.joinFailed.Store(false)
+		p.sendJoin()
+		p.joinAttempts++
+	})
 }
 
 // Publish originates an event at the given peer.

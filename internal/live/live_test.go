@@ -18,18 +18,6 @@ func mustCluster(t testing.TB, cfg Config) *Cluster {
 	return c
 }
 
-func waitFor(t *testing.T, timeout time.Duration, cond func() bool) bool {
-	t.Helper()
-	deadline := time.Now().Add(timeout)
-	for time.Now().Before(deadline) {
-		if cond() {
-			return true
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
-	return cond()
-}
-
 func TestLiveDisseminationReachesEveryone(t *testing.T) {
 	c := mustCluster(t, Config{N: 24, Fanout: 5, RoundPeriod: 5 * time.Millisecond, Seed: 1})
 	var delivered atomic.Int64
@@ -46,7 +34,7 @@ func TestLiveDisseminationReachesEveryone(t *testing.T) {
 	if !c.Publish(3, "news", nil, []byte("payload")) {
 		t.Fatal("publish failed")
 	}
-	if !waitFor(t, 5*time.Second, func() bool { return delivered.Load() == 24 }) {
+	if !eventually(t, 5*time.Second, func() bool { return delivered.Load() == 24 }) {
 		t.Fatalf("delivered %d of 24", delivered.Load())
 	}
 }
@@ -72,7 +60,7 @@ func TestLiveInterestFiltering(t *testing.T) {
 	c.Start()
 	defer c.Stop()
 	c.Publish(0, "ticks", []pubsub.Attr{{Key: "price", Val: pubsub.Num(150)}}, nil)
-	if !waitFor(t, 5*time.Second, func() bool { return hot.Load() == 6 }) {
+	if !eventually(t, 5*time.Second, func() bool { return hot.Load() == 6 }) {
 		t.Fatalf("hot deliveries %d of 6", hot.Load())
 	}
 	// Give stragglers a moment, then confirm no misdelivery.
@@ -90,7 +78,7 @@ func TestLiveLedgerAccounting(t *testing.T) {
 	c.Start()
 	defer c.Stop()
 	c.Publish(0, "t", nil, []byte("x"))
-	if !waitFor(t, 5*time.Second, func() bool {
+	if !eventually(t, 5*time.Second, func() bool {
 		var d uint64
 		for i := 0; i < 8; i++ {
 			d += c.Ledger().Account(i).Delivered
@@ -124,7 +112,7 @@ func TestLiveAdaptiveLeversMove(t *testing.T) {
 		c.Publish(k%16, "t", nil, make([]byte, 64))
 		time.Sleep(5 * time.Millisecond)
 	}
-	moved := waitFor(t, 5*time.Second, func() bool {
+	moved := eventually(t, 5*time.Second, func() bool {
 		for i := 0; i < c.N(); i++ {
 			f, b, ok := c.Levers(i)
 			if ok && (f != 8 || b != 16) {
@@ -211,7 +199,7 @@ func TestLiveConcurrentPublishers(t *testing.T) {
 	}
 	wg.Wait()
 	want := uint64(10 * perPublisher * 10)
-	if !waitFor(t, 10*time.Second, func() bool {
+	if !eventually(t, 10*time.Second, func() bool {
 		var d uint64
 		for i := 0; i < 10; i++ {
 			d += c.Ledger().Account(i).Delivered

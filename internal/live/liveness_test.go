@@ -51,7 +51,7 @@ func TestLiveLeaveScrubsViews(t *testing.T) {
 		t.Fatal("leaver still up")
 	}
 	gone := map[int]bool{3: true}
-	if !waitFor(t, 10*time.Second, func() bool { return viewsClean(c, gone) }) {
+	if !eventually(t, 10*time.Second, func() bool { return viewsClean(c, gone) }) {
 		t.Fatalf("a survivor still holds the leaver's address; views: %v", c.Views())
 	}
 	// Survivors keep a usable view after the hand-off.
@@ -81,7 +81,7 @@ func TestLiveDetectorEvictsCrashed(t *testing.T) {
 	time.Sleep(30 * time.Millisecond)
 	c.Crash(0)
 	gone := map[int]bool{0: true}
-	if !waitFor(t, 20*time.Second, func() bool { return viewsClean(c, gone) }) {
+	if !eventually(t, 20*time.Second, func() bool { return viewsClean(c, gone) }) {
 		t.Fatalf("crashed peer still in a live view; views: %v", c.Views())
 	}
 	c.Stop()
@@ -127,7 +127,7 @@ func TestLiveJoinGiveUpBounded(t *testing.T) {
 	if err := c.JoinErr(id); err != nil {
 		t.Fatalf("fresh joiner already reports %v", err)
 	}
-	if !waitFor(t, 20*time.Second, func() bool { return c.JoinErr(id) != nil }) {
+	if !eventually(t, 20*time.Second, func() bool { return c.JoinErr(id) != nil }) {
 		t.Fatal("joiner never gave up against a dead cluster")
 	}
 	if err := c.JoinErr(id); !errors.Is(err, ErrJoinAbandoned) {

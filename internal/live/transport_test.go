@@ -46,7 +46,7 @@ func TestLiveUDPDisseminationReachesEveryone(t *testing.T) {
 	c.Start()
 	defer c.Stop()
 	c.Publish(2, "news", []pubsub.Attr{{Key: "k", Val: pubsub.Num(7)}}, []byte("over real sockets"))
-	if !waitFor(t, 10*time.Second, func() bool { return delivered.Load() == 16 }) {
+	if !eventually(t, 10*time.Second, func() bool { return delivered.Load() == 16 }) {
 		t.Fatalf("delivered %d of 16", delivered.Load())
 	}
 }
@@ -70,7 +70,7 @@ func TestLiveUDPTrafficConservation(t *testing.T) {
 	for k := 0; k < 5; k++ {
 		c.Publish(k%8, "t", nil, []byte("conserve"))
 	}
-	waitFor(t, 10*time.Second, func() bool { return delivered.Load() == 40 })
+	eventually(t, 10*time.Second, func() bool { return delivered.Load() == 40 })
 	c.Stop()
 	tr := c.Traffic()
 	if tr.Sent == 0 {

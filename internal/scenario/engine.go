@@ -410,6 +410,14 @@ func (r *Run) Partition(side []int) {
 	r.rt.Partition(side)
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.splitModelLocked(side)
+}
+
+// splitModelLocked applies the engine-side model of a connectivity cut
+// isolating side from the rest — shared by Partition and RegionalOutage,
+// which differ only in the runtime mechanism (fault-layer partition vs
+// shaper region tags). Callers hold r.mu.
+func (r *Run) splitModelLocked(side []int) {
 	r.noteFaultLocked()
 	for i := range r.group {
 		r.group[i] = 0
@@ -449,6 +457,64 @@ func (r *Run) Heal() {
 // moment the schedule last touched the network.
 func (r *Run) SetLoss(p float64) {
 	r.rt.SetLoss(p)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.noteFaultLocked()
+}
+
+// ShapeTo swaps the WAN shaping profile on the runtime. Like SetLoss it
+// leaves delivery eligibility alone — the MinDelivery floor carries the
+// stochastic slack — but counts as a fault action for the recovery and
+// hygiene clocks.
+func (r *Run) ShapeTo(sp ShapeSpec) {
+	if !r.rt.SetShape(sp) {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.noteFaultLocked()
+}
+
+// RegionalOutage cuts region (id mod Scenario.Regions) off from the
+// rest of the population. The engine models it exactly like a
+// partition — undelivered cross-boundary pairs are released — while the
+// runtime enforces it with its own mechanism (shaper region tags on the
+// live columns, the partition model on sim). No-op unless the scenario
+// declares Regions > 0.
+func (r *Run) RegionalOutage(region int) {
+	if r.sc.Regions <= 0 {
+		return
+	}
+	region %= r.sc.Regions
+	members := make([]int, 0, r.N()/r.sc.Regions+1)
+	for id := 0; id < r.N(); id++ {
+		if id%r.sc.Regions == region {
+			members = append(members, id)
+		}
+	}
+	r.rt.RegionOutage(members, true)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.splitModelLocked(members)
+}
+
+// RegionalHeal reconnects all regions.
+func (r *Run) RegionalHeal() {
+	r.rt.RegionOutage(nil, false)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.noteFaultLocked()
+	r.split = false
+}
+
+// RebindPeer moves one peer to a fresh transport address and
+// re-announces it. The peer stays up and keeps every delivery
+// obligation — the make-before-break rebind must lose nothing — but the
+// action still counts for the recovery clock.
+func (r *Run) RebindPeer(id int) {
+	if !r.rt.Rebind(id) {
+		return
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.noteFaultLocked()

@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"math/rand"
 	"time"
 
 	"fairgossip/internal/core"
@@ -63,6 +64,21 @@ type Runtime interface {
 	// implement the same KindLeave hand-off protocol).
 	Leave(id int) bool
 
+	// SetShape swaps the WAN shaping profile mid-run (round-relative
+	// units, converted to the runtime's own clock). Returns false when
+	// the runtime cannot shape (never, for the built-in columns: live
+	// clusters always carry the middleware and the sim swaps its latency
+	// model and composed loss).
+	SetShape(sp ShapeSpec) bool
+	// RegionOutage cuts the given members off from the rest of the
+	// population (on=true) or reconnects everyone (on=false, members
+	// ignored). Intra-member traffic still flows.
+	RegionOutage(members []int, on bool)
+	// Rebind moves a peer to a fresh transport address and re-announces
+	// it through the join path. On substrates without real addresses
+	// (sim, chan) it is a successful no-op — the address IS the id.
+	Rebind(id int) bool
+
 	// Join boots a new peer mid-run, bootstrapped through seed, and
 	// returns its id (ids stay dense). On the live runtime the joiner
 	// buys its introduction with charged membership traffic; on the sim
@@ -93,9 +109,24 @@ type Runtime interface {
 
 // --- Simulated runtime -------------------------------------------------------
 
+// simRound is the simulator's virtual gossip round (the core.Config
+// RoundPeriod default) — the unit ShapeSpec's round-relative fields are
+// converted with on the sim column.
+const simRound = 100 * time.Millisecond
+
+// simBaseLatency is the sim column's unshaped one-way delay.
+const simBaseLatency = 2 * time.Millisecond
+
 // SimRuntime adapts core.Cluster (deterministic discrete-event sim).
 type SimRuntime struct {
 	C *core.Cluster
+
+	// faultLoss and shapeLoss are the two independent loss layers; the
+	// network gets their composition 1-(1-fault)(1-shape). The sim has
+	// one drop counter, so unlike the live columns the two layers are
+	// not separable in Traffic() — but conservation still holds exactly.
+	faultLoss float64
+	shapeLoss float64
 }
 
 // NewSimRuntime builds a simulated cluster configured for a scenario.
@@ -125,9 +156,13 @@ func NewSimRuntime(sc Scenario, seed int64) *SimRuntime {
 	}
 	c := core.NewCluster(sc.N, cfg, core.ClusterOptions{
 		Seed:      seed,
-		NetConfig: simnet.Config{Latency: simnet.ConstantLatency(2 * time.Millisecond)},
+		NetConfig: simnet.Config{Latency: simnet.ConstantLatency(simBaseLatency)},
 	})
-	return &SimRuntime{C: c}
+	rt := &SimRuntime{C: c}
+	if sc.Shape != nil {
+		rt.SetShape(*sc.Shape)
+	}
+	return rt
 }
 
 func (s *SimRuntime) Name() string { return "sim" }
@@ -230,7 +265,66 @@ func (s *SimRuntime) Partition(side []int) {
 
 func (s *SimRuntime) Heal() { s.C.Net.Heal() }
 
-func (s *SimRuntime) SetLoss(p float64) { s.C.Net.SetLoss(p) }
+func (s *SimRuntime) SetLoss(p float64) {
+	s.faultLoss = p
+	s.applyLoss()
+}
+
+// applyLoss installs the composition of the fault and shaper loss
+// layers: a message survives only if both layers pass it.
+func (s *SimRuntime) applyLoss() {
+	s.C.Net.SetLoss(1 - (1-s.faultLoss)*(1-s.shapeLoss))
+}
+
+// SetShape maps a round-relative spec onto the simulator: Loss composes
+// with fault loss, Delay/Jitter/Reorder become a latency model drawn
+// from the sim's own seeded RNG (so shaped runs stay bit-deterministic),
+// and RatePerRound is ignored — the idealised network has no bandwidth
+// model. The reorder draw mirrors the live shaper: with probability
+// Reorder a message takes a large extra delay, up to 3×(delay+jitter),
+// and overtakes traffic sent after it.
+func (s *SimRuntime) SetShape(sp ShapeSpec) bool {
+	s.shapeLoss = sp.Loss
+	s.applyLoss()
+	delay := time.Duration(sp.DelayRounds * float64(simRound))
+	jitter := time.Duration(sp.JitterRounds * float64(simRound))
+	if delay <= 0 && jitter <= 0 && sp.Reorder <= 0 {
+		s.C.Net.SetLatency(simnet.ConstantLatency(simBaseLatency))
+		return true
+	}
+	reorder := sp.Reorder
+	span := 3 * (delay + jitter)
+	if span <= 0 {
+		span = time.Millisecond
+	}
+	s.C.Net.SetLatency(func(rng *rand.Rand, _, _ simnet.NodeID) time.Duration {
+		d := simBaseLatency + delay
+		if jitter > 0 {
+			d += time.Duration(rng.Int63n(int64(jitter)))
+		}
+		if reorder > 0 && rng.Float64() < reorder {
+			d += time.Duration(rng.Int63n(int64(span)))
+		}
+		return d
+	})
+	return true
+}
+
+// RegionOutage maps a regional cut onto the sim's partition model: the
+// members keep talking among themselves and lose everyone else, which
+// is exactly the shaper's region-tag semantics with a hard (OutageLoss
+// = 1) boundary.
+func (s *SimRuntime) RegionOutage(members []int, on bool) {
+	if !on {
+		s.C.Net.Heal()
+		return
+	}
+	s.Partition(members)
+}
+
+// Rebind is a successful no-op: the simulator addresses nodes by dense
+// id, so an address change is invisible to it.
+func (s *SimRuntime) Rebind(id int) bool { return s.valid(id) }
 
 func (s *SimRuntime) Step(rounds int) { s.C.RunRounds(rounds) }
 
@@ -289,6 +383,11 @@ func NewLiveUDPRuntime(sc Scenario, seed int64) (*LiveRuntime, error) {
 
 func newLiveRuntime(sc Scenario, seed int64, tf transport.Factory, name string) (*LiveRuntime, error) {
 	sc = sc.withDefaults()
+	// Always install the shaping middleware — inert when the scenario
+	// declares no profile (one atomic load per send), shaped otherwise —
+	// so the Shape/RegionalOutage actions work mid-run on every live
+	// column.
+	prof := liveProfile(sc.Shape, LiveRoundPeriod)
 	c, err := live.NewCluster(live.Config{
 		N:            sc.N,
 		Fanout:       sc.Fanout,
@@ -302,6 +401,7 @@ func newLiveRuntime(sc Scenario, seed int64, tf transport.Factory, name string) 
 		ShuffleEvery: sc.ShuffleEvery,
 		Seed:         seed,
 		Transport:    tf,
+		Shape:        &prof,
 	})
 	if err != nil {
 		return nil, err
@@ -337,6 +437,22 @@ func (l *LiveRuntime) SetFreeRider(id int, on bool) bool { return l.C.SetFreeRid
 func (l *LiveRuntime) Partition(side []int)              { l.C.Partition(side) }
 func (l *LiveRuntime) Heal()                             { l.C.Heal() }
 func (l *LiveRuntime) SetLoss(p float64)                 { l.C.SetLoss(p) }
+
+// SetShape swaps the middleware profile (always installed — see
+// newLiveRuntime), converted to this column's wall-clock round.
+func (l *LiveRuntime) SetShape(sp ShapeSpec) bool {
+	return l.C.SetShape(liveProfile(&sp, l.period))
+}
+
+// RegionOutage tags the members at the shaper; cross-boundary envelopes
+// are dropped into the counted ShaperDrops bucket, so drop conservation
+// stays exact through the outage.
+func (l *LiveRuntime) RegionOutage(members []int, on bool) { l.C.SetOutage(members, on) }
+
+// Rebind moves the peer to a fresh transport endpoint (a real socket
+// swap on live-udp, a no-op on the in-process chan substrate) and
+// re-announces it through the join handshake.
+func (l *LiveRuntime) Rebind(id int) bool { return l.C.Rebind(id) }
 
 func (l *LiveRuntime) Join(seed int) (int, bool) {
 	id, err := l.C.Join(seed)

@@ -94,6 +94,16 @@ type Scenario struct {
 	Steps      []Step
 	EveryRound func(*Run)
 
+	// Shape, when set, is the WAN shaping profile installed before the
+	// run starts (round-relative units; see ShapeSpec). Live columns
+	// always carry the shaping middleware — an inert profile when Shape
+	// is nil — so the Shape action can swap profiles mid-run on every
+	// runtime.
+	Shape *ShapeSpec
+	// Regions partitions the id space into address regions (id mod
+	// Regions) for the RegionalOutage action. 0 = no regional structure.
+	Regions int
+
 	// MinDelivery is the eventual-delivery invariant floor: the fraction
 	// of (eligible peer, event) pairs that must deliver (default 1).
 	// Lossy schedules leave slack for stochastic tails.
@@ -523,6 +533,61 @@ func Builtins() []Scenario {
 				{Round: 6, Action: CrashFrac(0.15)},
 				{Round: 10, Action: CrashFrac(0.15)},
 				{Round: 14, Action: Loss(0)},
+			},
+		},
+		{
+			Name:             "shaped-wan",
+			Note:             "wide-area path: delay, jitter, reorder and 2% shaper loss the whole run, plus a crash wave the detector must scrub under delayed probes",
+			Shape:            &ShapeSpec{DelayRounds: 0.25, JitterRounds: 0.35, Reorder: 0.08, Loss: 0.02},
+			BufferMaxAge:     14,
+			MinDelivery:      0.97,
+			CheckRecovery:    true,
+			CheckViewHygiene: true,
+			Steps: []Step{
+				{Round: 10, Action: CrashFrac(0.15)},
+			},
+		},
+		{
+			Name:             "regional-outage",
+			Note:             "one of four address regions drops off the map mid-run, keeps gossiping internally, then reconnects; correlated loss lands in the counted shaper bucket",
+			Regions:          4,
+			Shape:            &ShapeSpec{DelayRounds: 0.1, JitterRounds: 0.15},
+			BufferMaxAge:     14,
+			MinDelivery:      0.97,
+			CheckRecovery:    true,
+			CheckViewHygiene: true,
+			Steps: []Step{
+				{Round: 8, Action: RegionalOutage(1)},
+				{Round: 18, Action: RegionalHeal()},
+			},
+		},
+		{
+			Name:             "mobile-rebind",
+			Note:             "mobile clients on a jittery path: three waves of peers swap transport addresses mid-run and re-announce; the make-before-break rebind must lose nothing",
+			Shape:            &ShapeSpec{DelayRounds: 0.1, JitterRounds: 0.4, Reorder: 0.05, Loss: 0.01},
+			MinDelivery:      0.98,
+			CheckRecovery:    true,
+			CheckViewHygiene: true,
+			Steps: []Step{
+				{Round: 6, Action: RebindFrac(0.2)},
+				{Round: 12, Action: RebindFrac(0.2)},
+				{Round: 18, Action: RebindFrac(0.2)},
+			},
+		},
+		{
+			Name:          "intermittent-links",
+			Note:          "connectivity blinks: repeated 50% shaper-loss blackouts with clear gaps; buffered redundancy rides them out",
+			Shape:         &ShapeSpec{},
+			BufferMaxAge:  16,
+			MinDelivery:   0.95,
+			CheckRecovery: true,
+			Steps: []Step{
+				{Round: 4, Action: Shape(ShapeSpec{Loss: 0.5})},
+				{Round: 8, Action: ClearShape()},
+				{Round: 12, Action: Shape(ShapeSpec{Loss: 0.5})},
+				{Round: 16, Action: ClearShape()},
+				{Round: 20, Action: Shape(ShapeSpec{Loss: 0.5})},
+				{Round: 24, Action: ClearShape()},
 			},
 		},
 		rageQuitScenario(),

@@ -96,7 +96,7 @@ func TestLiveTrafficCountersBalance(t *testing.T) {
 // identical invariant metrics, bit for bit — the property fixed-seed
 // regression baselines (and reproducible bug reports) rest on.
 func TestSimDeterminism(t *testing.T) {
-	for _, name := range []string{"calm", "storm", "sub-churn", "join-wave", "graceful-drain", "crash-storm-recover"} {
+	for _, name := range []string{"calm", "storm", "sub-churn", "join-wave", "graceful-drain", "crash-storm-recover", "shaped-wan", "regional-outage", "mobile-rebind", "intermittent-links"} {
 		sc, ok := ByName(name)
 		if !ok {
 			t.Fatalf("missing builtin %q", name)
@@ -462,5 +462,89 @@ func TestLeaveReleasesEligibility(t *testing.T) {
 	}
 	if res.DeliveryRatio != 1 {
 		t.Errorf("survivor delivery ratio %v after graceful leaves, want 1", res.DeliveryRatio)
+	}
+}
+
+// TestShapedColumnCountsShaperDrops: the shaped-wan builtin on a live
+// column carries real shaper loss — those drops must land in the counted
+// bucket so conservation holds exactly, not approximately.
+func TestShapedColumnCountsShaperDrops(t *testing.T) {
+	sc, ok := ByName("shaped-wan")
+	if !ok {
+		t.Fatal("shaped-wan builtin missing")
+	}
+	res := Execute(NewLiveRuntime(sc, 9), sc, 9)
+	if !res.Ok() {
+		t.Fatalf("violations:\n%s", res.String())
+	}
+	if !res.HasTraffic || res.Dropped == 0 {
+		t.Fatalf("2%% shaper loss dropped nothing counted:\n%s", res.String())
+	}
+	if res.Sent != res.Recv+res.Dropped {
+		t.Fatalf("shaped traffic leak: sent %d != recv %d + dropped %d", res.Sent, res.Recv, res.Dropped)
+	}
+}
+
+// TestRegionalOutageReleasesEligibility: during the outage the engine
+// must model the cut exactly like a partition — cross-boundary pairs
+// released, intra-region delivery still required — and the runtime's
+// correlated loss must be counted. Verified on the deterministic column.
+func TestRegionalOutageReleasesEligibility(t *testing.T) {
+	sc := Scenario{
+		Name:    "outage-release",
+		N:       16,
+		Regions: 4,
+		Rounds:  16,
+		Steps: []Step{
+			{Round: 4, Action: RegionalOutage(2)},
+			{Round: 10, Action: RegionalHeal()},
+		},
+	}
+	testInspect = func(r *Run) {
+		// After the heal the model must be reconnected again.
+		if r.split {
+			t.Error("run ended still split")
+		}
+	}
+	defer func() { testInspect = nil }()
+	res := Execute(NewSimRuntime(sc, 11), sc, 11)
+	if !res.Ok() {
+		t.Fatalf("violations:\n%s", res.String())
+	}
+	if res.Dropped == 0 {
+		t.Fatalf("outage dropped nothing:\n%s", res.String())
+	}
+	// Cross-boundary pairs of mid-outage events were released: with 2
+	// publishes per round for 6 outage rounds there must be fewer
+	// eligible pairs than a calm run of the same shape would produce.
+	calm := sc
+	calm.Name = "outage-release-calm"
+	calm.Steps = nil
+	calmRes := Execute(NewSimRuntime(calm, 11), calm, 11)
+	if !calmRes.Ok() {
+		t.Fatalf("calm control violations:\n%s", calmRes.String())
+	}
+	if res.EligiblePairs >= calmRes.EligiblePairs {
+		t.Fatalf("outage released nothing: %d eligible pairs vs calm %d", res.EligiblePairs, calmRes.EligiblePairs)
+	}
+}
+
+// TestShapePresets: the -shape vocabulary resolves, and unknown names
+// are refused.
+func TestShapePresets(t *testing.T) {
+	for _, name := range ShapePresetNames() {
+		sp, ok := ShapePreset(name)
+		if !ok {
+			t.Fatalf("preset %q missing", name)
+		}
+		if name == "none" && sp != nil {
+			t.Fatal("preset none returned a profile")
+		}
+		if name != "none" && sp.inert() {
+			t.Fatalf("preset %q is inert", name)
+		}
+	}
+	if _, ok := ShapePreset("marsnet"); ok {
+		t.Fatal("unknown preset accepted")
 	}
 }

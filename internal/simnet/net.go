@@ -145,6 +145,17 @@ func (n *Network) Partition(side []NodeID) {
 // Heal removes any partition.
 func (n *Network) Heal() { n.split = false }
 
+// SetLatency swaps the one-way delay model mid-run. Nil restores the
+// 1ms constant default. Scenario shaping uses it to impose WAN-like
+// delay/jitter profiles on the simulated column; messages already in
+// flight keep the delay they were scheduled with.
+func (n *Network) SetLatency(m LatencyModel) {
+	if m == nil {
+		m = ConstantLatency(time.Millisecond)
+	}
+	n.cfg.Latency = m
+}
+
 // SetLoss changes the i.i.d. drop probability mid-run (clamped to [0,1]).
 // Experiments use it to inject lossy phases.
 func (n *Network) SetLoss(p float64) {

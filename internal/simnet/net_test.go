@@ -344,3 +344,24 @@ func BenchmarkSendDeliver(b *testing.B) {
 	}
 	sim.Run()
 }
+
+func TestSetLatencySwapsMidRun(t *testing.T) {
+	sim, net, recs := build(t, 2, Config{Latency: ConstantLatency(5 * time.Millisecond)})
+	net.Send(0, 1, "slow-model-pending", 1)
+	net.SetLatency(ConstantLatency(50 * time.Millisecond)) // in-flight msg keeps 5ms
+	net.Send(0, 1, "new-model", 1)
+	sim.Run()
+	if len(recs[1].got) != 2 {
+		t.Fatalf("got %d messages", len(recs[1].got))
+	}
+	if sim.Now() != 50*time.Millisecond {
+		t.Fatalf("last delivery at %v, want 50ms under the swapped model", sim.Now())
+	}
+	net.SetLatency(nil) // restores the 1ms default
+	net.Send(0, 1, "default", 1)
+	start := sim.Now()
+	sim.Run()
+	if sim.Now()-start != time.Millisecond {
+		t.Fatalf("nil SetLatency gave %v delay, want the 1ms default", sim.Now()-start)
+	}
+}

@@ -1,0 +1,423 @@
+package transport
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Profile parameterises the shaping middleware: what the network between
+// two endpoints does to an envelope beyond delivering it instantly. The
+// zero value is an inert profile (no delay, no loss, no cap) — shaping
+// it costs one atomic load per Send.
+type Profile struct {
+	// Seed drives every stochastic decision the shaper makes (loss
+	// draws, jitter draws, reorder draws). Shape captures it once at
+	// construction; SetProfile does not reseed, so a mid-run profile
+	// change never replays the random stream.
+	Seed int64
+	// Delay is the base one-way delay added to every envelope.
+	Delay time.Duration
+	// Jitter adds a uniform extra delay in [0, Jitter) per envelope —
+	// enough variance and later envelopes overtake earlier ones.
+	Jitter time.Duration
+	// Reorder is the probability an envelope draws an additional hold of
+	// up to 3·(Delay+Jitter), forcing overtaking even when Jitter alone
+	// would rarely produce it.
+	Reorder float64
+	// Loss is the i.i.d. probability an envelope is eaten in transit.
+	// The sender is not told — like a real datagram network — but the
+	// loss is counted in Drops().
+	Loss float64
+	// Rate, when > 0, polices each directed link (from, to) to this many
+	// bytes per second through a token bucket; an envelope that finds
+	// the bucket short is dropped and counted, which is how a policed
+	// (not buffered) link behaves.
+	Rate int
+	// Burst is the token-bucket depth in bytes (default max(Rate/8,
+	// 16384)). Envelopes larger than Burst can never pass a capped link.
+	Burst int
+	// OutageLoss is the drop probability applied to envelopes crossing a
+	// regional-outage boundary (see SetOutage). Zero means 1: an outage
+	// is a hard cut unless explicitly softened.
+	OutageLoss float64
+}
+
+// inert reports whether the profile shapes nothing.
+func (p Profile) inert() bool {
+	return p.Delay == 0 && p.Jitter == 0 && p.Reorder == 0 && p.Loss == 0 && p.Rate == 0
+}
+
+// Rebinder is the optional Net capability behind mobile peers: move one
+// endpoint to a fresh transport address while the cluster runs. UDPNet
+// implements it make-before-break (the old socket keeps draining until
+// Net.Close, so no datagram in flight is lost); ShapedNet delegates to
+// its substrate. The in-process ChanNet has nothing to rebind — its
+// address is the peer id itself.
+type Rebinder interface {
+	Rebind(id int) (string, error)
+}
+
+// Shape wraps any Net in the shaping middleware. Outbound envelopes are
+// intercepted at Send time: loss, outage and bandwidth verdicts are
+// immediate (and counted in Drops()); delay, jitter and reorder hold
+// the envelope in a time-ordered queue and deliver it through the
+// substrate later, from a single dispatcher goroutine.
+//
+// The buffer-ownership contract survives shaping untouched: a held
+// envelope is the same immutable byte slice the sender passed in — the
+// shaper never copies, mutates, or recycles it, and delivers it to the
+// substrate exactly once or counts it dropped. Close flushes every held
+// envelope through the substrate before closing it, so conservation
+// audits after Close see a settled network: every envelope the shaper
+// accepted is either delivered or in Drops().
+func Shape(inner Net, p Profile) *ShapedNet {
+	s := &ShapedNet{
+		inner: inner,
+		rng:   rand.New(rand.NewSource(p.Seed)),
+		links: make(map[uint64]*linkBucket),
+		wake:  make(chan struct{}, 1),
+		halt:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	prof := p
+	s.prof.Store(&prof)
+	return s
+}
+
+// ShapedNet is a Net decorated with a shaping Profile. See Shape.
+type ShapedNet struct {
+	inner Net
+	prof  atomic.Pointer[Profile]
+	// outage tags each peer id with a region generation; envelopes whose
+	// endpoints carry different tags cross an outage boundary. Nil when
+	// no outage is in force (the fast path checks exactly that).
+	outage    atomic.Pointer[[]int32]
+	outageGen int32
+	drops     atomic.Uint64
+
+	mu      sync.Mutex // guards rng, links, queue, seq, closed, running
+	rng     *rand.Rand
+	links   map[uint64]*linkBucket
+	queue   deferredQueue
+	seq     uint64
+	closed  bool
+	running bool // dispatcher goroutine started (lazily, on first hold)
+
+	wake      chan struct{}
+	halt      chan struct{}
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+// deferred is one held envelope: the same slice the sender passed in,
+// due for delivery through the sender's substrate endpoint.
+type deferred struct {
+	due time.Time
+	seq uint64 // FIFO tiebreak: equal due times deliver in send order
+	ep  Transport
+	to  int
+	buf []byte
+}
+
+type deferredQueue []deferred
+
+func (q deferredQueue) Len() int { return len(q) }
+func (q deferredQueue) Less(i, j int) bool {
+	if !q[i].due.Equal(q[j].due) {
+		return q[i].due.Before(q[j].due)
+	}
+	return q[i].seq < q[j].seq
+}
+func (q deferredQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *deferredQueue) Push(x any)   { *q = append(*q, x.(deferred)) }
+func (q *deferredQueue) Pop() (x any) { old := *q; n := len(old); x = old[n-1]; *q = old[:n-1]; return }
+
+type linkBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// Attach implements Net: handlers pass straight through to the
+// substrate (shaping is applied on the send side only), and the
+// returned endpoint wraps the substrate's.
+func (s *ShapedNet) Attach(id int, h Handler) (Transport, error) {
+	inner, err := s.inner.Attach(id, h)
+	if err != nil {
+		return nil, err
+	}
+	return &shapedEndpoint{s: s, id: id, inner: inner}, nil
+}
+
+// SetProfile swaps the shaping profile for all subsequent Sends.
+// Envelopes already held keep the delay they drew.
+func (s *ShapedNet) SetProfile(p Profile) {
+	prof := p
+	s.prof.Store(&prof)
+}
+
+// SetOutage marks (on) or clears (on=false) a correlated regional
+// outage over the given peer ids. While marked, every envelope with
+// exactly one endpoint inside the region — and any envelope between two
+// distinct marked regions — is dropped with probability OutageLoss
+// (default 1, a hard cut); traffic wholly inside one region still
+// flows. Calling with on=false and nil members lifts every outage.
+func (s *ShapedNet) SetOutage(members []int, on bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !on && members == nil {
+		s.outage.Store(nil)
+		return
+	}
+	var cur []int32
+	if old := s.outage.Load(); old != nil {
+		cur = *old
+	}
+	n := len(cur)
+	for _, id := range members {
+		if id+1 > n {
+			n = id + 1
+		}
+	}
+	grown := make([]int32, n)
+	copy(grown, cur)
+	if on {
+		s.outageGen++
+		for _, id := range members {
+			if id >= 0 {
+				grown[id] = s.outageGen
+			}
+		}
+	} else {
+		for _, id := range members {
+			if id >= 0 && id < len(grown) {
+				grown[id] = 0
+			}
+		}
+	}
+	for _, tag := range grown {
+		if tag != 0 {
+			s.outage.Store(&grown)
+			return
+		}
+	}
+	s.outage.Store(nil)
+}
+
+// Drops returns how many envelopes the shaper has eaten (profile loss,
+// policed bandwidth, outage boundaries, and deferred deliveries the
+// substrate refused). Together with the substrate's own accounting this
+// keeps sent == recv + dropped exact under shaping.
+func (s *ShapedNet) Drops() uint64 { return s.drops.Load() }
+
+// Held reports how many envelopes are currently deferred (test hook).
+func (s *ShapedNet) Held() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queue)
+}
+
+// Rebind implements Rebinder by delegation when the substrate can.
+func (s *ShapedNet) Rebind(id int) (string, error) {
+	if rb, ok := s.inner.(Rebinder); ok {
+		return rb.Rebind(id)
+	}
+	return "", fmt.Errorf("transport: substrate cannot rebind peer %d", id)
+}
+
+// Close stops accepting sends, flushes every held envelope through the
+// substrate immediately (refusals are counted drops), then closes the
+// substrate.
+func (s *ShapedNet) Close() error {
+	s.closeOnce.Do(func() {
+		s.mu.Lock()
+		s.closed = true
+		running := s.running
+		s.mu.Unlock()
+		if running {
+			close(s.halt)
+			<-s.done // dispatcher flushed the queue on its way out
+		}
+	})
+	return s.inner.Close()
+}
+
+// holdLocked queues one envelope for deferred delivery and makes sure
+// the dispatcher is awake. Callers hold s.mu.
+func (s *ShapedNet) holdLocked(d deferred) {
+	s.seq++
+	d.seq = s.seq
+	heap.Push(&s.queue, d)
+	if !s.running {
+		s.running = true
+		go s.dispatch()
+	}
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+// dispatch is the single dispatcher goroutine: it sleeps until the
+// earliest held envelope is due, delivers it through the substrate, and
+// on Close drains everything left immediately.
+func (s *ShapedNet) dispatch() {
+	defer close(s.done)
+	for {
+		s.mu.Lock()
+		if s.closed {
+			rest := s.queue
+			s.queue = nil
+			s.mu.Unlock()
+			// Flush in due order (heap order is close enough for a
+			// teardown path, but due order keeps FIFO per link).
+			for rest.Len() > 0 {
+				d := heap.Pop(&rest).(deferred)
+				s.deliver(d)
+			}
+			return
+		}
+		if s.queue.Len() == 0 {
+			s.mu.Unlock()
+			select {
+			case <-s.wake:
+			case <-s.halt:
+			}
+			continue
+		}
+		now := time.Now()
+		next := s.queue[0].due
+		if next.After(now) {
+			s.mu.Unlock()
+			t := time.NewTimer(next.Sub(now))
+			select {
+			case <-t.C:
+			case <-s.wake:
+				t.Stop()
+			case <-s.halt:
+				t.Stop()
+			}
+			continue
+		}
+		d := heap.Pop(&s.queue).(deferred)
+		s.mu.Unlock()
+		s.deliver(d)
+	}
+}
+
+// deliver completes one deferred envelope. The sender was told nil at
+// Send time, so a substrate refusal here must be counted by the shaper
+// or the envelope would vanish from the books.
+func (s *ShapedNet) deliver(d deferred) {
+	if err := d.ep.Send(d.to, d.buf); err != nil {
+		s.drops.Add(1)
+	}
+}
+
+// takeLocked runs the token bucket for one directed link. Callers hold
+// s.mu.
+func (s *ShapedNet) takeLocked(from, to, size int, p *Profile) bool {
+	burst := float64(p.Burst)
+	if burst <= 0 {
+		burst = float64(p.Rate) / 8
+		if burst < 16384 {
+			burst = 16384
+		}
+	}
+	key := uint64(uint32(from))<<32 | uint64(uint32(to))
+	now := time.Now()
+	b := s.links[key]
+	if b == nil {
+		b = &linkBucket{tokens: burst, last: now}
+		s.links[key] = b
+	}
+	b.tokens += now.Sub(b.last).Seconds() * float64(p.Rate)
+	b.last = now
+	if b.tokens > burst {
+		b.tokens = burst
+	}
+	if b.tokens < float64(size) {
+		return false
+	}
+	b.tokens -= float64(size)
+	return true
+}
+
+type shapedEndpoint struct {
+	s     *ShapedNet
+	id    int
+	inner Transport
+}
+
+// Send applies the profile to one envelope. Shaper losses return nil —
+// the sender learns nothing, like a real network — and are counted in
+// Drops(); hard substrate failures on the synchronous path surface as
+// errors exactly as they would unshaped.
+func (e *shapedEndpoint) Send(to int, buf []byte) error {
+	s := e.s
+	p := s.prof.Load()
+	tags := s.outage.Load()
+	if p.inert() && tags == nil {
+		return e.inner.Send(to, buf)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	if tags != nil {
+		tg := *tags
+		var a, b int32
+		if e.id >= 0 && e.id < len(tg) {
+			a = tg[e.id]
+		}
+		if to >= 0 && to < len(tg) {
+			b = tg[to]
+		}
+		if a != b {
+			ol := p.OutageLoss
+			if ol <= 0 {
+				ol = 1
+			}
+			if ol >= 1 || s.rng.Float64() < ol {
+				s.drops.Add(1)
+				s.mu.Unlock()
+				return nil
+			}
+		}
+	}
+	if p.Loss > 0 && s.rng.Float64() < p.Loss {
+		s.drops.Add(1)
+		s.mu.Unlock()
+		return nil
+	}
+	if p.Rate > 0 && !s.takeLocked(e.id, to, len(buf), p) {
+		s.drops.Add(1)
+		s.mu.Unlock()
+		return nil
+	}
+	d := p.Delay
+	if p.Jitter > 0 {
+		d += time.Duration(s.rng.Int63n(int64(p.Jitter)))
+	}
+	if p.Reorder > 0 && s.rng.Float64() < p.Reorder {
+		span := 3 * (p.Delay + p.Jitter)
+		if span <= 0 {
+			span = time.Millisecond
+		}
+		d += time.Duration(s.rng.Int63n(int64(span)))
+	}
+	if d <= 0 {
+		s.mu.Unlock()
+		return e.inner.Send(to, buf)
+	}
+	s.holdLocked(deferred{due: time.Now().Add(d), ep: e.inner, to: to, buf: buf})
+	s.mu.Unlock()
+	return nil
+}
+
+func (e *shapedEndpoint) LocalAddr() string { return e.inner.LocalAddr() }
+func (e *shapedEndpoint) Close() error      { return e.inner.Close() }

@@ -1,0 +1,445 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// shapeHarness attaches n counting endpoints through a ShapedNet over a
+// ChanNet substrate. Each receiver records the envelopes it got (the
+// exact slices — chan delivery shares the backing array, so any shaper
+// mutation would be visible here).
+type shapeHarness struct {
+	s   *ShapedNet
+	eps []Transport
+	mu  sync.Mutex
+	got [][]byte // delivery order per receiver id interleaved; guarded by mu
+	per []uint64 // deliveries per receiver
+}
+
+func newShapeHarness(t *testing.T, n int, p Profile) *shapeHarness {
+	t.Helper()
+	inner, err := NewChanNet(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &shapeHarness{s: Shape(inner, p), per: make([]uint64, n)}
+	for i := 0; i < n; i++ {
+		i := i
+		ep, err := h.s.Attach(i, func(buf []byte) {
+			h.mu.Lock()
+			h.got = append(h.got, buf)
+			h.per[i]++
+			h.mu.Unlock()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.eps = append(h.eps, ep)
+	}
+	return h
+}
+
+func (h *shapeHarness) delivered() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.got)
+}
+
+// mark encodes (from, seq) into a payload so receivers can verify the
+// bytes arrived exactly as sent.
+func mark(from, seq, size int) []byte {
+	if size < 8 {
+		size = 8
+	}
+	buf := make([]byte, size)
+	binary.LittleEndian.PutUint32(buf, uint32(from))
+	binary.LittleEndian.PutUint32(buf[4:], uint32(seq))
+	for i := 8; i < size; i++ {
+		buf[i] = byte(from*31 + seq + i)
+	}
+	return buf
+}
+
+// TestShapeConservation is the tentpole's books-balance property: under
+// delay, jitter, reorder AND loss, every envelope the shaper accepted is
+// either delivered or counted in Drops() once the net is closed — and
+// every delivered envelope is byte-identical to what its sender passed
+// in (the shaper held the same immutable slice, it never copied,
+// scribbled, or recycled one).
+func TestShapeConservation(t *testing.T) {
+	const n, perSender = 6, 200
+	h := newShapeHarness(t, n, Profile{
+		Seed:    42,
+		Delay:   200 * time.Microsecond,
+		Jitter:  400 * time.Microsecond,
+		Reorder: 0.2,
+		Loss:    0.1,
+	})
+	type sent struct {
+		live     []byte // the slice handed to Send (shaper must not touch it)
+		pristine []byte // private copy taken before Send
+	}
+	var mu sync.Mutex
+	var all []sent
+	var wg sync.WaitGroup
+	var sends atomic.Uint64
+	for from := 0; from < n; from++ {
+		from := from
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for seq := 0; seq < perSender; seq++ {
+				buf := mark(from, seq, 16+seq%64)
+				pristine := append([]byte(nil), buf...)
+				mu.Lock()
+				all = append(all, sent{live: buf, pristine: pristine})
+				mu.Unlock()
+				if err := h.eps[from].Send((from+1+seq)%n, buf); err != nil {
+					t.Errorf("send: %v", err)
+				}
+				sends.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if err := h.s.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if held := h.s.Held(); held != 0 {
+		t.Fatalf("%d envelopes still held after Close", held)
+	}
+	total := sends.Load()
+	got := uint64(h.delivered())
+	drops := h.s.Drops()
+	if got+drops != total {
+		t.Fatalf("conservation: sent %d != delivered %d + dropped %d", total, got, drops)
+	}
+	if drops == 0 {
+		t.Fatal("10% loss over 1200 sends dropped nothing; the loss path is dead")
+	}
+	// Ownership: the slice each sender handed over is untouched.
+	for i, s := range all {
+		if !bytes.Equal(s.live, s.pristine) {
+			t.Fatalf("sent buffer %d was mutated in flight", i)
+		}
+	}
+	// Delivery integrity: every received slice decodes to a marker that
+	// regenerates it exactly — contents were neither mutated nor cross-
+	// aliased with another envelope.
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, buf := range h.got {
+		from := int(binary.LittleEndian.Uint32(buf))
+		seq := int(binary.LittleEndian.Uint32(buf[4:]))
+		if want := mark(from, seq, len(buf)); !bytes.Equal(buf, want) {
+			t.Fatalf("delivered envelope (from=%d seq=%d) corrupted", from, seq)
+		}
+	}
+}
+
+// TestShapeFIFOWithoutJitter: pure delay is a conveyor belt — per-link
+// order is preserved exactly (the deferred queue breaks due-time ties by
+// send order).
+func TestShapeFIFOWithoutJitter(t *testing.T) {
+	h := newShapeHarness(t, 2, Profile{Seed: 7, Delay: time.Millisecond})
+	const k = 200
+	for seq := 0; seq < k; seq++ {
+		if err := h.eps[0].Send(1, mark(0, seq, 16)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for h.delivered() < k && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if err := h.s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.got) != k {
+		t.Fatalf("delivered %d of %d", len(h.got), k)
+	}
+	for i, buf := range h.got {
+		if seq := int(binary.LittleEndian.Uint32(buf[4:])); seq != i {
+			t.Fatalf("position %d got seq %d: FIFO broken without jitter", i, seq)
+		}
+	}
+}
+
+// TestShapeReorderHappens: with jitter and reorder configured, later
+// envelopes must sometimes overtake earlier ones — the condition the
+// WAN scenarios exist to create.
+func TestShapeReorderHappens(t *testing.T) {
+	h := newShapeHarness(t, 2, Profile{
+		Seed:    11,
+		Delay:   100 * time.Microsecond,
+		Jitter:  2 * time.Millisecond,
+		Reorder: 0.3,
+	})
+	const k = 300
+	for seq := 0; seq < k; seq++ {
+		if err := h.eps[0].Send(1, mark(0, seq, 16)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for h.delivered() < k && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if err := h.s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	inversions := 0
+	for i := 1; i < len(h.got); i++ {
+		a := int(binary.LittleEndian.Uint32(h.got[i-1][4:]))
+		b := int(binary.LittleEndian.Uint32(h.got[i][4:]))
+		if b < a {
+			inversions++
+		}
+	}
+	if inversions == 0 {
+		t.Fatal("300 jittered envelopes arrived perfectly ordered; reorder is not happening")
+	}
+}
+
+// TestShapeOutage: a regional outage cuts boundary-crossing links hard
+// (counted drops) while intra-region traffic flows; lifting it restores
+// everything.
+func TestShapeOutage(t *testing.T) {
+	h := newShapeHarness(t, 4, Profile{Seed: 3})
+	h.s.SetOutage([]int{2, 3}, true)
+	send := func(from, to int) {
+		t.Helper()
+		if err := h.eps[from].Send(to, mark(from, to, 16)); err != nil {
+			t.Fatalf("send %d->%d: %v", from, to, err)
+		}
+	}
+	send(0, 1) // outside: flows
+	send(2, 3) // inside the cut region: flows
+	send(0, 2) // crosses the boundary: eaten
+	send(3, 1) // crosses the boundary: eaten
+	if got, drops := h.delivered(), h.s.Drops(); got != 2 || drops != 2 {
+		t.Fatalf("during outage: delivered %d (want 2), drops %d (want 2)", got, drops)
+	}
+	h.s.SetOutage(nil, false)
+	send(0, 2)
+	if got := h.delivered(); got != 3 {
+		t.Fatalf("after heal: delivered %d (want 3)", got)
+	}
+	if err := h.s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShapeBandwidthPolices: a starved token bucket drops (and counts)
+// the overflow instead of queueing it.
+func TestShapeBandwidthPolices(t *testing.T) {
+	h := newShapeHarness(t, 2, Profile{Seed: 5, Rate: 1024, Burst: 2048})
+	const k = 64
+	for seq := 0; seq < k; seq++ {
+		if err := h.eps[0].Send(1, mark(0, seq, 256)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := h.s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, drops := uint64(h.delivered()), h.s.Drops()
+	if got+drops != k {
+		t.Fatalf("conservation under policing: %d + %d != %d", got, drops, k)
+	}
+	// 64×256B = 16KiB burst against a 2KiB bucket: most must be policed.
+	if drops == 0 {
+		t.Fatal("16KiB burst through a 2KiB bucket dropped nothing")
+	}
+	if got == 0 {
+		t.Fatal("the burst head should fit the initial bucket")
+	}
+}
+
+// TestShapeInertFastPath: the zero profile delegates synchronously —
+// no dispatcher, no holds, delivery completes inside Send.
+func TestShapeInertFastPath(t *testing.T) {
+	h := newShapeHarness(t, 2, Profile{})
+	if err := h.eps[0].Send(1, mark(0, 0, 16)); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.delivered(); got != 1 {
+		t.Fatalf("inert profile should deliver synchronously, got %d", got)
+	}
+	if held := h.s.Held(); held != 0 {
+		t.Fatalf("inert profile held %d envelopes", held)
+	}
+	if drops := h.s.Drops(); drops != 0 {
+		t.Fatalf("inert profile dropped %d", drops)
+	}
+	if err := h.s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShapeCloseFlushesHeld: envelopes still in flight when Close lands
+// are delivered (not leaked), keeping the books balanced at teardown.
+func TestShapeCloseFlushesHeld(t *testing.T) {
+	h := newShapeHarness(t, 2, Profile{Seed: 9, Delay: time.Hour}) // never due on its own
+	const k = 50
+	for seq := 0; seq < k; seq++ {
+		if err := h.eps[0].Send(1, mark(0, seq, 16)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if held := h.s.Held(); held != k {
+		t.Fatalf("held %d of %d", held, k)
+	}
+	if err := h.s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got, drops := uint64(h.delivered()), h.s.Drops(); got+drops != k || got == 0 {
+		t.Fatalf("flush: delivered %d + dropped %d != sent %d", got, drops, k)
+	}
+}
+
+// TestShapeRebindDelegation: Shape over a rebindable substrate rebinds;
+// over ChanNet it reports the substrate cannot.
+func TestShapeRebindDelegation(t *testing.T) {
+	inner, err := NewUDPNet(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Shape(inner, Profile{})
+	var got atomic.Uint64
+	for i := 0; i < 2; i++ {
+		if _, err := s.Attach(i, func([]byte) { got.Add(1) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := inner.table.Load().addrs[1].String()
+	addr, err := s.Rebind(1)
+	if err != nil {
+		t.Fatalf("rebind through shaper: %v", err)
+	}
+	if addr == before {
+		t.Fatalf("rebind kept address %s", addr)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	chanInner, _ := NewChanNet(2)
+	cs := Shape(chanInner, Profile{})
+	if _, err := cs.Rebind(0); err == nil {
+		t.Fatal("chan substrate claimed it can rebind")
+	}
+	_ = cs.Close()
+}
+
+// TestUDPRebindKeepsDelivering: the make-before-break move loses nothing
+// — datagrams sent before and after the rebind all arrive, and the
+// peer's address changes.
+func TestUDPRebindKeepsDelivering(t *testing.T) {
+	u, err := NewUDPNet(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got atomic.Uint64
+	ep0, err := u.Attach(0, func([]byte) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep1, err := u.Attach(1, func([]byte) { got.Add(1) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := ep1.LocalAddr()
+	const k = 20
+	for i := 0; i < k; i++ {
+		if err := ep0.Send(1, mark(0, i, 32)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	addr, err := u.Rebind(1)
+	if err != nil {
+		t.Fatalf("rebind: %v", err)
+	}
+	if addr == before || ep1.LocalAddr() != addr {
+		t.Fatalf("rebind address: before=%s after=%s endpoint=%s", before, addr, ep1.LocalAddr())
+	}
+	for i := 0; i < k; i++ {
+		if err := ep0.Send(1, mark(0, k+i, 32)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := u.Close(); err != nil { // quiesces: both sockets drain first
+		t.Fatal(err)
+	}
+	if got.Load() != 2*k {
+		t.Fatalf("delivered %d of %d across a rebind", got.Load(), 2*k)
+	}
+	if _, err := u.Rebind(1); err == nil {
+		t.Fatal("rebind after Close succeeded")
+	}
+}
+
+// TestShapeAttachGrowth: a joiner attaching through the shaper grows the
+// substrate exactly as it would unshaped.
+func TestShapeAttachGrowth(t *testing.T) {
+	h := newShapeHarness(t, 2, Profile{Seed: 1, Delay: 100 * time.Microsecond})
+	var got atomic.Uint64
+	ep2, err := h.s.Attach(2, func([]byte) { got.Add(1) })
+	if err != nil {
+		t.Fatalf("grow through shaper: %v", err)
+	}
+	if err := ep2.Send(0, mark(2, 0, 16)); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.eps[0].Send(2, mark(0, 0, 16)); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got.Load() != 1 || h.delivered() != 1 {
+		t.Fatalf("joiner traffic: joiner got %d, founders got %d", got.Load(), h.delivered())
+	}
+}
+
+func BenchmarkShapedSend(b *testing.B) {
+	bench := func(b *testing.B, p Profile) {
+		inner, _ := NewChanNet(2)
+		s := Shape(inner, p)
+		defer s.Close()
+		_, _ = s.Attach(1, func([]byte) {})
+		ep, _ := s.Attach(0, func([]byte) {})
+		buf := mark(0, 0, 512)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = ep.Send(1, buf)
+		}
+	}
+	b.Run("inert", func(b *testing.B) { bench(b, Profile{}) })
+	b.Run("loss-only", func(b *testing.B) { bench(b, Profile{Seed: 1, Loss: 0.01}) })
+	b.Run("deferred", func(b *testing.B) {
+		bench(b, Profile{Seed: 1, Delay: 50 * time.Microsecond, Jitter: 50 * time.Microsecond})
+	})
+	b.Run("unshaped-baseline", func(b *testing.B) {
+		inner, _ := NewChanNet(2)
+		defer inner.Close()
+		_, _ = inner.Attach(1, func([]byte) {})
+		ep, _ := inner.Attach(0, func([]byte) {})
+		buf := mark(0, 0, 512)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = ep.Send(1, buf)
+		}
+	})
+}

@@ -37,11 +37,17 @@ type udpTable struct {
 	conns    []*net.UDPConn
 	addrs    []*net.UDPAddr
 	attached []bool
+	handlers []Handler // kept so Rebind can start the new socket's reader
 }
 
 type UDPNet struct {
 	table atomic.Pointer[udpTable]
-	mu    sync.Mutex // serialises Attach (table growth) against Close
+	mu    sync.Mutex // serialises Attach/Rebind (table growth) against Close
+
+	// retired holds the pre-rebind socket of every moved peer: Rebind is
+	// make-before-break, so the old socket keeps draining datagrams that
+	// were addressed to it until Close — a rebind loses nothing.
+	retired []*net.UDPConn
 
 	readers sync.WaitGroup
 	// sentD/recvD count datagrams accepted by and read back from the
@@ -75,6 +81,7 @@ func NewUDPNet(n int) (*UDPNet, error) {
 		conns:    make([]*net.UDPConn, n),
 		addrs:    make([]*net.UDPAddr, n),
 		attached: make([]bool, n),
+		handlers: make([]Handler, n),
 	}
 	u.table.Store(tbl)
 	for i := 0; i < n; i++ {
@@ -109,15 +116,7 @@ func (u *UDPNet) Attach(id int, h Handler) (Transport, error) {
 	}
 	// Copy-on-write even for pre-sized slots: a concurrent Send must
 	// never observe a half-written table.
-	n := max(len(tbl.conns), id+1)
-	grown := &udpTable{
-		conns:    make([]*net.UDPConn, n),
-		addrs:    make([]*net.UDPAddr, n),
-		attached: make([]bool, n),
-	}
-	copy(grown.conns, tbl.conns)
-	copy(grown.addrs, tbl.addrs)
-	copy(grown.attached, tbl.attached)
+	grown := tbl.grow(max(len(tbl.conns), id+1))
 	if grown.conns[id] == nil {
 		conn, err := bindLoopback()
 		if err != nil {
@@ -127,10 +126,59 @@ func (u *UDPNet) Attach(id int, h Handler) (Transport, error) {
 		grown.addrs[id] = conn.LocalAddr().(*net.UDPAddr)
 	}
 	grown.attached[id] = true
+	grown.handlers[id] = h
 	u.table.Store(grown)
 	u.readers.Add(1)
 	go u.readLoop(grown.conns[id], h)
 	return &udpEndpoint{net: u, id: id}, nil
+}
+
+// grow returns a copy-on-write copy of the table, sized for n peers. A
+// concurrent Send must never observe a half-written table, so every
+// mutation goes through a fresh copy.
+func (t *udpTable) grow(n int) *udpTable {
+	grown := &udpTable{
+		conns:    make([]*net.UDPConn, n),
+		addrs:    make([]*net.UDPAddr, n),
+		attached: make([]bool, n),
+		handlers: make([]Handler, n),
+	}
+	copy(grown.conns, t.conns)
+	copy(grown.addrs, t.addrs)
+	copy(grown.attached, t.attached)
+	copy(grown.handlers, t.handlers)
+	return grown
+}
+
+// Rebind implements Rebinder: peer id moves to a freshly bound loopback
+// socket — the live analogue of a mobile peer changing address. The
+// move is make-before-break: the new socket (and its reader) is running
+// before the table swap, and the old socket keeps draining until
+// Net.Close, so a datagram in flight toward the old address is still
+// received and counted. The cost is one lingering socket per rebind for
+// the life of the net.
+func (u *UDPNet) Rebind(id int) (string, error) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if u.closed {
+		return "", ErrClosed
+	}
+	tbl := u.table.Load()
+	if id < 0 || id >= len(tbl.conns) || !tbl.attached[id] {
+		return "", fmt.Errorf("transport: cannot rebind unattached peer %d", id)
+	}
+	conn, err := bindLoopback()
+	if err != nil {
+		return "", fmt.Errorf("transport: rebind peer %d: %w", id, err)
+	}
+	u.readers.Add(1)
+	go u.readLoop(conn, tbl.handlers[id])
+	grown := tbl.grow(len(tbl.conns))
+	u.retired = append(u.retired, grown.conns[id])
+	grown.conns[id] = conn
+	grown.addrs[id] = conn.LocalAddr().(*net.UDPAddr)
+	u.table.Store(grown)
+	return grown.addrs[id].String(), nil
 }
 
 func (u *UDPNet) readLoop(conn *net.UDPConn, h Handler) {
@@ -167,6 +215,9 @@ func (u *UDPNet) Close() error {
 			if c != nil {
 				_ = c.Close()
 			}
+		}
+		for _, c := range u.retired {
+			_ = c.Close()
 		}
 		u.readers.Wait()
 	})
