@@ -7,7 +7,12 @@ PKGS    := ./...
 BENCH   ?= .
 OUT     ?= results
 
-.PHONY: all build test race bench microbench vet fmt-check ci fairbench clean
+.PHONY: all build test race bench microbench vet fmt-check fairvet staticcheck lint ci fairbench clean
+
+# staticcheck is version-pinned: a drifting linter turns every upgrade
+# into a triage session. Bump deliberately, re-triage, update
+# staticcheck.conf (see LINTING.md).
+STATICCHECK_VERSION := 2025.1.1
 
 all: build
 
@@ -42,7 +47,31 @@ vet:
 fmt-check:
 	@fmt_out=$$(gofmt -l .); if [ -n "$$fmt_out" ]; then echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; fi
 
-ci: fmt-check vet build test race
+# fairvet is the project's own vet: the analyzers in internal/analysis
+# machine-enforce the repo invariants (fixed-seed determinism, drop
+# conservation, buffer ownership, copy-on-write, hot-path allocation
+# discipline). Zero unsuppressed findings, every escape hatch verified.
+fairvet:
+	$(GO) run ./cmd/fairvet $(PKGS)
+
+# staticcheck runs only when the pinned binary is available (the tool
+# is an external module; offline or hermetic builds skip it with a
+# notice rather than failing). Config lives in staticcheck.conf.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		ver=$$(staticcheck -version 2>/dev/null || true); \
+		case "$$ver" in \
+		*$(STATICCHECK_VERSION)*) ;; \
+		*) echo "staticcheck: $$ver (pinned: $(STATICCHECK_VERSION)) — results may drift";; \
+		esac; \
+		staticcheck $(PKGS); \
+	else \
+		echo "staticcheck $(STATICCHECK_VERSION) not installed; skipping (see LINTING.md)"; \
+	fi
+
+lint: fmt-check vet fairvet staticcheck
+
+ci: lint build test race
 
 # Regenerate every experiment table + CSVs + the BENCH_<date>.json run
 # record (see PERFORMANCE.md).

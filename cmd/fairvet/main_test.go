@@ -1,0 +1,35 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestListCatalogue(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("fairvet -list = %d, stderr: %s", code, errb.String())
+	}
+	for _, rule := range []string{"determinism", "dropacct", "bufown", "cowatomic", "hotpath", "directive"} {
+		if !strings.Contains(out.String(), rule+"\n") {
+			t.Errorf("catalogue is missing rule %q:\n%s", rule, out.String())
+		}
+	}
+}
+
+func TestUnknownRuleSubset(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-rules", "nosuchrule"}, &out, &errb); code != 2 {
+		t.Fatalf("fairvet -rules nosuchrule = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "no known rules") {
+		t.Errorf("stderr = %q, want a no-known-rules complaint", errb.String())
+	}
+}
+
+func TestSelfClean(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"."}, &out, &errb); code != 0 {
+		t.Fatalf("fairvet over its own package = %d, want 0\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+}

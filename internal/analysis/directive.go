@@ -1,0 +1,116 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// The //fair: comment vocabulary. Directives are ordinary line comments
+// beginning with "//fair:" (no space, like //go: directives):
+//
+//	//fair:ignore <rule> <reason>   suppress rule's finding on this or
+//	                                the next line; the reason is
+//	                                mandatory and the driver verifies
+//	                                the comment actually suppresses
+//	                                something — stale or unjustified
+//	                                ignores are themselves findings.
+//	//fair:wallclock <reason>       the audited escape hatch for the
+//	                                determinism rule's wallclock
+//	                                category only (time.Now and
+//	                                friends); same verification.
+//	//fair:hotpath                  marks the following function as an
+//	                                allocation-free hot path; the
+//	                                hotpath rule checks its body.
+//	//fair:deterministic            marks the file's package as
+//	                                sim-deterministic, extending the
+//	                                determinism rule's built-in package
+//	                                list (fixtures use this; new sim
+//	                                packages should too).
+const (
+	DirIgnore        = "ignore"
+	DirWallclock     = "wallclock"
+	DirHotpath       = "hotpath"
+	DirDeterministic = "deterministic"
+)
+
+// A Directive is one parsed //fair: comment.
+type Directive struct {
+	Comment *ast.Comment
+	Kind    string // one of the Dir* constants, or the raw unknown word
+	Known   bool   // Kind is one of the Dir* constants
+	Rule    string // DirIgnore only: the rule being suppressed
+	Reason  string // DirIgnore, DirWallclock: the justification
+}
+
+// ParseDirectives returns every //fair: directive in the file, in
+// source order.
+func ParseDirectives(f *ast.File) []Directive {
+	var ds []Directive
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if d, ok := parseDirective(c); ok {
+				ds = append(ds, d)
+			}
+		}
+	}
+	return ds
+}
+
+func parseDirective(c *ast.Comment) (Directive, bool) {
+	text, ok := strings.CutPrefix(c.Text, "//fair:")
+	if !ok {
+		return Directive{}, false
+	}
+	// Fixture files append `// want "..."` expectations to the same
+	// comment; they are not part of the directive.
+	if i := strings.Index(text, "// want"); i >= 0 {
+		text = text[:i]
+	}
+	d := Directive{Comment: c}
+	fields := strings.Fields(text)
+	if len(fields) == 0 {
+		d.Kind = ""
+		return d, true
+	}
+	d.Kind = fields[0]
+	switch d.Kind {
+	case DirIgnore:
+		if len(fields) > 1 {
+			d.Rule = fields[1]
+		}
+		d.Reason = strings.Join(fields[2:], " ")
+		d.Known = true
+	case DirWallclock:
+		d.Reason = strings.Join(fields[1:], " ")
+		d.Known = true
+	case DirHotpath, DirDeterministic:
+		d.Known = true
+	}
+	return d, true
+}
+
+// HasDirective reports whether the comment group contains a //fair:
+// directive of the given kind (used to find //fair:hotpath function
+// annotations and //fair:deterministic package markers).
+func HasDirective(cg *ast.CommentGroup, kind string) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		if d, ok := parseDirective(c); ok && d.Kind == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// FileMarkedDeterministic reports whether any comment in the file is a
+// //fair:deterministic package marker.
+func FileMarkedDeterministic(f *ast.File) bool {
+	for _, d := range ParseDirectives(f) {
+		if d.Kind == DirDeterministic {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,132 @@
+package rules
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"fairgossip/internal/analysis"
+)
+
+// BufOwn machine-checks the transport ownership contract: a buffer
+// passed to Send is immutable from that moment on — in-process
+// transports hand the same backing array to the receiver, a fanout
+// shares one encoding across all destinations, and the WAN shaper's
+// deferred heap holds the bytes for later delivery. Writing into the
+// buffer afterwards is the encode-once aliasing hazard the live
+// runtime fixed by convention (receivers decode copies they own); this
+// rule keeps the convention from regressing.
+var BufOwn = &analysis.Analyzer{
+	Name: "bufown",
+	Doc:  "Flags writes into a []byte after it has been handed to a transport Send or captured into a held record (the shaper's deferred heap): element stores, copy-into, and append all alias the bytes a receiver may already hold. Rebinding the variable to a fresh buffer ends the restriction.",
+	Run:  runBufOwn,
+}
+
+// bufEvent is one source-ordered fact about a tracked buffer variable.
+type bufEvent struct {
+	pos  token.Pos
+	kind int // evHandoff, evWrite, evKill
+	node ast.Node
+	what string
+}
+
+const (
+	evHandoff = iota
+	evWrite
+	evKill
+)
+
+func runBufOwn(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFuncBuffers(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkFuncBuffers(pass *analysis.Pass, fn *ast.FuncDecl) {
+	info := pass.TypesInfo
+	events := make(map[types.Object][]bufEvent)
+	add := func(obj types.Object, ev bufEvent) {
+		if obj != nil {
+			events[obj] = append(events[obj], ev)
+		}
+	}
+	byteVar := func(e ast.Expr) types.Object {
+		obj := ident(info, e)
+		if obj == nil || !isByteSlice(obj.Type()) {
+			return nil
+		}
+		return obj
+	}
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isTransportSend(info, n) && len(n.Args) == 2 {
+				add(byteVar(n.Args[1]), bufEvent{pos: n.Pos(), kind: evHandoff, node: n, what: "Send"})
+			}
+			switch builtinName(info, n) {
+			case "copy":
+				if len(n.Args) == 2 {
+					add(byteVar(n.Args[0]), bufEvent{pos: n.Pos(), kind: evWrite, node: n, what: "copy into"})
+				}
+			case "append":
+				if len(n.Args) > 0 {
+					add(byteVar(n.Args[0]), bufEvent{pos: n.Pos(), kind: evWrite, node: n, what: "append to"})
+				}
+			}
+		case *ast.CompositeLit:
+			// Capturing the buffer into a record (the shaper's deferred
+			// heap holds envelopes this way) hands ownership off just
+			// like Send does.
+			for _, elt := range n.Elts {
+				kv, ok := elt.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				add(byteVar(kv.Value), bufEvent{pos: kv.Pos(), kind: evHandoff, node: n, what: "a held record"})
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				switch l := lhs.(type) {
+				case *ast.IndexExpr:
+					add(byteVar(l.X), bufEvent{pos: l.Pos(), kind: evWrite, node: l, what: "element write to"})
+				case *ast.Ident:
+					// Rebinding to a fresh buffer ends the hand-off; order
+					// the kill at the statement's end so a same-statement
+					// `buf = append(buf, ...)` still reads as a write to
+					// the old backing array first.
+					add(byteVar(l), bufEvent{pos: n.End(), kind: evKill, node: n})
+				}
+			}
+		}
+		return true
+	})
+
+	for obj, evs := range events {
+		sort.Slice(evs, func(i, j int) bool { return evs[i].pos < evs[j].pos })
+		handed := false
+		handedTo := ""
+		for _, ev := range evs {
+			switch ev.kind {
+			case evHandoff:
+				handed, handedTo = true, ev.what
+			case evKill:
+				handed = false
+			case evWrite:
+				if handed {
+					pass.Reportf(ev.pos, "aliased",
+						"%s %s after it was handed to %s: the receiver shares the backing array (buffers are immutable once sent — encode a fresh buffer instead)",
+						ev.what, obj.Name(), handedTo)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package rules
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"fairgossip/internal/analysis"
+)
+
+// CowAtomic guards the copy-on-write publication discipline: every
+// lock-free read path in the repo (the transport handler tables, the
+// fairness ledger's chunk index, the live peer table) publishes state
+// behind an atomic.Pointer and mutates only fresh copies. Writing
+// through a Load'ed alias races every concurrent reader — exactly the
+// half-written-table bug COW exists to prevent.
+var CowAtomic = &analysis.Analyzer{
+	Name: "cowatomic",
+	Doc:  "Values published via atomic.Pointer must never be mutated through a Load'ed alias: flags field stores, element stores, copy-into, and *p = writes through (direct or aliased) results of atomic.Pointer.Load. Build a new value, then Store it.",
+	Run:  runCowAtomic,
+}
+
+const (
+	taintPtr = iota + 1 // p := x.ptr.Load()     — *T shared with readers
+	taintVal            // s := *x.ptr.Load()    — slice/map sharing backing
+)
+
+func runCowAtomic(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFuncCow(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkFuncCow(pass *analysis.Pass, fn *ast.FuncDecl) {
+	info := pass.TypesInfo
+	taint := make(map[types.Object]int)
+
+	// classify returns the taint a RHS expression would confer.
+	classify := func(e ast.Expr) int {
+		switch e := e.(type) {
+		case *ast.CallExpr:
+			if isAtomicPointerLoad(info, e) {
+				return taintPtr
+			}
+		case *ast.StarExpr:
+			if c, ok := e.X.(*ast.CallExpr); ok && isAtomicPointerLoad(info, c) {
+				return taintVal
+			}
+		case *ast.Ident:
+			return taint[info.ObjectOf(e)]
+		}
+		return 0
+	}
+
+	// The traversal visits statements in source order, so taints are
+	// recorded before the writes that follow them.
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i, lhs := range n.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						if obj := info.ObjectOf(id); obj != nil {
+							taint[obj] = classify(n.Rhs[i])
+						}
+					}
+				}
+			}
+			for _, lhs := range n.Lhs {
+				checkWrite(pass, info, taint, lhs)
+			}
+		case *ast.IncDecStmt:
+			checkWrite(pass, info, taint, n.X)
+		case *ast.CallExpr:
+			if builtinName(info, n) == "copy" && len(n.Args) == 2 {
+				if kind, root := spineTaint(info, taint, n.Args[0]); kind != 0 {
+					reportCow(pass, n.Pos(), root)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkWrite flags an assignment target whose base spine reaches a
+// Load'ed atomic.Pointer value.
+func checkWrite(pass *analysis.Pass, info *types.Info, taint map[types.Object]int, lhs ast.Expr) {
+	// A plain `x = ...` rebinds the variable; only writes *through* the
+	// alias (index, field, deref) mutate the shared value.
+	if _, ok := lhs.(*ast.Ident); ok {
+		return
+	}
+	if kind, root := spineTaint(info, taint, lhs); kind != 0 {
+		reportCow(pass, lhs.Pos(), root)
+	}
+}
+
+// spineTaint walks the base spine of an expression (index, selector,
+// star, paren, slice) and reports whether it bottoms out in a Load'ed
+// alias — a tainted identifier or a direct atomic.Pointer Load call.
+func spineTaint(info *types.Info, taint map[types.Object]int, e ast.Expr) (int, string) {
+	for {
+		switch x := e.(type) {
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			// A selector may resolve to a package or an unrelated
+			// object; keep walking the spine only for field accesses.
+			if sel, ok := info.Selections[x]; ok && sel.Kind() == types.FieldVal {
+				e = x.X
+				continue
+			}
+			return 0, ""
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.Ident:
+			obj := info.ObjectOf(x)
+			if k := taint[obj]; k != 0 {
+				return k, x.Name
+			}
+			return 0, ""
+		case *ast.CallExpr:
+			if isAtomicPointerLoad(info, x) {
+				return taintPtr, "the Load result"
+			}
+			return 0, ""
+		default:
+			return 0, ""
+		}
+	}
+}
+
+// isAtomicPointerLoad matches calls to (.*sync/atomic.Pointer[T]).Load.
+func isAtomicPointerLoad(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Load" {
+		return false
+	}
+	t := info.TypeOf(sel.X)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Pointer" && obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+func reportCow(pass *analysis.Pass, pos token.Pos, root string) {
+	pass.Reportf(pos, "alias",
+		"mutation through an atomic.Pointer alias (%s): readers share this value lock-free — build a fresh copy, mutate that, and Store it (copy-on-write)", root)
+}

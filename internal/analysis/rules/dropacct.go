@@ -1,0 +1,250 @@
+package rules
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"fairgossip/internal/analysis"
+)
+
+// DropAcct guards the conservation law the scenario invariants audit at
+// runtime: sent == recv + dropped, exactly. Every envelope a peer
+// stops carrying must land in a counted drop bucket; the two ways code
+// loses one silently are discarding a transport Send error and bailing
+// out of a full queue without counting.
+var DropAcct = &analysis.Analyzer{
+	Name: "dropacct",
+	Doc:  "A failed transport Send (method Send(int, []byte) error) must either count the loss in a drop bucket or propagate the error to a caller that does; flags discarded Send results, error branches that bail without accounting, and queue-rejection select defaults that lose an envelope uncounted.",
+	Run:  runDropAcct,
+}
+
+func runDropAcct(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if block, ok := n.(*ast.BlockStmt); ok {
+				checkBlock(pass, block)
+			}
+			if sel, ok := n.(*ast.SelectStmt); ok {
+				checkQueueReject(pass, sel)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkBlock classifies every transport Send whose statement lives
+// directly in this block.
+func checkBlock(pass *analysis.Pass, block *ast.BlockStmt) {
+	info := pass.TypesInfo
+	for i, stmt := range block.List {
+		switch s := stmt.(type) {
+		case *ast.ExprStmt:
+			if call := asSend(info, s.X); call != nil {
+				report(pass, call, "result of transport Send discarded: a refused send is a lost envelope — count it in a drop bucket or propagate the error")
+			}
+		case *ast.AssignStmt:
+			call := singleSendRHS(info, s)
+			if call == nil {
+				continue
+			}
+			errObj := assignTarget(info, s)
+			if errObj == nil {
+				report(pass, call, "transport Send error assigned to the blank identifier: a refused send is a lost envelope — count it in a drop bucket or propagate the error")
+				continue
+			}
+			checkErrUse(pass, call, errObj, block.List[i+1:])
+		case *ast.IfStmt:
+			init, ok := s.Init.(*ast.AssignStmt)
+			if !ok {
+				continue
+			}
+			call := singleSendRHS(info, init)
+			if call == nil {
+				continue
+			}
+			errObj := assignTarget(info, init)
+			if errObj == nil {
+				report(pass, call, "transport Send error assigned to the blank identifier inside an if: check it and count the loss")
+				continue
+			}
+			checkErrBranch(pass, call, errObj, s)
+		}
+	}
+}
+
+// asSend returns the call when expr is a transport Send invocation.
+func asSend(info *types.Info, expr ast.Expr) *ast.CallExpr {
+	call, ok := expr.(*ast.CallExpr)
+	if !ok || !isTransportSend(info, call) {
+		return nil
+	}
+	return call
+}
+
+// singleSendRHS matches `err := x.Send(...)` single-value assignments.
+func singleSendRHS(info *types.Info, s *ast.AssignStmt) *ast.CallExpr {
+	if len(s.Rhs) != 1 || len(s.Lhs) != 1 {
+		return nil
+	}
+	return asSend(info, s.Rhs[0])
+}
+
+// assignTarget returns the object bound to the single LHS, or nil for
+// the blank identifier.
+func assignTarget(info *types.Info, s *ast.AssignStmt) types.Object {
+	id, ok := s.Lhs[0].(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	return info.ObjectOf(id)
+}
+
+// checkErrUse follows a `err := x.Send(...)` statement: the first use
+// of err must be an if-check (analyzed branch-by-branch) or any other
+// genuine use (returning it, wrapping it). No use at all means the
+// error — and the envelope — evaporated.
+func checkErrUse(pass *analysis.Pass, call *ast.CallExpr, errObj types.Object, rest []ast.Stmt) {
+	for _, stmt := range rest {
+		ifs, ok := stmt.(*ast.IfStmt)
+		if ok && usesObj(pass.TypesInfo, ifs.Cond, errObj) {
+			checkErrBranch(pass, call, errObj, ifs)
+			return
+		}
+		if usesObj(pass.TypesInfo, stmt, errObj) {
+			return // propagated or handled some other explicit way
+		}
+	}
+	report(pass, call, "transport Send error is never checked: a refused send is a lost envelope — count it in a drop bucket or propagate the error")
+}
+
+// checkErrBranch audits the branch taken when the Send failed: it must
+// count a drop, propagate the error, or panic. `continue`-and-forget
+// and empty else-arms are exactly the silent losses the conservation
+// audit can only catch after the fact.
+func checkErrBranch(pass *analysis.Pass, call *ast.CallExpr, errObj types.Object, ifs *ast.IfStmt) {
+	var failBranch []ast.Stmt
+	switch cond := ifs.Cond.(type) {
+	case *ast.BinaryExpr:
+		lhsIsErr := usesObj(pass.TypesInfo, cond.X, errObj) || usesObj(pass.TypesInfo, cond.Y, errObj)
+		switch {
+		case cond.Op == token.NEQ && lhsIsErr:
+			failBranch = ifs.Body.List
+		case cond.Op == token.EQL && lhsIsErr:
+			if ifs.Else == nil {
+				report(pass, call, "transport Send error checked with == nil but the failure path falls through uncounted: add an else that counts the drop or propagates")
+				return
+			}
+			switch e := ifs.Else.(type) {
+			case *ast.BlockStmt:
+				failBranch = e.List
+			default:
+				failBranch = []ast.Stmt{ifs.Else}
+			}
+		default:
+			return // unusual condition shape: give the author the benefit of the doubt
+		}
+	default:
+		return
+	}
+	if branchAccounts(pass.TypesInfo, failBranch, errObj) {
+		return
+	}
+	report(pass, call, "failure path after transport Send neither counts a drop nor propagates the error: the envelope is lost uncounted and sent == recv + dropped breaks")
+}
+
+// branchAccounts reports whether the failure branch counts the loss
+// (mentions a drop bucket), propagates the error (a return referencing
+// it), or panics.
+func branchAccounts(info *types.Info, stmts []ast.Stmt, errObj types.Object) bool {
+	if mentionsDrop(stmts) {
+		return true
+	}
+	ok := false
+	for _, s := range stmts {
+		ast.Inspect(s, func(n ast.Node) bool {
+			if ok {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.ReturnStmt:
+				for _, r := range n.Results {
+					if usesObj(info, r, errObj) {
+						ok = true
+					}
+				}
+			case *ast.CallExpr:
+				if id, isIdent := n.Fun.(*ast.Ident); isIdent && id.Name == "panic" {
+					ok = true
+				}
+			}
+			return !ok
+		})
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// checkQueueReject audits non-blocking envelope enqueues: a select
+// that sends a []byte (or a struct carrying one) and has a default arm
+// is the inbox-overflow pattern; the default arm is a counted drop or
+// it is a silent loss.
+func checkQueueReject(pass *analysis.Pass, sel *ast.SelectStmt) {
+	var envelopeSend *ast.SendStmt
+	var defaultArm *ast.CommClause
+	for _, c := range sel.Body.List {
+		cc := c.(*ast.CommClause)
+		if cc.Comm == nil {
+			defaultArm = cc
+			continue
+		}
+		if send, ok := cc.Comm.(*ast.SendStmt); ok {
+			if ch, ok := pass.TypesInfo.TypeOf(send.Chan).Underlying().(*types.Chan); ok && carriesBytes(ch.Elem()) {
+				envelopeSend = send
+			}
+		}
+	}
+	if envelopeSend == nil || defaultArm == nil {
+		return
+	}
+	if !mentionsDrop(defaultArm.Body) {
+		pass.Report(defaultArm.Pos(), "queue",
+			"queue rejection discards an envelope without counting: the default arm of a non-blocking enqueue must record the loss in a drop bucket (inbox overflow is a counted drop, like a saturated socket buffer)")
+	}
+}
+
+// carriesBytes reports whether t is []byte or a struct with a []byte
+// field — the shapes an encoded envelope travels in.
+func carriesBytes(t types.Type) bool {
+	if isByteSlice(t) {
+		return true
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if isByteSlice(st.Field(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+func usesObj(info *types.Info, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.ObjectOf(id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func report(pass *analysis.Pass, call *ast.CallExpr, msg string) {
+	pass.Report(call.Pos(), "send", msg)
+}

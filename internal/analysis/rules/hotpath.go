@@ -1,0 +1,344 @@
+package rules
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+
+	"fairgossip/internal/analysis"
+)
+
+// Hotpath complements the AllocsPerRun regression tests with
+// source-level diagnostics: the runtime pins catch an allocation after
+// it ships, this rule names the allocating construct in review. A
+// function opts in with //fair:hotpath in its doc comment; the
+// annotated bodies are the per-message and per-round paths the
+// million-peer sharded kernel will execute trillions of times.
+var Hotpath = &analysis.Analyzer{
+	Name: "hotpath",
+	Doc:  "Functions annotated //fair:hotpath may not contain allocating constructs: closures, go/defer, make/new, &composite and slice/map literals, appends that can grow beyond reused scratch (s[:0] reuse is fine), string concatenation, string<->[]byte conversions, boxing a non-pointer value into an interface, or method values. //fair:ignore hotpath <reason> audits the deliberate exceptions.",
+	Run:  runHotpath,
+}
+
+func runHotpath(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		// Every //fair:hotpath directive must sit in some function's doc
+		// comment: a floating annotation pins nothing and would rot.
+		funcDocs := make(map[*ast.Comment]bool)
+		var hot []*ast.FuncDecl
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if fn.Doc != nil {
+				for _, c := range fn.Doc.List {
+					funcDocs[c] = true
+				}
+			}
+			if analysis.HasDirective(fn.Doc, analysis.DirHotpath) {
+				hot = append(hot, fn)
+			}
+		}
+		for _, d := range analysis.ParseDirectives(f) {
+			if d.Kind == analysis.DirHotpath && !funcDocs[d.Comment] {
+				pass.Report(d.Comment.Pos(), "misplaced",
+					"//fair:hotpath must be part of a function's doc comment; this one annotates nothing")
+			}
+		}
+		for _, fn := range hot {
+			if fn.Body != nil {
+				checkHotBody(pass, fn)
+			}
+		}
+	}
+	return nil
+}
+
+func checkHotBody(pass *analysis.Pass, fn *ast.FuncDecl) {
+	info := pass.TypesInfo
+	defs := collectDefs(info, fn.Body)
+	results := fnResults(info, fn)
+
+	// Method-value detection needs to know which selectors are callee
+	// positions (those are direct calls, not bound closures).
+	callees := make(map[ast.Expr]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			callees[call.Fun] = true
+		}
+		return true
+	})
+
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			pass.Report(n.Pos(), "closure",
+				"closure literal in a hot path: captures allocate and the call is dynamic — hoist the state or pass it explicitly")
+			return false // the closure body is cold code by definition
+		case *ast.GoStmt:
+			pass.Report(n.Pos(), "go",
+				"go statement in a hot path: spawning allocates a stack — hot paths run on their caller's goroutine")
+		case *ast.DeferStmt:
+			pass.Report(n.Pos(), "defer",
+				"defer in a hot path: deferred calls cost setup work per invocation — unwind explicitly")
+		case *ast.CallExpr:
+			checkHotCall(pass, info, defs, n)
+		case *ast.UnaryExpr:
+			if _, ok := n.X.(*ast.CompositeLit); ok {
+				pass.Report(n.Pos(), "lit",
+					"&composite literal in a hot path escapes to the heap: reuse a pooled or scratch value")
+			}
+		case *ast.CompositeLit:
+			if t := info.TypeOf(n); t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice, *types.Map:
+					pass.Report(n.Pos(), "lit",
+						"slice/map literal in a hot path allocates: reuse scratch storage")
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op.String() == "+" {
+				if t := info.TypeOf(n); t != nil {
+					if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						pass.Report(n.Pos(), "concat",
+							"string concatenation in a hot path allocates: append into a reused []byte instead")
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Lhs {
+					checkIfaceAssign(pass, info, n.Lhs[i], n.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			if n.Type != nil {
+				if t := info.TypeOf(n.Type); t != nil && types.IsInterface(t) {
+					for _, v := range n.Values {
+						checkBoxing(pass, info, t, v)
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			for i, r := range n.Results {
+				if i < len(results) && types.IsInterface(results[i]) {
+					checkBoxing(pass, info, results[i], r)
+				}
+			}
+		case *ast.SelectorExpr:
+			if !callees[n] {
+				if sel, ok := info.Selections[n]; ok && sel.Kind() == types.MethodVal {
+					pass.Report(n.Pos(), "methodvalue",
+						"method value in a hot path allocates a bound closure: call the method directly or pass the receiver")
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(fn.Body, walk)
+}
+
+// checkHotCall audits one call: allocating builtins, growing appends,
+// allocating conversions, and implicit boxing at interface parameters.
+func checkHotCall(pass *analysis.Pass, info *types.Info, defs map[types.Object]ast.Expr, call *ast.CallExpr) {
+	switch builtinName(info, call) {
+	case "make":
+		pass.Report(call.Pos(), "make", "make in a hot path allocates: hoist the buffer and reuse it")
+		return
+	case "new":
+		pass.Report(call.Pos(), "make", "new in a hot path allocates: reuse a pooled value")
+		return
+	case "append":
+		if len(call.Args) > 0 && !scratchReuse(info, defs, call.Args[0], 0) {
+			pass.Report(call.Pos(), "append",
+				"append that can grow in a hot path allocates: append into reused scratch (s = s[:0]) so growth amortizes to zero")
+		}
+		return
+	case "":
+	default:
+		return // other builtins (len, cap, copy, delete, ...) do not allocate
+	}
+
+	// Conversions: T(x).
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		target := tv.Type
+		if types.IsInterface(target) && len(call.Args) == 1 {
+			checkBoxing(pass, info, target, call.Args[0])
+			return
+		}
+		if len(call.Args) == 1 && stringBytesConv(info, target, call.Args[0]) {
+			pass.Report(call.Pos(), "conv",
+				"string<->[]byte conversion in a hot path copies and allocates: keep one representation end to end")
+		}
+		return
+	}
+
+	// Ordinary call: boxing at interface-typed parameters.
+	sig, ok := info.Types[call.Fun].Type.(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+			if i == params.Len()-1 && len(call.Args) == params.Len() && call.Ellipsis.IsValid() {
+				continue // s... forwards the existing slice
+			}
+			if types.IsInterface(pt) {
+				// The variadic slice itself is a fresh allocation even
+				// before any boxing.
+				pass.Reportf(arg.Pos(), "iface",
+					"variadic interface argument in a hot path allocates the argument slice (and boxes non-pointer values)")
+				continue
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if types.IsInterface(pt) {
+			checkBoxing(pass, info, pt, arg)
+		}
+	}
+}
+
+// checkBoxing flags storing a concrete non-pointer value into an
+// interface: the value is copied to the heap to fit behind the
+// interface's data word. Pointer-shaped values (pointers, channels,
+// maps, funcs, unsafe pointers) ride in the word directly; values
+// already of interface type convert for free.
+func checkBoxing(pass *analysis.Pass, info *types.Info, target types.Type, arg ast.Expr) {
+	at := info.TypeOf(arg)
+	if at == nil || types.IsInterface(at) {
+		return
+	}
+	if tv, ok := info.Types[arg]; ok && tv.IsNil() {
+		return
+	}
+	switch u := at.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return // pointer-shaped: rides in the interface word, no copy
+	case *types.Basic:
+		if u.Kind() == types.UnsafePointer {
+			return
+		}
+		// Non-pointer basics (ints, strings, floats) still box.
+	}
+	pass.Reportf(arg.Pos(), "iface",
+		"boxing a non-pointer %s into %s in a hot path allocates: pass a pointer or hoist the conversion out of the loop", at, target)
+}
+
+// scratchReuse reports whether the append target provably derives from
+// a s[:0]-style reset of reused scratch storage, the sanctioned
+// amortized-zero pattern (randutil.PermInto, live samplePeers).
+func scratchReuse(info *types.Info, defs map[types.Object]ast.Expr, e ast.Expr, depth int) bool {
+	if depth > 8 {
+		return false
+	}
+	switch e := e.(type) {
+	case *ast.SliceExpr:
+		if e.High == nil {
+			return false
+		}
+		if tv, ok := info.Types[e.High]; ok && tv.Value != nil {
+			if v, exact := constant.Int64Val(tv.Value); exact && v == 0 {
+				return true
+			}
+		}
+	case *ast.Ident:
+		obj := info.ObjectOf(e)
+		if rhs, ok := defs[obj]; ok {
+			return scratchReuse(info, defs, rhs, depth+1)
+		}
+	case *ast.CallExpr:
+		if builtinName(info, e) == "append" && len(e.Args) > 0 {
+			return scratchReuse(info, defs, e.Args[0], depth+1)
+		}
+	case *ast.ParenExpr:
+		return scratchReuse(info, defs, e.X, depth+1)
+	}
+	return false
+}
+
+// checkIfaceAssign flags assignments that box a concrete non-pointer
+// value into an interface-typed location.
+func checkIfaceAssign(pass *analysis.Pass, info *types.Info, lhs, rhs ast.Expr) {
+	lt := info.TypeOf(lhs)
+	if lt == nil || !types.IsInterface(lt) {
+		return
+	}
+	checkBoxing(pass, info, lt, rhs)
+}
+
+// collectDefs records each local's first defining expression, for the
+// scratch-reuse origin trace.
+func collectDefs(info *types.Info, body *ast.BlockStmt) map[types.Object]ast.Expr {
+	defs := make(map[types.Object]ast.Expr)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					if obj := info.ObjectOf(id); obj != nil {
+						if _, seen := defs[obj]; !seen {
+							defs[obj] = n.Rhs[i]
+						}
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				if i < len(n.Values) {
+					if obj := info.ObjectOf(name); obj != nil {
+						if _, seen := defs[obj]; !seen {
+							defs[obj] = n.Values[i]
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	return defs
+}
+
+func fnResults(info *types.Info, fn *ast.FuncDecl) []types.Type {
+	obj := info.ObjectOf(fn.Name)
+	if obj == nil {
+		return nil
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	var out []types.Type
+	for i := 0; i < sig.Results().Len(); i++ {
+		out = append(out, sig.Results().At(i).Type())
+	}
+	return out
+}
+
+// stringBytesConv reports a string([]byte) or []byte(string) crossing.
+func stringBytesConv(info *types.Info, target types.Type, arg ast.Expr) bool {
+	at := info.TypeOf(arg)
+	if at == nil {
+		return false
+	}
+	toString := false
+	if b, ok := target.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+		toString = true
+	}
+	fromString := false
+	if b, ok := at.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+		fromString = true
+	}
+	return (toString && isByteSlice(at)) || (fromString && isByteSlice(target))
+}

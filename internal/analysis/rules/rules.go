@@ -1,0 +1,147 @@
+// Package rules holds fairvet's project-law analyzers: each one turns
+// an invariant this repo otherwise enforces at runtime (fixed-seed
+// determinism, exact drop conservation, encode-once buffer ownership,
+// copy-on-write publication, allocation-free hot paths) into a
+// review-time diagnostic. See LINTING.md for the rule catalogue and the
+// invariant each rule guards.
+package rules
+
+import (
+	"go/ast"
+	"go/types"
+
+	"fairgossip/internal/analysis"
+)
+
+// All returns every fairvet analyzer, in stable order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		Determinism,
+		DropAcct,
+		BufOwn,
+		CowAtomic,
+		Hotpath,
+	}
+}
+
+// Known returns the full rule vocabulary //fair:ignore may name.
+func Known() map[string]bool {
+	m := make(map[string]bool)
+	for _, a := range All() {
+		m[a.Name] = true
+	}
+	return m
+}
+
+// ByName resolves a comma-separated subset for fairvet -rules.
+func ByName(names []string) []*analysis.Analyzer {
+	var out []*analysis.Analyzer
+	for _, n := range names {
+		for _, a := range All() {
+			if a.Name == n {
+				out = append(out, a)
+			}
+		}
+	}
+	return out
+}
+
+// isTransportSend reports whether call is a transport-style send: a
+// function or method named Send with signature (int, []byte) error —
+// the shape of transport.Transport.Send, matched structurally so
+// fixture stubs and future transports are covered without importing
+// the package under test.
+func isTransportSend(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Send" {
+		return false
+	}
+	sig, ok := info.Types[call.Fun].Type.(*types.Signature)
+	if !ok {
+		return false
+	}
+	params, results := sig.Params(), sig.Results()
+	if params.Len() != 2 || results.Len() != 1 {
+		return false
+	}
+	if b, ok := params.At(0).Type().Underlying().(*types.Basic); !ok || b.Kind() != types.Int {
+		return false
+	}
+	if !isByteSlice(params.At(1).Type()) {
+		return false
+	}
+	named, ok := results.At(0).Type().(*types.Named)
+	return ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil
+}
+
+func isByteSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+// builtinName returns the builtin's name when call invokes a Go
+// builtin (append, make, copy, delete, ...), else "".
+func builtinName(info *types.Info, call *ast.CallExpr) string {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if b, ok := info.Uses[id].(*types.Builtin); ok {
+		return b.Name()
+	}
+	return ""
+}
+
+// ident returns the object an identifier expression denotes, else nil.
+func ident(info *types.Info, e ast.Expr) types.Object {
+	if id, ok := e.(*ast.Ident); ok {
+		return info.ObjectOf(id)
+	}
+	return nil
+}
+
+// mentionsDrop reports whether any identifier or selector in the
+// statements names a drop bucket ("Drops", "dropped", ...): the
+// structural signal that a lost envelope was counted.
+func mentionsDrop(stmts []ast.Stmt) bool {
+	found := false
+	for _, s := range stmts {
+		ast.Inspect(s, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			if id, ok := n.(*ast.Ident); ok && containsFold(id.Name, "drop") {
+				found = true
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+func containsFold(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		ok := true
+		for j := 0; j < len(sub); j++ {
+			c := s[i+j]
+			if 'A' <= c && c <= 'Z' {
+				c += 'a' - 'A'
+			}
+			if c != sub[j] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}

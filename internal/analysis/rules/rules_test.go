@@ -1,0 +1,39 @@
+package rules_test
+
+import (
+	"testing"
+
+	"fairgossip/internal/analysis"
+	"fairgossip/internal/analysis/rules"
+)
+
+// Each fixture package seeds the violations one analyzer must catch
+// (and the clean patterns it must not); the `// want` comments are the
+// exact expectations, checked both ways.
+
+func TestDeterminismFixture(t *testing.T) {
+	analysis.RunFixture(t, "testdata", "determinism", []*analysis.Analyzer{rules.Determinism}, rules.Known())
+}
+
+func TestDropAcctFixture(t *testing.T) {
+	analysis.RunFixture(t, "testdata", "dropacct", []*analysis.Analyzer{rules.DropAcct}, rules.Known())
+}
+
+func TestBufOwnFixture(t *testing.T) {
+	analysis.RunFixture(t, "testdata", "bufown", []*analysis.Analyzer{rules.BufOwn}, rules.Known())
+}
+
+func TestCowAtomicFixture(t *testing.T) {
+	analysis.RunFixture(t, "testdata", "cowatomic", []*analysis.Analyzer{rules.CowAtomic}, rules.Known())
+}
+
+func TestHotpathFixture(t *testing.T) {
+	analysis.RunFixture(t, "testdata", "hotpath", []*analysis.Analyzer{rules.Hotpath}, rules.Known())
+}
+
+// TestIgnoreAuditFixture runs the full suite so every suppression audit
+// path fires: unknown directives, unknown rules, missing
+// justifications, stale ignores, and the one legal justified hatch.
+func TestIgnoreAuditFixture(t *testing.T) {
+	analysis.RunFixture(t, "testdata", "ignore", rules.All(), rules.Known())
+}

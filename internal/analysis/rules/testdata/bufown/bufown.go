@@ -1,0 +1,38 @@
+// Package bufown seeds writes into a []byte after its ownership moved
+// to a transport Send or a held record — the encode-once aliasing
+// hazard the rule exists to catch.
+package bufown
+
+type conn struct{}
+
+func (c *conn) Send(to int, buf []byte) error { return nil }
+
+type record struct {
+	data []byte
+}
+
+func writeAfterSend(c *conn, buf []byte) {
+	_ = c.Send(1, buf)
+	buf[0] = 0 // want `element write to buf after it was handed to Send`
+}
+
+func appendAfterSend(c *conn, buf []byte) []byte {
+	_ = c.Send(1, buf)
+	return append(buf, 0) // want `append to buf after it was handed to Send`
+}
+
+func copyAfterHold(held *record, buf []byte) {
+	*held = record{data: buf}
+	copy(buf, "xx") // want `copy into buf after it was handed to a held record`
+}
+
+func rebindIsFresh(c *conn, buf []byte) {
+	_ = c.Send(1, buf)
+	buf = make([]byte, 4)
+	buf[0] = 1 // rebound to a fresh buffer: the hand-off ended
+}
+
+func writeBeforeSend(c *conn, buf []byte) {
+	buf[0] = 9 // writes before the hand-off are the encoder's business
+	_ = c.Send(1, buf)
+}

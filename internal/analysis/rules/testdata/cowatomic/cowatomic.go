@@ -1,0 +1,57 @@
+// Package cowatomic seeds mutations through Load'ed aliases of
+// atomic.Pointer-published values — the half-written-table race the
+// copy-on-write discipline exists to prevent.
+package cowatomic
+
+import "sync/atomic"
+
+type table struct {
+	slots []int
+	hits  int
+}
+
+type registry struct {
+	cur atomic.Pointer[table]
+}
+
+func mutateField(r *registry) {
+	t := r.cur.Load()
+	t.hits++ // want `mutation through an atomic\.Pointer alias \(t\)`
+}
+
+func mutateElement(r *registry) {
+	t := r.cur.Load()
+	t.slots[0] = 1 // want `mutation through an atomic\.Pointer alias \(t\)`
+}
+
+func mutateDirect(r *registry) {
+	r.cur.Load().hits = 1 // want `mutation through an atomic\.Pointer alias \(the Load result\)`
+}
+
+func copyInto(r *registry, src []int) {
+	t := r.cur.Load()
+	copy(t.slots, src) // want `mutation through an atomic\.Pointer alias \(t\)`
+}
+
+func mutateValueCopy(r *registry) {
+	t := *r.cur.Load()
+	t.slots[0] = 3 // want `mutation through an atomic\.Pointer alias \(t\)`
+}
+
+func aliasPropagates(r *registry) {
+	t := r.cur.Load()
+	u := t
+	u.hits++ // want `mutation through an atomic\.Pointer alias \(u\)`
+}
+
+func readOnly(r *registry) int {
+	t := r.cur.Load()
+	return t.hits + t.slots[0] // reads through the alias are the whole point: clean
+}
+
+func copyOnWrite(r *registry) {
+	old := r.cur.Load()
+	fresh := &table{slots: append([]int(nil), old.slots...), hits: old.hits}
+	fresh.hits++ // a fresh private copy: clean
+	r.cur.Store(fresh)
+}

@@ -1,0 +1,77 @@
+// Package determinism seeds every violation class the determinism rule
+// catches, in a package that opts into the sim-deterministic contract
+// via the marker below (the fixture path is not on the built-in list).
+//
+//fair:deterministic
+package determinism
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func wallclock() time.Time {
+	return time.Now() // want `time\.Now in a sim-deterministic package`
+}
+
+func sleepy() {
+	time.Sleep(time.Millisecond) // want `time\.Sleep in a sim-deterministic package`
+}
+
+func escapeHatch() time.Time {
+	return time.Now() //fair:wallclock fixture demonstrates the audited escape hatch
+}
+
+func globalDraw() int {
+	return rand.Intn(10) // want `rand\.Intn draws from the process-global RNG`
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `rand\.Shuffle draws from the process-global RNG`
+}
+
+func seededDraw(rng *rand.Rand) int {
+	return rng.Intn(10) // methods on a seeded source are fine
+}
+
+func construct() *rand.Rand {
+	return rand.New(rand.NewSource(1)) // constructors stay allowed
+}
+
+func orderLeak(m map[int]int, sink func(int)) {
+	for k := range m { // want `map iteration order feeds ordering-sensitive logic`
+		sink(k)
+	}
+}
+
+func appendLeak(m map[int]int) []int {
+	var keys []int
+	for k := range m { // want `map iteration order feeds ordering-sensitive logic \(append in the loop body\)`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func collectThenSort(m map[int]int) []int {
+	var keys []int
+	for k := range m { // append-only body sorted below: the sanctioned repair
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+func commutative(m map[int]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func intoAnotherMap(src map[int]int, dst map[int]int) {
+	for k, v := range src { // map-to-map transfer observes no order
+		dst[k] = v
+	}
+}

@@ -1,0 +1,75 @@
+// Package dropacct seeds the ways code loses an envelope uncounted,
+// against a stub transport with the (int, []byte) error Send shape the
+// rule matches structurally.
+package dropacct
+
+type conn struct {
+	drops int
+}
+
+func (c *conn) Send(to int, buf []byte) error { return nil }
+
+var lastErr error
+
+func discard(c *conn, buf []byte) {
+	c.Send(1, buf) // want `result of transport Send discarded`
+}
+
+func blank(c *conn, buf []byte) {
+	_ = c.Send(1, buf) // want `transport Send error assigned to the blank identifier`
+}
+
+func stashed(c *conn, buf []byte) {
+	lastErr = c.Send(1, buf) // want `transport Send error is never checked`
+}
+
+func bailsSilently(c *conn, buf []byte) {
+	if err := c.Send(1, buf); err != nil { // want `failure path after transport Send neither counts a drop nor propagates`
+		return
+	}
+}
+
+func eqNilNoElse(c *conn, buf []byte) {
+	err := c.Send(1, buf) // want `transport Send error checked with == nil but the failure path falls through uncounted`
+	if err == nil {
+		return
+	}
+}
+
+func counted(c *conn, buf []byte) {
+	if err := c.Send(1, buf); err != nil {
+		c.drops++ // the loss is counted: clean
+	}
+}
+
+func propagated(c *conn, buf []byte) error {
+	if err := c.Send(1, buf); err != nil {
+		return err // the caller owns the accounting: clean
+	}
+	return nil
+}
+
+func panics(c *conn, buf []byte) {
+	if err := c.Send(1, buf); err != nil {
+		panic(err) // crashing cannot lose an envelope silently: clean
+	}
+}
+
+type envelope struct {
+	payload []byte
+}
+
+func enqueueSilent(ch chan envelope, e envelope) {
+	select {
+	case ch <- e:
+	default: // want `queue rejection discards an envelope without counting`
+	}
+}
+
+func enqueueCounted(ch chan envelope, e envelope, dropped *int) {
+	select {
+	case ch <- e:
+	default:
+		*dropped++ // inbox overflow is a counted drop: clean
+	}
+}

@@ -1,0 +1,97 @@
+// Package hotpath seeds every allocating construct the hotpath rule
+// names, inside functions annotated //fair:hotpath, plus the clean
+// patterns (scratch reuse, pointer-shaped interface values) that must
+// stay silent.
+package hotpath
+
+type sink struct{ vals []int }
+
+func (s *sink) push(v int) { s.vals = append(s.vals, v) }
+
+func consume(v any) {}
+
+func spawnee() {}
+
+//fair:hotpath
+func hotMake(n int) []byte {
+	return make([]byte, n) // want `make in a hot path allocates`
+}
+
+//fair:hotpath
+func hotNew() *sink {
+	return new(sink) // want `new in a hot path allocates`
+}
+
+//fair:hotpath
+func hotClosure(xs []int) int {
+	f := func() int { return len(xs) } // want `closure literal in a hot path`
+	return f()
+}
+
+//fair:hotpath
+func hotSpawn() {
+	go spawnee() // want `go statement in a hot path`
+}
+
+//fair:hotpath
+func hotDefer() {
+	defer spawnee() // want `defer in a hot path`
+}
+
+//fair:hotpath
+func hotAppend(xs []int, v int) []int {
+	return append(xs, v) // want `append that can grow in a hot path`
+}
+
+//fair:hotpath
+func hotScratch(scratch *[]int, n int) []int {
+	p := (*scratch)[:0]
+	for i := 0; i < n; i++ {
+		p = append(p, i) // appends into scratch reset via [:0] amortize to zero: clean
+	}
+	*scratch = p
+	return p
+}
+
+//fair:hotpath
+func hotLit() []int {
+	return []int{1, 2, 3} // want `slice/map literal in a hot path allocates`
+}
+
+//fair:hotpath
+func hotAddrLit() *sink {
+	return &sink{} // want `&composite literal in a hot path escapes`
+}
+
+//fair:hotpath
+func hotConcat(a, b string) string {
+	return a + b // want `string concatenation in a hot path allocates`
+}
+
+//fair:hotpath
+func hotConv(s string) []byte {
+	return []byte(s) // want `string<->\[\]byte conversion in a hot path`
+}
+
+//fair:hotpath
+func hotBox(n int) {
+	consume(n) // want `boxing a non-pointer int into`
+}
+
+//fair:hotpath
+func hotBoxPtr(p *sink) {
+	consume(p) // pointer-shaped values ride the interface word: clean
+}
+
+//fair:hotpath
+func hotMethodValue(s *sink) func(int) {
+	return s.push // want `method value in a hot path allocates a bound closure`
+}
+
+//fair:hotpath
+func hotJustified(n int) []byte {
+	return make([]byte, n) //fair:ignore hotpath fixture shows a justified allocation surviving the audit
+}
+
+//fair:hotpath // want `//fair:hotpath must be part of a function's doc comment`
+var floating = 0

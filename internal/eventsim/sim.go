@@ -140,6 +140,8 @@ func (s *Sim) After(d time.Duration, fn func()) Timer {
 // performs no per-call allocation, which is what makes the simulated
 // network's send hot path allocation-free. Message events cannot be
 // stopped; they always fire.
+//
+//fair:hotpath
 func (s *Sim) ScheduleMsg(d time.Duration, h MsgHandler, m Msg) {
 	if d < 0 {
 		d = 0

@@ -128,13 +128,16 @@ func (p *Peer) Publish(ev *pubsub.Event) {
 // Round executes one timer expiry of Fig. 4: select participants, select
 // events, send. It then ages the buffer and, when enabled, runs one
 // anti-entropy step.
+//
+//fair:hotpath
 func (p *Peer) Round() {
 	p.rounds++
 	events := p.buffer.Select(p.rng, p.cfg.Batch, p.cfg.Policy)
 	if len(events) > 0 {
 		size := MsgWireSize(events)
+		var payload any = Msg{Events: events} //fair:ignore hotpath one boxed Msg per round, shared by every fanout send; BenchmarkDisseminationRound tracks the per-round cost
 		for _, q := range p.sampler.SamplePeers(p.rng, p.cfg.Fanout) {
-			p.net.Send(p.ID, q, Msg{Events: events}, size)
+			p.net.Send(p.ID, q, payload, size)
 		}
 	}
 	p.antiEntropyRound()

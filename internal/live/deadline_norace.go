@@ -1,0 +1,6 @@
+//go:build !race
+
+package live
+
+// raceDeadlineScale is 1 on uninstrumented runs; see deadline_race.go.
+const raceDeadlineScale = 1

@@ -2,7 +2,7 @@
 
 package live
 
-// raceDeadlineScale stretches every eventually deadline under -race:
+// raceDeadlineScale stretches every Eventually deadline under -race:
 // detector instrumentation slows the peer goroutines several-fold, and
 // a deadline tuned for a bare run flakes there.
 const raceDeadlineScale = 4

@@ -1,0 +1,27 @@
+package live
+
+import "time"
+
+// Eventually polls cond every step until it holds or the timeout
+// expires, then reports cond's final verdict. The stated timeout is
+// scaled by raceDeadlineScale (4× under -race), so one deadline means
+// the same thing on a bare run and under the detector's
+// instrumentation. It is the shared replacement for hand-rolled
+// time.Now() busy-wait loops — the live package's own tests and the
+// scenario engine's live columns both settle through it, so the
+// race-scaled deadline logic lives in exactly one place.
+//
+// A step of zero polls every 5ms, the granularity the live tests use.
+func Eventually(timeout, step time.Duration, cond func() bool) bool {
+	if step <= 0 {
+		step = 5 * time.Millisecond
+	}
+	deadline := time.Now().Add(timeout * raceDeadlineScale)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return true
+		}
+		time.Sleep(step)
+	}
+	return cond()
+}

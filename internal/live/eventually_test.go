@@ -5,20 +5,9 @@ import (
 	"time"
 )
 
-// eventually polls cond until it holds or the deadline expires, then
-// reports cond's final verdict. The caller's timeout is scaled by
-// raceDeadlineScale (4× under -race), so one stated deadline means the
-// same thing on a bare run and under the detector's instrumentation —
-// this helper replaces the hand-rolled time.Now() busy-wait loops whose
-// fixed deadlines flaked on slow, instrumented CI runners.
+// eventually is the test-side wrapper over Eventually: same polling and
+// race-scaled deadline, plus the t.Helper() bookkeeping.
 func eventually(t testing.TB, timeout time.Duration, cond func() bool) bool {
 	t.Helper()
-	deadline := time.Now().Add(timeout * raceDeadlineScale)
-	for time.Now().Before(deadline) {
-		if cond() {
-			return true
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
-	return cond()
+	return Eventually(timeout, 0, cond)
 }

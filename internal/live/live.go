@@ -901,6 +901,7 @@ func (p *peer) loop() {
 	}
 }
 
+//fair:hotpath
 func (p *peer) round() {
 	if p.down.Load() {
 		return // crashed: no protocol activity at all
@@ -1019,6 +1020,8 @@ func (p *peer) announce() {
 
 // gossip runs one round's push: SELECTEVENTS, SELECTPARTICIPANTS,
 // encode once, send the shared immutable bytes to every partner.
+//
+//fair:hotpath
 func (p *peer) gossip() {
 	events := p.buffer.Select(p.rng, p.batch, p.c.cfg.Policy)
 	if len(events) == 0 {
@@ -1031,7 +1034,7 @@ func (p *peer) gossip() {
 	// The envelope buffer must be fresh each round — receivers hold it
 	// asynchronously — so this is one of the round path's two
 	// allocations (the other is Select's fresh slice).
-	buf, err := wire.AppendEnvelope(make([]byte, 0, wire.EnvelopeSize(events)), uint32(p.id), events)
+	buf, err := wire.AppendEnvelope(make([]byte, 0, wire.EnvelopeSize(events)), uint32(p.id), events) //fair:ignore hotpath receivers hold the envelope asynchronously, so it cannot be pooled; TestLiveRoundPathAllocs pins the round at exactly this allocation
 	if err != nil {
 		// Unencodable events (a topic beyond the u16 framing, say)
 		// cannot be gossiped; skip the fanout without charging anyone.

@@ -15,6 +15,8 @@ import "math/rand"
 // as rand.Perm (including the redundant i=0 draw that Go 1 compatibility
 // pins), so the consumed random stream and the resulting permutation are
 // bit-identical.
+//
+//fair:hotpath
 func PermInto(rng *rand.Rand, scratch *[]int, n int) []int {
 	p := (*scratch)[:0]
 	for i := 0; i < n; i++ {

@@ -70,11 +70,16 @@ func (l *RageQuitLoop) Run() (quits int) {
 		if l.AfterPublish != nil {
 			l.AfterPublish(phase)
 		}
+		var ready []int
 		for id, until := range downUntil {
 			if phase >= until {
-				l.Rejoin(id)
-				delete(downUntil, id)
+				ready = append(ready, id)
 			}
+		}
+		sort.Ints(ready) // rejoin in id order, not map order, so runs replay identically
+		for _, id := range ready {
+			l.Rejoin(id)
+			delete(downUntil, id)
 		}
 		ratios := l.Ratios(phase)
 		if phase < warmup {

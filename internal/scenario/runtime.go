@@ -463,30 +463,33 @@ func (l *LiveRuntime) Join(seed int) (int, bool) {
 }
 
 func (l *LiveRuntime) Step(rounds int) {
-	time.Sleep(time.Duration(rounds) * l.period)
+	time.Sleep(time.Duration(rounds) * l.period) //fair:wallclock the live column paces real goroutine rounds in wall time; the sim column never enters this file's LiveRuntime
 }
 
-// Drain sleeps the tail rounds, then waits until the delivery counter has
-// been stable for several consecutive round periods (bounded at ~10s, so
-// a wedged cluster fails invariants instead of hanging the test).
+// Drain sleeps the tail rounds, then waits until the delivery counter
+// has been stable for several consecutive round periods. The settle
+// loop runs through live.Eventually, so the ~10s bound is race-scaled
+// exactly like the live package's own deadlines and a wedged cluster
+// fails invariants instead of hanging the test.
 func (l *LiveRuntime) Drain(rounds int, progress func() uint64) {
-	time.Sleep(time.Duration(rounds) * l.period)
+	time.Sleep(time.Duration(rounds) * l.period) //fair:wallclock the live column's tail rounds elapse in wall time; the sim column drains virtually
 	if progress == nil {
 		return
 	}
 	const stableNeed = 10
-	deadline := time.Now().Add(10 * time.Second)
 	last, stable := progress(), 0
-	for stable < stableNeed && time.Now().Before(deadline) {
-		time.Sleep(l.period)
+	live.Eventually(10*time.Second, l.period, func() bool {
 		cur := progress()
-		if cur == last {
-			stable++
-		} else {
-			stable = 0
-			last = cur
+		if cur != last {
+			stable, last = 0, cur
+			return false
 		}
-	}
+		// Eventually polls once immediately, so require stableNeed+1
+		// quiet checks: that is stableNeed full periods of silence,
+		// the same margin the old hand-rolled loop gave.
+		stable++
+		return stable > stableNeed
+	})
 }
 
 func (l *LiveRuntime) Ledger() *fairness.Ledger { return l.C.Ledger() }

@@ -389,11 +389,16 @@ func rageQuitScenario() Scenario {
 				}
 				r.Scratch = st
 			}
+			var ready []int
 			for id, until := range st.downUntil {
 				if r.Round >= until {
-					r.Rejoin(id)
-					delete(st.downUntil, id)
+					ready = append(ready, id)
 				}
+			}
+			sort.Ints(ready) // rejoin in id order, not map order, so runs replay identically
+			for _, id := range ready {
+				r.Rejoin(id)
+				delete(st.downUntil, id)
 			}
 			if r.Round%5 != 0 || r.Round == 0 {
 				return
