@@ -27,16 +27,21 @@ test:
 # The scenario package's race run includes the full builtin table over
 # real loopback UDP sockets (TestBuiltinsOnLiveUDP) — the transport /
 # codec concurrency is exercised under the detector on every CI run.
+# core rides along since the sharded kernel runs one goroutine per
+# shard between round barriers (ledger chunks, mailboxes, the envelope
+# pool freelist are all crossed by those goroutines).
 race:
-	$(GO) test -race -shuffle=on ./internal/fairness/ ./internal/gossip/ ./internal/live/ ./internal/eventsim/ ./internal/simnet/ ./internal/scenario/ ./internal/transport/ ./internal/wire/ ./internal/membership/
+	$(GO) test -race -shuffle=on ./internal/core/ ./internal/fairness/ ./internal/gossip/ ./internal/live/ ./internal/eventsim/ ./internal/simnet/ ./internal/scenario/ ./internal/transport/ ./internal/wire/ ./internal/membership/
 
 # bench runs the Go benchmarks, then regenerates the dated
 # BENCH_<date>.json run record via fairbench — every bench invocation
 # leaves a fresh machine-readable baseline (CI uploads it as an
-# artifact).
+# artifact). -huge appends the EXP-HUGE tier: N=100k nodes on the
+# sharded kernel, swept over shard counts, so the record carries
+# rounds/sec scaling alongside the protocol experiments.
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem -benchtime 3x .
-	$(GO) run ./cmd/fairbench -small -out $(OUT)
+	$(GO) run ./cmd/fairbench -small -huge -out $(OUT)
 
 microbench:
 	$(GO) test -run '^$$' -bench . -benchmem ./internal/eventsim/ ./internal/simnet/ ./internal/fairness/

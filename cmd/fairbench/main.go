@@ -1,12 +1,18 @@
 // Command fairbench regenerates every experiment in DESIGN.md §3 as text
 // tables and CSV files — the reproduction of all figures and quantitative
 // claims of the paper. Alongside the CSVs it writes a machine-readable
-// BENCH_<date>.json run record (metrics plus wall-clock per experiment)
-// so successive PRs can track the performance trajectory.
+// BENCH_<date>.json run record (benchrecord schema: a flat numeric
+// metrics map plus the per-experiment tables and wall-clock) so
+// successive PRs can track the performance trajectory.
 //
 // Usage:
 //
 //	fairbench [-seed N] [-small] [-out results/] [-only EXP-F1,EXP-A3] [-json path]
+//	          [-huge] [-shards 1,2,4,8]
+//
+// -only filters the standard experiment suite; -huge appends the
+// EXP-HUGE scaling tier (N ≥ 100k nodes on the sharded kernel, swept
+// over -shards), so `-only EXP-NONE -huge` runs the huge tier alone.
 package main
 
 import (
@@ -17,30 +23,26 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"time"
 
+	"fairgossip/internal/benchrecord"
 	"fairgossip/internal/experiment"
 )
 
-// benchRecord is the JSON run record: enough to replay (seed, scale) and
-// to diff metric values and timings across commits.
-type benchRecord struct {
-	Date        string            `json:"date"`
-	Seed        int64             `json:"seed"`
-	Small       bool              `json:"small"`
-	Experiments []experimentEntry `json:"experiments"`
-}
-
-type experimentEntry struct {
-	ID      string             `json:"id"`
-	Title   string             `json:"title"`
-	Seconds float64            `json:"seconds"`
-	Tables  []experiment.Table `json:"tables"`
-}
-
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// recordTables converts experiment tables to the schema package's
+// dependency-free mirror type.
+func recordTables(tables []experiment.Table) []benchrecord.Table {
+	out := make([]benchrecord.Table, len(tables))
+	for i, t := range tables {
+		out[i] = benchrecord.Table{ID: t.ID, Title: t.Title, Note: t.Note, Cols: t.Cols, Rows: t.Rows}
+	}
+	return out
 }
 
 // run is the testable entry point: explicit args, writers, exit code.
@@ -53,6 +55,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		outDir   = fs.String("out", "results", "directory for CSV output (empty = no CSV)")
 		only     = fs.String("only", "", "comma-separated experiment IDs to run (e.g. EXP-F1,EXP-A3)")
 		jsonPath = fs.String("json", "", "path for the JSON run record (default <out>/BENCH_<date>.json; empty out disables)")
+		huge     = fs.Bool("huge", false, "append the EXP-HUGE tier: N>=100k nodes on the sharded kernel")
+		shardStr = fs.String("shards", "1,2,4,8", "shard counts the -huge tier sweeps")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -67,6 +71,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 			want[strings.ToUpper(id)] = true
 		}
 	}
+	var shards []int
+	for _, s := range strings.Split(*shardStr, ",") {
+		if s = strings.TrimSpace(s); s == "" {
+			continue
+		}
+		v, err := strconv.Atoi(s)
+		if err != nil || v < 1 {
+			fmt.Fprintf(stderr, "fairbench: bad -shards entry %q\n", s)
+			return 2
+		}
+		shards = append(shards, v)
+	}
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
 			fmt.Fprintf(stderr, "fairbench: %v\n", err)
@@ -74,10 +90,36 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	started := time.Now()
-	record := benchRecord{
-		Date:  started.UTC().Format(time.RFC3339),
-		Seed:  *seed,
-		Small: *small,
+	record := benchrecord.Record{
+		Date:    started.UTC().Format(time.RFC3339),
+		Seed:    *seed,
+		Small:   *small,
+		Metrics: map[string]float64{},
+	}
+	// emit prints one experiment's tables, folds every numeric cell into
+	// the record's flat metrics map, and writes the CSVs.
+	emit := func(id, title string, elapsed float64, tables []experiment.Table) int {
+		fmt.Fprintf(stdout, "\n########## %s — %s  (%.1fs)\n\n", id, title, elapsed)
+		record.Experiments = append(record.Experiments, benchrecord.Experiment{
+			ID:      id,
+			Title:   title,
+			Seconds: elapsed,
+			Tables:  recordTables(tables),
+		})
+		record.Metrics[benchrecord.MetricKey("seconds", id)] = elapsed
+		for ti, t := range tables {
+			benchrecord.HarvestTable(record.Metrics, id,
+				benchrecord.Table{Cols: t.Cols, Rows: t.Rows})
+			fmt.Fprintln(stdout, t.String())
+			if *outDir != "" {
+				name := fmt.Sprintf("%s_%d.csv", strings.ToLower(strings.ReplaceAll(id, "-", "_")), ti)
+				if err := os.WriteFile(filepath.Join(*outDir, name), []byte(t.CSV()), 0o644); err != nil {
+					fmt.Fprintf(stderr, "fairbench: %v\n", err)
+					return 1
+				}
+			}
+		}
+		return 0
 	}
 	opts := experiment.Options{Seed: *seed, Small: *small}
 	for _, spec := range experiment.All() {
@@ -86,25 +128,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		start := time.Now()
 		tables := spec.Run(opts)
-		elapsed := time.Since(start).Seconds()
-		fmt.Fprintf(stdout, "\n########## %s — %s  (%.1fs)\n\n", spec.ID, spec.Title, elapsed)
-		record.Experiments = append(record.Experiments, experimentEntry{
-			ID:      spec.ID,
-			Title:   spec.Title,
-			Seconds: elapsed,
-			Tables:  tables,
-		})
-		for ti, t := range tables {
-			fmt.Fprintln(stdout, t.String())
-			if *outDir != "" {
-				name := fmt.Sprintf("%s_%d.csv", strings.ToLower(strings.ReplaceAll(spec.ID, "-", "_")), ti)
-				if err := os.WriteFile(filepath.Join(*outDir, name), []byte(t.CSV()), 0o644); err != nil {
-					fmt.Fprintf(stderr, "fairbench: %v\n", err)
-					return 1
-				}
-			}
+		if rc := emit(spec.ID, spec.Title, time.Since(start).Seconds(), tables); rc != 0 {
+			return rc
 		}
 	}
+	if *huge {
+		hugeOpts := experiment.HugeOptions{Seed: *seed, Shards: shards}
+		start := time.Now()
+		tables := experiment.RunHuge(hugeOpts)
+		if rc := emit("EXP-HUGE", "sharded kernel scaling tier", time.Since(start).Seconds(), tables); rc != 0 {
+			return rc
+		}
+	}
+	record.Metrics["total_seconds"] = time.Since(started).Seconds()
 	path := *jsonPath
 	mirror := ""
 	if path == "" && *outDir != "" {
@@ -120,6 +156,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	if path != "" {
+		if err := record.Validate(); err != nil {
+			fmt.Fprintf(stderr, "fairbench: refusing to write an invalid record: %v\n", err)
+			return 1
+		}
 		blob, err := json.MarshalIndent(record, "", "  ")
 		if err == nil {
 			err = os.WriteFile(path, append(blob, '\n'), 0o644)

@@ -2,12 +2,16 @@ package main
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"os"
 	"path/filepath"
 	"regexp"
 	"sort"
 	"strings"
 	"testing"
+
+	"fairgossip/internal/benchrecord"
 )
 
 // timing strips the wall-clock fragments fairbench prints, the only
@@ -152,4 +156,128 @@ func TestFairbenchRecordMirroredToRoot(t *testing.T) {
 	if stray, _ := filepath.Glob(filepath.Join(sub, "BENCH_*.json")); len(stray) != 0 {
 		t.Fatalf("-json run still mirrored a record: %v", stray)
 	}
+}
+
+// goldenStdoutHash pins the full -small -seed 1 experiment suite's
+// stdout (header lines stripped — they carry wall-clock seconds). The
+// kernel-sharding PR verified this hash is unchanged by the envelope
+// pool and the SelectInto scratch reuse: both are output-invariant. If
+// a change moves it on purpose, regenerate with:
+//
+//	go run ./cmd/fairbench -seed 1 -small -out '' -json '' | grep -v '^##########' | sha256sum
+const goldenStdoutHash = "2204ff6916201697cc3065dddaf3861ad5fdf9b6b5630a3ee587602ae94bcdf1"
+
+// stableStdout strips the wall-clock-bearing header lines, mirroring
+// the grep in the regeneration command (including grep's omission of a
+// trailing newline-less empty element).
+func stableStdout(out string) string {
+	var b strings.Builder
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "##########") {
+			continue
+		}
+		b.WriteString(line)
+		b.WriteByte('\n')
+	}
+	return strings.TrimSuffix(b.String(), "\n")
+}
+
+func TestGoldenStdoutHash(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full -small experiment suite")
+	}
+	var stdout, stderr bytes.Buffer
+	if rc := run([]string{"-seed", "1", "-small", "-out", "", "-json", ""}, &stdout, &stderr); rc != 0 {
+		t.Fatalf("fairbench exited %d: %s", rc, stderr.String())
+	}
+	sum := sha256.Sum256([]byte(stableStdout(stdout.String())))
+	if got := hex.EncodeToString(sum[:]); got != goldenStdoutHash {
+		t.Errorf("stdout hash %s, want %s — the fixed-seed experiment output changed; "+
+			"if intentional, update goldenStdoutHash", got, goldenStdoutHash)
+	}
+}
+
+// The emitted record must satisfy the benchrecord schema and carry flat
+// numeric metrics — the regression test for the empty-trajectory bug,
+// where every number was a string buried inside nested tables and the
+// scan found records with nothing to plot.
+func TestEmittedRecordValidatesWithMetrics(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "record.json")
+	var stdout, stderr bytes.Buffer
+	args := []string{"-seed", "3", "-small", "-only", "EXP-A6", "-out", dir, "-json", path}
+	if rc := run(args, &stdout, &stderr); rc != 0 {
+		t.Fatalf("fairbench exited %d: %s", rc, stderr.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := benchrecord.Parse(data)
+	if err != nil {
+		t.Fatalf("emitted record fails its own schema: %v", err)
+	}
+	if r.Seed != 3 || !r.Small {
+		t.Errorf("record coordinates (seed=%d, small=%v) don't match the run", r.Seed, r.Small)
+	}
+	if _, ok := r.Metrics["seconds.exp-a6"]; !ok {
+		t.Errorf("no seconds.exp-a6 metric; keys: %v", metricKeys(r))
+	}
+	// Table metrics must be harvested too, or the trajectory is
+	// timings-only.
+	harvested := 0
+	for k := range r.Metrics {
+		if strings.HasPrefix(k, "exp-a6.") {
+			harvested++
+		}
+	}
+	if harvested == 0 {
+		t.Errorf("no table metrics harvested; keys: %v", metricKeys(r))
+	}
+}
+
+// The -huge tier must append EXP-HUGE with per-shard scaling metrics.
+// Runs at test scale is not possible — the tier is pinned at N=100k —
+// so this is gated behind -short like the golden hash.
+func TestHugeTierRecordsScalingMetrics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the N=100k tier")
+	}
+	path := filepath.Join(t.TempDir(), "record.json")
+	var stdout, stderr bytes.Buffer
+	// EXP-NONE matches no standard experiment: the huge tier runs alone.
+	args := []string{"-seed", "2", "-only", "EXP-NONE", "-huge", "-shards", "1,2",
+		"-out", "", "-json", path}
+	if rc := run(args, &stdout, &stderr); rc != 0 {
+		t.Fatalf("fairbench exited %d: %s", rc, stderr.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := benchrecord.Parse(data)
+	if err != nil {
+		t.Fatalf("huge record fails the schema: %v", err)
+	}
+	for _, k := range []string{
+		"exp-huge.shards1.rounds_per_sec",
+		"exp-huge.shards2.rounds_per_sec",
+		"exp-huge.shards1.msgs_sent",
+	} {
+		if v, ok := r.Metrics[k]; !ok || v <= 0 {
+			t.Errorf("metric %s missing or non-positive (%v); keys: %v", k, v, metricKeys(r))
+		}
+	}
+	if n := r.Metrics["exp-huge.shards1.n"]; n < 100000 {
+		t.Errorf("huge tier ran at N=%v, want >= 100000", n)
+	}
+}
+
+func metricKeys(r *benchrecord.Record) []string {
+	keys := make([]string, 0, len(r.Metrics))
+	for k := range r.Metrics {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }

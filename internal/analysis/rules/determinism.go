@@ -52,11 +52,11 @@ var globalRandFuncs = map[string]bool{
 }
 
 // Determinism enforces the fixed-seed contract in sim-deterministic
-// packages: no wall clocks, no process-global RNG, no map-iteration
-// order feeding ordering-sensitive logic.
+// packages: no wall clocks, no process-global RNG, no package-level RNG
+// streams, no map-iteration order feeding ordering-sensitive logic.
 var Determinism = &analysis.Analyzer{
 	Name: "determinism",
-	Doc:  "In sim-deterministic packages (eventsim, simnet, core, gossip, membership, fairness, randutil, scenario, plus //fair:deterministic opt-ins) forbid time.Now/Since/Sleep and friends (//fair:wallclock <reason> to override), the global math/rand top-level draws (pass a seeded *rand.Rand), and map-range loops whose bodies feed ordering-sensitive logic (calls, appends, sends).",
+	Doc:  "In sim-deterministic packages (eventsim, simnet, core, gossip, membership, fairness, randutil, scenario, plus //fair:deterministic opt-ins) forbid time.Now/Since/Sleep and friends (//fair:wallclock <reason> to override), the global math/rand top-level draws (pass a seeded *rand.Rand), package-level *rand.Rand/rand.Source variables (a stream shared across shards consumes in goroutine-interleaving order), and map-range loops whose bodies feed ordering-sensitive logic (calls, appends, sends).",
 	Run:  runDeterminism,
 }
 
@@ -74,6 +74,7 @@ func runDeterminism(pass *analysis.Pass) error {
 		return nil
 	}
 	for _, f := range pass.Files {
+		checkSharedRNGVars(pass, f)
 		// Track the enclosing function body so the map-range check can
 		// recognize the sanctioned collect-then-sort repair downstream
 		// of the loop.
@@ -129,6 +130,76 @@ func checkForbiddenCall(pass *analysis.Pass, call *ast.CallExpr) {
 				"rand.%s draws from the process-global RNG and breaks the fixed-seed contract: pass a seeded *rand.Rand instead", fn.Name())
 		}
 	}
+}
+
+// checkSharedRNGVars flags package-level variables holding an RNG
+// stream (*rand.Rand, rand.Source/Source64, rand.Zipf — v1 or v2).
+// With the kernel sharded, any stream reachable from more than one
+// goroutine is consumed in goroutine-interleaving order, so its draws
+// differ run to run even at a fixed seed; and even single-threaded, a
+// package-level stream couples otherwise-independent clusters through
+// hidden state. Every RNG must hang off a node, shard, or cluster,
+// seeded from (seed, shardID) — see randutil.ShardSeed.
+func checkSharedRNGVars(pass *analysis.Pass, f *ast.File) {
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.VAR {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for _, name := range vs.Names {
+				obj := pass.TypesInfo.Defs[name]
+				if obj == nil {
+					continue
+				}
+				if rngTypeName(obj.Type()) != "" {
+					pass.Reportf(name.Pos(), "sharedrng",
+						"package-level %s %s is an RNG stream shared across every caller (and every shard): draws consume it in goroutine-interleaving order, breaking the fixed-seed contract — store the stream on the node/shard/cluster and seed it from (seed, shardID)",
+						rngTypeName(obj.Type()), name.Name)
+				}
+			}
+		}
+	}
+}
+
+// rngTypeName reports the math/rand stream type a variable holds
+// (unwrapping pointers, slices, arrays, and map values), or "".
+func rngTypeName(t types.Type) string {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+			continue
+		case *types.Slice:
+			t = u.Elem()
+			continue
+		case *types.Array:
+			t = u.Elem()
+			continue
+		case *types.Map:
+			t = u.Elem()
+			continue
+		}
+		break
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return ""
+	}
+	switch named.Obj().Pkg().Path() {
+	case "math/rand", "math/rand/v2":
+	default:
+		return ""
+	}
+	switch named.Obj().Name() {
+	case "Rand", "Source", "Source64", "Zipf", "PCG", "ChaCha8":
+		return "rand." + named.Obj().Name()
+	}
+	return ""
 }
 
 // checkMapRange flags `for ... := range m` over a map when the loop

@@ -11,6 +11,17 @@ import (
 	"time"
 )
 
+var sharedRNG = rand.New(rand.NewSource(1)) // want `package-level rand\.Rand sharedRNG is an RNG stream shared across every caller`
+
+var sharedSource rand.Source // want `package-level rand\.Source sharedSource is an RNG stream`
+
+var rngPerTopic map[string]*rand.Rand // want `package-level rand\.Rand rngPerTopic is an RNG stream`
+
+// Node-scoped streams (fields, locals, parameters) stay legal.
+type nodeScoped struct {
+	rng *rand.Rand
+}
+
 func wallclock() time.Time {
 	return time.Now() // want `time\.Now in a sim-deterministic package`
 }

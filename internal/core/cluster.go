@@ -21,6 +21,7 @@ type Cluster struct {
 	cfg     Config
 	seed    int64
 	tickers []*eventsim.Ticker
+	pool    *msgPool
 }
 
 // ClusterOptions bundles the environment knobs of a cluster.
@@ -48,9 +49,14 @@ func NewCluster(n int, cfg Config, opts ClusterOptions) *Cluster {
 		cfg:    cfg,
 		seed:   opts.Seed,
 		Nodes:  make([]*Node, 0, n),
+		// One envelope pool per cluster: pooling is output-invariant
+		// (SelectInto draws the same random stream as Select and the
+		// copied batch is byte-equal), so it is always on.
+		pool: &msgPool{},
 	}
 	for i := 0; i < n; i++ {
 		nd := newNode(simnet.NodeID(i), net, ledger, cfg, n, rand.New(rand.NewSource(opts.Seed^int64(0x9e3779b9*uint32(i+1)))))
+		nd.pool = c.pool
 		net.AddNode(nd)
 		c.Nodes = append(c.Nodes, nd)
 	}
@@ -79,9 +85,20 @@ func NewCluster(n int, cfg Config, opts ClusterOptions) *Cluster {
 // Config returns the cluster's (defaulted) configuration.
 func (c *Cluster) Config() Config { return c.cfg }
 
-// Start launches the per-node round tickers. Idempotent.
+// Start launches the round tickers — per-node jittered ones by default,
+// or a single batched ticker under Config.BatchRounds. Idempotent.
 func (c *Cluster) Start() {
 	if len(c.tickers) > 0 {
+		return
+	}
+	if c.cfg.BatchRounds {
+		// One ticker drives every node in id order; ranging over c.Nodes
+		// through the receiver picks up mid-run joiners automatically.
+		c.tickers = append(c.tickers, c.Sim.Every(c.cfg.RoundPeriod, c.cfg.Jitter, func() {
+			for _, nd := range c.Nodes {
+				nd.Round()
+			}
+		}))
 		return
 	}
 	for _, nd := range c.Nodes {
@@ -112,6 +129,7 @@ func (c *Cluster) Join(seed simnet.NodeID) simnet.NodeID {
 	c.Ledger.Grow(n)
 	id := simnet.NodeID(len(c.Nodes))
 	nd := newNode(id, c.Net, c.Ledger, c.cfg, n, rand.New(rand.NewSource(c.seed^int64(0x9e3779b9*uint32(id+1)))))
+	nd.pool = c.pool
 	c.Net.AddNode(nd)
 	c.Nodes = append(c.Nodes, nd)
 	if c.cfg.Membership == MemberCyclon {
@@ -124,7 +142,9 @@ func (c *Cluster) Join(seed simnet.NodeID) simnet.NodeID {
 			other.SetPopulation(n)
 		}
 	}
-	if len(c.tickers) > 0 {
+	if len(c.tickers) > 0 && !c.cfg.BatchRounds {
+		// The batched ticker ranges over c.Nodes and already covers the
+		// joiner; only the per-node schedule needs a new ticker.
 		c.tickers = append(c.tickers, c.Sim.Every(c.cfg.RoundPeriod, c.cfg.Jitter, nd.Round))
 	}
 	return id

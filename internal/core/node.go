@@ -63,6 +63,22 @@ type Node struct {
 	// peerFPs remembers other peers' interest fingerprints for semantic
 	// partner bias (semantic.go).
 	peerFPs map[simnet.NodeID]uint64
+
+	// pool recycles gossip envelopes (pool.go); nil falls back to plain
+	// allocation. When set, event selection goes through SelectInto with
+	// selScratch and buildGossip copies the batch into the envelope's
+	// own recycled backing, so the scratch can be reused next round while
+	// the envelope is still in flight.
+	pool       *msgPool
+	selScratch []*pubsub.Event
+
+	// auditSink, when set, intercepts novelty audits instead of charging
+	// the ledger directly. The sharded cluster installs one that applies
+	// same-shard audits immediately and defers cross-shard audits to the
+	// round barrier, where they are applied in fixed shard order — the
+	// one write that would otherwise race another shard's controller
+	// read and break fixed-seed reproducibility.
+	auditSink func(from, useful, junk int)
 }
 
 // topicGroup is this node's slice of one per-topic gossip group.
@@ -248,7 +264,7 @@ func (nd *Node) roundContent() {
 		nd.buffer.Tick()
 		return
 	}
-	events := nd.buffer.Select(nd.rng, nd.batch, nd.cfg.Policy)
+	events := nd.selectEvents(nd.buffer)
 	switch {
 	case len(events) == 0:
 	case nd.cfg.SemanticBias > 0:
@@ -313,7 +329,7 @@ func (nd *Node) roundTopics() {
 		// (and keeps benefiting) while contributing nothing.
 		var events []*pubsub.Event
 		if !nd.FreeRide {
-			events = g.buffer.Select(nd.rng, nd.batch, nd.cfg.Policy)
+			events = nd.selectEvents(g.buffer)
 		}
 		heartbeat := nd.round%4 == 0
 		if len(events) == 0 && !heartbeat {
@@ -336,9 +352,32 @@ func (nd *Node) groupAds(g *topicGroup) []membership.Entry {
 	return append(ads, membership.Entry{ID: nd.id, Age: 0})
 }
 
-// buildGossip assembles one gossip wire message.
+// selectEvents picks this round's batch from buf. With an envelope pool
+// the selection lands in the node's reusable scratch (SelectInto draws
+// the identical random stream, so pooling never changes a fixed-seed
+// run); buildGossip then copies the batch into the envelope before the
+// scratch's next reuse.
+func (nd *Node) selectEvents(buf *gossip.Buffer) []*pubsub.Event {
+	if nd.pool != nil {
+		return buf.SelectInto(nd.rng, &nd.selScratch, nd.batch, nd.cfg.Policy)
+	}
+	return buf.Select(nd.rng, nd.batch, nd.cfg.Policy)
+}
+
+// buildGossip assembles one gossip wire message. Pooled envelopes come
+// back with one owner reference; the send paths drop it after the fanout
+// (wireMsg.Release no-ops on plain-allocated messages).
 func (nd *Node) buildGossip(topic string, events []*pubsub.Event, ads []membership.Entry) *wireMsg {
-	m := &wireMsg{Kind: kindGossip, Topic: topic, Events: events, Ads: ads}
+	var m *wireMsg
+	if nd.pool != nil {
+		m = nd.pool.get()
+		m.Kind = kindGossip
+		m.Topic = topic
+		m.Events = append(m.Events[:0], events...)
+		m.Ads = append(m.Ads[:0], ads...)
+	} else {
+		m = &wireMsg{Kind: kindGossip, Topic: topic, Events: events, Ads: ads}
+	}
 	if nd.Cheat && nd.cfg.JunkPadding > 0 {
 		m.Junk = nd.cfg.JunkPadding
 	}
@@ -350,7 +389,9 @@ func (nd *Node) buildGossip(topic string, events []*pubsub.Event, ads []membersh
 }
 
 func (nd *Node) sendGossip(to simnet.NodeID, topic string, events []*pubsub.Event, ads []membership.Entry) {
-	nd.send(to, nd.buildGossip(topic, events, ads), fairness.ClassApp)
+	m := nd.buildGossip(topic, events, ads)
+	nd.send(to, m, fairness.ClassApp)
+	m.Release()
 }
 
 // sendGossipAll fans one batch out to every peer. The network passes
@@ -375,6 +416,7 @@ func (nd *Node) sendGossipAll(peers []simnet.NodeID, topic string, events []*pub
 		nd.net.Send(nd.id, q, m, size)
 		nd.ledger.AddSend(int(nd.id), fairness.ClassApp, size)
 	}
+	m.Release()
 }
 
 func (nd *Node) updateController() {
@@ -602,6 +644,13 @@ func (nd *Node) handleGossip(from simnet.NodeID, m *wireMsg) {
 		nd.deliverIfInterested(ev)
 	}
 	// Novelty audit (§5.2 bias resistance): grade the sender's bytes.
+	// This is the one ledger write aimed at ANOTHER process's account;
+	// sharded clusters route it through auditSink so a remote sender's
+	// controller never races it mid-window.
+	if nd.auditSink != nil {
+		nd.auditSink(int(from), novel, dup)
+		return
+	}
 	nd.ledger.AddAudit(int(from), novel, dup)
 }
 
@@ -632,6 +681,7 @@ func (nd *Node) handleSubWalk(from simnet.NodeID, m *wireMsg) {
 	}
 	fwd := *m
 	fwd.Hops = m.Hops - 1
+	fwd.pool, fwd.refs = nil, 0 // the forwarded copy is plain-allocated
 	nd.send(next[0], &fwd, fairness.ClassInfra)
 }
 
@@ -668,6 +718,7 @@ func (nd *Node) handlePubWalk(from simnet.NodeID, m *wireMsg) {
 	}
 	fwd := *m
 	fwd.Hops = m.Hops - 1
+	fwd.pool, fwd.refs = nil, 0 // the forwarded copy is plain-allocated
 	nd.send(next[0], &fwd, fairness.ClassInfra)
 }
 

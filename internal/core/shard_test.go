@@ -1,0 +1,247 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"fairgossip/internal/fairness"
+	"fairgossip/internal/pubsub"
+	"fairgossip/internal/simnet"
+)
+
+func shardTestConfig() Config {
+	return Config{
+		Mode:       ModeContent,
+		Membership: MemberFull,
+		Fanout:     3,
+		Batch:      4,
+	}
+}
+
+// runSharded drives a fixed workload: everyone subscribes to everything,
+// publishers spread across the id space (so traffic crosses every shard
+// boundary), a mid-run crash and rejoin, then a drained settle.
+func runSharded(n, shards int, seed int64) *ShardedCluster {
+	sc := NewShardedCluster(n, shards, shardTestConfig(), ClusterOptions{Seed: seed})
+	for _, nd := range sc.Nodes {
+		nd.Subscribe(pubsub.MatchAll())
+	}
+	for burst := 0; burst < 5; burst++ {
+		for p := 0; p < 4; p++ {
+			sc.Node((burst+p*n/4)%n).Publish("t", nil, []byte("payload"))
+		}
+		sc.RunRounds(4)
+	}
+	sc.Node(n / 2).Leave()
+	sc.RunRounds(4)
+	sc.Node(n / 2).Rejoin(0)
+	sc.RunRounds(8)
+	sc.Stop()
+	sc.Drain()
+	return sc
+}
+
+// fingerprint folds every account and every per-node traffic counter
+// into one comparable string: if any counter anywhere differs between
+// two runs, the fingerprints differ.
+func fingerprint(sc *ShardedCluster) string {
+	var b strings.Builder
+	for i := 0; i < sc.N(); i++ {
+		a := sc.Ledger.Account(i)
+		t := sc.Stats(simnet.NodeID(i))
+		fmt.Fprintf(&b, "%d %v|%v %d %d %d %d %d|%d %d %d %d %d\n",
+			i, a.MsgsSent, a.BytesSent, a.Published, a.Delivered, a.UsefulBytes, a.JunkBytes, a.Filters,
+			t.MsgsSent, t.BytesSent, t.MsgsRecv, t.BytesRecv, t.Dropped)
+	}
+	tot := sc.TotalTraffic()
+	fmt.Fprintf(&b, "total %d %d %d %d %d\n", tot.MsgsSent, tot.BytesSent, tot.MsgsRecv, tot.BytesRecv, tot.Dropped)
+	return b.String()
+}
+
+// Fixed seed + fixed shard count must reproduce every counter exactly,
+// for every shard count — the (seed, shardCount) determinism contract.
+func TestShardedDeterministicPerShardCount(t *testing.T) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		a := fingerprint(runSharded(64, shards, 42))
+		b := fingerprint(runSharded(64, shards, 42))
+		if a != b {
+			t.Fatalf("shards=%d: two identical runs diverged:\n--- run 1\n%s--- run 2\n%s", shards, a, b)
+		}
+	}
+}
+
+// shards=1 must be the legacy engine verbatim: byte-identical output to
+// a plain Cluster driven through the same schedule.
+func TestShardsOneMatchesLegacy(t *testing.T) {
+	sc := runSharded(64, 1, 7)
+
+	c := NewCluster(64, shardTestConfig(), ClusterOptions{Seed: 7})
+	for _, nd := range c.Nodes {
+		nd.Subscribe(pubsub.MatchAll())
+	}
+	for burst := 0; burst < 5; burst++ {
+		for p := 0; p < 4; p++ {
+			c.Node((burst+p*16)%64).Publish("t", nil, []byte("payload"))
+		}
+		c.RunRounds(4)
+	}
+	c.Node(32).Leave()
+	c.RunRounds(4)
+	c.Node(32).Rejoin(0)
+	c.RunRounds(8)
+	c.Stop()
+	c.Sim.Run()
+
+	legacy := &ShardedCluster{single: c, Ledger: c.Ledger, Nodes: c.Nodes, cfg: c.cfg}
+	if got, want := fingerprint(sc), fingerprint(legacy); got != want {
+		t.Fatalf("shards=1 diverged from the legacy cluster:\n--- sharded\n%s--- legacy\n%s", got, want)
+	}
+}
+
+// Events published on one shard must reach subscribers on every other
+// shard through the barrier mailboxes.
+func TestShardedCrossShardDelivery(t *testing.T) {
+	const n, shards = 64, 4
+	sc := NewShardedCluster(n, shards, shardTestConfig(), ClusterOptions{Seed: 3})
+	for _, nd := range sc.Nodes {
+		nd.Subscribe(pubsub.MatchAll())
+	}
+	sc.Node(0).Publish("t", nil, []byte("x")) // lives on shard 0
+	sc.RunRounds(30)
+	sc.Stop()
+	sc.Drain()
+	for i := 0; i < n; i++ {
+		if sc.Ledger.Account(i).Delivered == 0 {
+			t.Fatalf("node %d (shard %d) never delivered the event", i, sc.shardOf(i))
+		}
+	}
+}
+
+// Conservation must hold across shard boundaries: every message sent is
+// either received or counted as dropped, with no double counting from
+// the mailbox hand-off.
+func TestShardedConservation(t *testing.T) {
+	for _, shards := range []int{2, 4} {
+		sc := runSharded(48, shards, 11)
+		tot := sc.TotalTraffic()
+		if tot.MsgsSent != tot.MsgsRecv+tot.Dropped {
+			t.Fatalf("shards=%d: sent %d != recv %d + dropped %d",
+				shards, tot.MsgsSent, tot.MsgsRecv, tot.Dropped)
+		}
+	}
+}
+
+// Partition and loss must apply uniformly across all shard networks.
+func TestShardedPartitionBlocksCrossGroup(t *testing.T) {
+	const n, shards = 32, 4
+	sc := NewShardedCluster(n, shards, shardTestConfig(), ClusterOptions{Seed: 5})
+	for _, nd := range sc.Nodes {
+		nd.Subscribe(pubsub.MatchAll())
+	}
+	// Isolate the first half (spanning shards 0 and 1) from the second.
+	side := make([]simnet.NodeID, 0, n/2)
+	for i := 0; i < n/2; i++ {
+		side = append(side, simnet.NodeID(i))
+	}
+	sc.Partition(side)
+	sc.Node(0).Publish("t", nil, []byte("x"))
+	sc.RunRounds(20)
+	for i := n / 2; i < n; i++ {
+		if d := sc.Ledger.Account(i).Delivered; d != 0 {
+			t.Fatalf("node %d delivered %d events across a partition", i, d)
+		}
+	}
+	sc.Heal()
+	// The pre-heal event has aged out of every buffer by now
+	// (BufferMaxAge default is 8 rounds); publish a fresh one to prove
+	// the healed network carries traffic across the old boundary again.
+	sc.Node(0).Publish("t", nil, []byte("y"))
+	sc.RunRounds(30)
+	sc.Stop()
+	sc.Drain()
+	healed := 0
+	for i := n / 2; i < n; i++ {
+		if sc.Ledger.Account(i).Delivered > 0 {
+			healed++
+		}
+	}
+	if healed == 0 {
+		t.Fatalf("no node beyond the healed partition ever delivered")
+	}
+}
+
+// Join must extend the tail shard and make the joiner a full
+// participant (receiving cross-shard gossip).
+func TestShardedJoin(t *testing.T) {
+	const n, shards = 32, 4
+	sc := NewShardedCluster(n, shards, shardTestConfig(), ClusterOptions{Seed: 9})
+	for _, nd := range sc.Nodes {
+		nd.Subscribe(pubsub.MatchAll())
+	}
+	sc.RunRounds(2)
+	id := sc.Join(0)
+	if got, want := int(id), n; got != want {
+		t.Fatalf("joiner id = %d, want %d", got, want)
+	}
+	if sc.shardOf(int(id)) != shards-1 {
+		t.Fatalf("joiner landed on shard %d, want tail shard %d", sc.shardOf(int(id)), shards-1)
+	}
+	joiner := sc.Node(int(id))
+	joiner.Subscribe(pubsub.MatchAll())
+	sc.Node(0).Publish("t", nil, []byte("x")) // other end of the id space
+	sc.RunRounds(30)
+	sc.Stop()
+	sc.Drain()
+	if sc.Ledger.Account(int(id)).Delivered == 0 {
+		t.Fatalf("joiner never delivered the cross-shard event")
+	}
+}
+
+// Batched rounds must stay deterministic and functional when sharded —
+// the configuration the -huge bench tier runs.
+func TestShardedBatchRoundsDeterministic(t *testing.T) {
+	run := func() *ShardedCluster {
+		cfg := shardTestConfig()
+		cfg.BatchRounds = true
+		sc := NewShardedCluster(64, 4, cfg, ClusterOptions{Seed: 21})
+		for _, nd := range sc.Nodes {
+			nd.Subscribe(pubsub.MatchAll())
+		}
+		sc.Node(1).Publish("t", nil, []byte("x"))
+		sc.Node(63).Publish("t", nil, []byte("y"))
+		sc.RunRounds(30)
+		sc.Stop()
+		sc.Drain()
+		return sc
+	}
+	a, b := run(), run()
+	if fingerprint(a) != fingerprint(b) {
+		t.Fatalf("batched sharded runs diverged")
+	}
+	if a.DeliveredTotal() < 64 {
+		t.Fatalf("batched sharded run delivered only %d events", a.DeliveredTotal())
+	}
+}
+
+// shardSpan must cover [0, n) with every shard nonempty, aligning to
+// ledger chunks only when alignment keeps the tail nonempty.
+func TestShardSpan(t *testing.T) {
+	cases := []struct{ n, shards int }{
+		{8, 2}, {64, 8}, {100, 8}, {1000, 8}, {2048, 8}, {2100, 8}, {100000, 8}, {256, 256},
+	}
+	for _, tc := range cases {
+		per := shardSpan(tc.n, tc.shards)
+		if per*(tc.shards-1) >= tc.n {
+			t.Fatalf("n=%d shards=%d: span %d leaves the tail shard empty", tc.n, tc.shards, per)
+		}
+		if per*tc.shards < tc.n {
+			t.Fatalf("n=%d shards=%d: span %d does not cover the population", tc.n, tc.shards, per)
+		}
+		// Alignment applies exactly when it keeps the tail shard nonempty.
+		aligned := (per + fairness.ChunkSize - 1) / fairness.ChunkSize * fairness.ChunkSize
+		if aligned*(tc.shards-1) < tc.n && per%fairness.ChunkSize != 0 {
+			t.Fatalf("n=%d shards=%d: span %d not chunk-aligned despite room", tc.n, tc.shards, per)
+		}
+	}
+}

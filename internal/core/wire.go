@@ -49,6 +49,14 @@ type wireMsg struct {
 	// kindSubWalk / kindPubWalk
 	Origin simnet.NodeID
 	Hops   int
+
+	// pool/refs make gossip envelopes reference-counted and recyclable
+	// (pool.go). nil pool = plain allocated message; Retain/Release
+	// no-op on it, and the walk paths' `fwd := *m` forwarding copies
+	// stay plain (refs is an int32 manipulated via sync/atomic rather
+	// than an atomic.Int32 precisely so those value copies stay legal).
+	pool *msgPool
+	refs int32
 }
 
 const (

@@ -149,6 +149,19 @@ func (s *Sim) ScheduleMsg(d time.Duration, h MsgHandler, m Msg) {
 	s.schedule(s.now+d, nil, h, m, evMsg)
 }
 
+// ScheduleMsgAt schedules m for delivery to h at absolute virtual time
+// at; scheduling in the past coerces to Now, exactly like At. It is the
+// injection point for the sharded kernel's barrier merge: a cross-shard
+// message carries the delivery timestamp the source shard computed, and
+// the destination shard enqueues it here between windows. Injection
+// order assigns the FIFO tie-break sequence, so a fixed merge order
+// yields a fixed firing order.
+//
+//fair:hotpath
+func (s *Sim) ScheduleMsgAt(at time.Duration, h MsgHandler, m Msg) {
+	s.schedule(at, nil, h, m, evMsg)
+}
+
 // Halt stops Run/RunUntil after the currently firing event returns.
 // It is intended to be called from inside an event callback (for example
 // when an experiment has reached its stopping condition).

@@ -322,3 +322,33 @@ func BenchmarkScheduleAndRun(b *testing.B) {
 		s.Run()
 	}
 }
+
+func TestScheduleMsgAt(t *testing.T) {
+	s := New(1)
+	h := &recordingHandler{}
+	// Out-of-order absolute scheduling must fire in timestamp order,
+	// with injection order breaking ties.
+	s.ScheduleMsgAt(30*time.Millisecond, h, Msg{From: 3})
+	s.ScheduleMsgAt(10*time.Millisecond, h, Msg{From: 1})
+	s.ScheduleMsgAt(10*time.Millisecond, h, Msg{From: 2})
+	s.RunUntil(20 * time.Millisecond)
+	if s.Now() != 20*time.Millisecond {
+		t.Fatalf("Now = %v, want 20ms", s.Now())
+	}
+	// A past timestamp coerces to Now and fires before the 30ms event.
+	s.ScheduleMsgAt(5*time.Millisecond, h, Msg{From: 4})
+	s.Run()
+	want := []int32{1, 2, 4, 3}
+	if len(h.froms) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(h.froms), len(want))
+	}
+	for i, f := range want {
+		if h.froms[i] != f {
+			t.Fatalf("firing order %v, want %v", h.froms, want)
+		}
+	}
+}
+
+type recordingHandler struct{ froms []int32 }
+
+func (r *recordingHandler) HandleSimMsg(m Msg) { r.froms = append(r.froms, m.From) }

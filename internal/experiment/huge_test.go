@@ -1,0 +1,26 @@
+package experiment
+
+import "testing"
+
+// The huge tier at test scale: protocol columns (msgs_sent, delivered)
+// must be deterministic per (seed, shardCount) and non-degenerate; only
+// the wall-clock columns may differ between repeat runs.
+func TestRunHugeDeterministicProtocolColumns(t *testing.T) {
+	opts := HugeOptions{Seed: 5, N: 300, Shards: []int{1, 2, 4}, Rounds: 6}
+	a, b := RunHuge(opts)[0], RunHuge(opts)[0]
+	if len(a.Rows) != len(opts.Shards) {
+		t.Fatalf("got %d rows, want %d", len(a.Rows), len(opts.Shards))
+	}
+	// Cols: shards, n, rounds, msgs_sent, delivered, wall_s, rounds_per_sec.
+	for i := range a.Rows {
+		for _, col := range []int{0, 1, 2, 3, 4} {
+			if a.Rows[i][col] != b.Rows[i][col] {
+				t.Errorf("row %d col %s: %q vs %q across identical runs",
+					i, a.Cols[col], a.Rows[i][col], b.Rows[i][col])
+			}
+		}
+		if a.Rows[i][4] == "0.000" {
+			t.Errorf("row %s delivered nothing", a.Rows[i][0])
+		}
+	}
+}

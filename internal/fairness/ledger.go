@@ -133,6 +133,12 @@ const (
 	chunkMask  = chunkSize - 1
 )
 
+// ChunkSize is the number of accounts per storage chunk. The sharded
+// simulation aligns shard boundaries to it so two shards' hot atomic
+// writes never land in the same chunk (and Grow, which appends whole
+// chunks, only ever touches the tail shard's territory).
+const ChunkSize = chunkSize
+
 type chunk [chunkSize]account
 
 // Ledger tracks accounts for a fixed (growable) population. It is safe
@@ -167,6 +173,22 @@ func (l *Ledger) Len() int { return int(l.size.Load()) }
 
 // Grow extends the ledger to cover at least n processes. Existing
 // accounts never move, so it is safe to grow while writers are active.
+//
+// Memory-ordering audit (sharded writers racing Grow): Go's atomic
+// operations are sequentially consistent, so the ordering argument is
+// purely about program order. Grow publishes the new chunk index
+// (chunks.Store) strictly before the new size (size.Store); account()
+// admits an id only after loading size, then loads the chunk index. Any
+// interleaving therefore gives a reader that admitted id < size a chunk
+// index published at-or-after the store that made that size visible —
+// i.e. one that contains id's chunk. Old indexes remain valid forever
+// (chunk pointers are copied, never moved), so a writer that cached a
+// *account across a Grow keeps writing the same slot the new index
+// points to. The one non-guarantee: ids beyond the size a reader
+// observed read as absent (account() returns nil and the add is
+// dropped) — callers must not charge an id before the Grow that admits
+// it returns, which the cluster upholds by growing before constructing
+// the node. TestGrowRacingShardWriters exercises this under -race.
 func (l *Ledger) Grow(n int) {
 	l.growMu.Lock()
 	defer l.growMu.Unlock()

@@ -347,3 +347,67 @@ func TestRatioFinite(t *testing.T) {
 		t.Fatal("ratio must stay finite")
 	}
 }
+
+// TestGrowRacingShardWriters is the sharded-simulation audit for Grow's
+// memory ordering (see the Grow doc comment): shard-style writer
+// goroutines hammer adds and reads over already-admitted ids while the
+// main goroutine repeatedly grows the population. Under -race this
+// verifies the chunks-before-size publication order and the
+// copy-on-write chunk index leave no unsynchronised access; the final
+// totals verify no admitted write was lost to a stale index.
+func TestGrowRacingShardWriters(t *testing.T) {
+	const (
+		writers   = 4
+		perWriter = 64 // ids each writer owns from the initial population
+		adds      = 2000
+		finalSize = 10 * ChunkSize
+	)
+	l := NewLedger(writers*perWriter, DefaultWeights())
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lo := w * perWriter
+			for i := 0; i < adds; i++ {
+				id := lo + i%perWriter
+				l.AddSend(id, ClassApp, 8)
+				l.AddAudit(id, 8, 0)
+				l.AddDelivery(id)
+				l.AddChurnPenalty(id, 0.5)
+				_ = l.Account(id)
+				if i%16 == 0 {
+					_ = l.Ratio(id)
+				}
+			}
+		}(w)
+	}
+	for n := writers*perWriter + 1; n <= finalSize; n += 97 {
+		l.Grow(n)
+	}
+	l.Grow(finalSize)
+	wg.Wait()
+
+	if l.Len() != finalSize {
+		t.Fatalf("Len = %d, want %d", l.Len(), finalSize)
+	}
+	for w := 0; w < writers; w++ {
+		for i := 0; i < perWriter; i++ {
+			a := l.Account(w*perWriter + i)
+			hits := adds / perWriter
+			if i < adds%perWriter {
+				hits++
+			}
+			want := uint64(hits * 8)
+			if a.BytesSent[ClassApp] != want || a.UsefulBytes != want {
+				t.Fatalf("id %d: bytes %d useful %d, want %d — a write raced Grow and was lost",
+					w*perWriter+i, a.BytesSent[ClassApp], a.UsefulBytes, want)
+			}
+		}
+	}
+	// Freshly grown territory must read as zeroed live slots.
+	if a := l.Account(finalSize - 1); a.BytesSent[ClassApp] != 0 {
+		t.Fatalf("new account is dirty: %+v", a)
+	}
+}

@@ -173,8 +173,28 @@ func (b *Buffer) Select(rng *rand.Rand, n int, policy Policy) []*pubsub.Event {
 	if n <= 0 {
 		return nil
 	}
+	scratch := make([]*pubsub.Event, 0, n)
+	return b.SelectInto(rng, &scratch, n, policy)
+}
+
+// SelectInto is Select with caller-owned storage: the selection appends
+// into *scratch (reset to length zero first), growing it only when the
+// batch exceeds its capacity, and returns the filled slice. It consumes
+// the random stream draw-for-draw identically to Select, so swapping it
+// in never changes a fixed-seed run — only its allocation profile. The
+// caller must not hand the returned slice to anything that outlives the
+// scratch's next reuse; the pooled gossip envelope path copies out of it
+// before the next round.
+func (b *Buffer) SelectInto(rng *rand.Rand, scratch *[]*pubsub.Event, n int, policy Policy) []*pubsub.Event {
+	out := (*scratch)[:0]
+	*scratch = out
+	if n > len(b.items) {
+		n = len(b.items)
+	}
+	if n <= 0 {
+		return out
+	}
 	ids := b.liveIDs()
-	out := make([]*pubsub.Event, 0, n)
 	switch policy {
 	case PolicyNewest:
 		// order is oldest-first; take from the tail.
@@ -190,6 +210,7 @@ func (b *Buffer) Select(rng *rand.Rand, n int, policy Policy) []*pubsub.Event {
 			e.sent++
 			out = append(out, e.ev)
 		}
+		*scratch = out
 		return out
 	}
 	for _, id := range ids {
@@ -197,6 +218,7 @@ func (b *Buffer) Select(rng *rand.Rand, n int, policy Policy) []*pubsub.Event {
 		e.sent++
 		out = append(out, e.ev)
 	}
+	*scratch = out
 	return out
 }
 

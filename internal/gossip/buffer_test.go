@@ -196,3 +196,53 @@ func BenchmarkBufferInsertSelect(b *testing.B) {
 		}
 	}
 }
+
+// SelectInto must consume the random stream and pick the same events as
+// Select, for every policy, while reusing the caller's scratch.
+func TestSelectIntoMatchesSelect(t *testing.T) {
+	for _, policy := range []Policy{PolicyRandom, PolicyNewest, PolicyLeastSent} {
+		a := NewBuffer(64, 8)
+		b := NewBuffer(64, 8)
+		for i := 0; i < 20; i++ {
+			ev := &pubsub.Event{ID: pubsub.EventID{Publisher: 1, Seq: uint32(i + 1)}}
+			a.Insert(ev)
+			b.Insert(ev)
+		}
+		r1 := rand.New(rand.NewSource(9))
+		r2 := rand.New(rand.NewSource(9))
+		var scratch []*pubsub.Event
+		for round := 0; round < 6; round++ {
+			want := a.Select(r1, 5, policy)
+			got := b.SelectInto(r2, &scratch, 5, policy)
+			if len(want) != len(got) {
+				t.Fatalf("policy %d round %d: len %d vs %d", policy, round, len(got), len(want))
+			}
+			for i := range want {
+				if want[i].ID != got[i].ID {
+					t.Fatalf("policy %d round %d pos %d: %v vs %v", policy, round, i, got[i].ID, want[i].ID)
+				}
+			}
+			if r1.Int63() != r2.Int63() {
+				t.Fatalf("policy %d: random streams diverged", policy)
+			}
+			r2.Int63() // re-sync after the probe draw above
+			r1.Int63()
+		}
+	}
+}
+
+func TestSelectIntoZeroAllocSteadyState(t *testing.T) {
+	b := NewBuffer(64, 1024)
+	for i := 0; i < 32; i++ {
+		b.Insert(&pubsub.Event{ID: pubsub.EventID{Publisher: 2, Seq: uint32(i + 1)}})
+	}
+	rng := rand.New(rand.NewSource(3))
+	scratch := make([]*pubsub.Event, 0, 8)
+	b.SelectInto(rng, &scratch, 8, PolicyRandom) // warm the perm scratch
+	allocs := testing.AllocsPerRun(100, func() {
+		b.SelectInto(rng, &scratch, 8, PolicyRandom)
+	})
+	if allocs != 0 {
+		t.Fatalf("SelectInto allocates %v per run, want 0", allocs)
+	}
+}

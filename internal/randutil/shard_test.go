@@ -1,0 +1,35 @@
+package randutil
+
+import "testing"
+
+func TestShardSeedZeroIsIdentity(t *testing.T) {
+	for _, seed := range []int64{0, 1, -1, 42, 1 << 40} {
+		if got := ShardSeed(seed, 0); got != seed {
+			t.Fatalf("ShardSeed(%d, 0) = %d, want the seed itself", seed, got)
+		}
+	}
+}
+
+func TestShardSeedDistinctPerShard(t *testing.T) {
+	const shards = 64
+	seen := make(map[int64]int, shards)
+	for s := 0; s < shards; s++ {
+		k := ShardSeed(1, s)
+		if prev, dup := seen[k]; dup {
+			t.Fatalf("shards %d and %d collide on seed %d", prev, s, k)
+		}
+		seen[k] = s
+	}
+	// Distinct master seeds must not alias shard streams either.
+	if ShardSeed(1, 1) == ShardSeed(2, 1) {
+		t.Fatalf("different master seeds produced the same shard-1 seed")
+	}
+}
+
+func TestShardSeedDeterministic(t *testing.T) {
+	for s := 0; s < 8; s++ {
+		if ShardSeed(7, s) != ShardSeed(7, s) {
+			t.Fatalf("ShardSeed is not a pure function at shard %d", s)
+		}
+	}
+}

@@ -117,9 +117,11 @@ const simRound = 100 * time.Millisecond
 // simBaseLatency is the sim column's unshaped one-way delay.
 const simBaseLatency = 2 * time.Millisecond
 
-// SimRuntime adapts core.Cluster (deterministic discrete-event sim).
+// SimRuntime adapts core.ShardedCluster (deterministic discrete-event
+// sim, optionally split across per-core shards; Shards=1 is the legacy
+// single-threaded engine byte-for-byte).
 type SimRuntime struct {
-	C *core.Cluster
+	C *core.ShardedCluster
 
 	// faultLoss and shapeLoss are the two independent loss layers; the
 	// network gets their composition 1-(1-fault)(1-shape). The sim has
@@ -154,7 +156,7 @@ func NewSimRuntime(sc Scenario, seed int64) *SimRuntime {
 	if sc.TargetRatio > 0 {
 		cfg.Controller = core.ControllerSpec{Kind: core.ControllerAIMD, TargetRatio: sc.TargetRatio}
 	}
-	c := core.NewCluster(sc.N, cfg, core.ClusterOptions{
+	c := core.NewShardedCluster(sc.N, sc.Shards, cfg, core.ClusterOptions{
 		Seed:      seed,
 		NetConfig: simnet.Config{Latency: simnet.ConstantLatency(simBaseLatency)},
 	})
@@ -166,7 +168,7 @@ func NewSimRuntime(sc Scenario, seed int64) *SimRuntime {
 }
 
 func (s *SimRuntime) Name() string { return "sim" }
-func (s *SimRuntime) N() int       { return len(s.C.Nodes) }
+func (s *SimRuntime) N() int       { return s.C.N() }
 
 func (s *SimRuntime) Has(c Capability) bool {
 	return c == CapDeterministic || c == CapDropStats
@@ -174,7 +176,7 @@ func (s *SimRuntime) Has(c Capability) bool {
 
 func (s *SimRuntime) Start() { s.C.Start() }
 
-func (s *SimRuntime) valid(id int) bool { return id >= 0 && id < len(s.C.Nodes) }
+func (s *SimRuntime) valid(id int) bool { return id >= 0 && id < s.C.N() }
 
 func (s *SimRuntime) Subscribe(id int, f pubsub.Filter) (pubsub.SubID, bool) {
 	if !s.valid(id) {
@@ -218,8 +220,8 @@ func (s *SimRuntime) Rejoin(id int) bool {
 	// Bootstrap through the lowest-numbered live node (unused under the
 	// full sampler, but correct if a scenario ever runs Cyclon views).
 	boot := simnet.NodeID(0)
-	for i := range s.C.Nodes {
-		if i != id && s.C.Net.Up(simnet.NodeID(i)) {
+	for i := 0; i < s.C.N(); i++ {
+		if i != id && s.C.Up(simnet.NodeID(i)) {
 			boot = simnet.NodeID(i)
 			break
 		}
@@ -260,10 +262,10 @@ func (s *SimRuntime) Partition(side []int) {
 	for _, id := range side {
 		ids = append(ids, simnet.NodeID(id))
 	}
-	s.C.Net.Partition(ids)
+	s.C.Partition(ids)
 }
 
-func (s *SimRuntime) Heal() { s.C.Net.Heal() }
+func (s *SimRuntime) Heal() { s.C.Heal() }
 
 func (s *SimRuntime) SetLoss(p float64) {
 	s.faultLoss = p
@@ -273,7 +275,7 @@ func (s *SimRuntime) SetLoss(p float64) {
 // applyLoss installs the composition of the fault and shaper loss
 // layers: a message survives only if both layers pass it.
 func (s *SimRuntime) applyLoss() {
-	s.C.Net.SetLoss(1 - (1-s.faultLoss)*(1-s.shapeLoss))
+	s.C.SetLoss(1 - (1-s.faultLoss)*(1-s.shapeLoss))
 }
 
 // SetShape maps a round-relative spec onto the simulator: Loss composes
@@ -289,7 +291,7 @@ func (s *SimRuntime) SetShape(sp ShapeSpec) bool {
 	delay := time.Duration(sp.DelayRounds * float64(simRound))
 	jitter := time.Duration(sp.JitterRounds * float64(simRound))
 	if delay <= 0 && jitter <= 0 && sp.Reorder <= 0 {
-		s.C.Net.SetLatency(simnet.ConstantLatency(simBaseLatency))
+		s.C.SetLatency(simnet.ConstantLatency(simBaseLatency))
 		return true
 	}
 	reorder := sp.Reorder
@@ -297,7 +299,7 @@ func (s *SimRuntime) SetShape(sp ShapeSpec) bool {
 	if span <= 0 {
 		span = time.Millisecond
 	}
-	s.C.Net.SetLatency(func(rng *rand.Rand, _, _ simnet.NodeID) time.Duration {
+	s.C.SetLatency(func(rng *rand.Rand, _, _ simnet.NodeID) time.Duration {
 		d := simBaseLatency + delay
 		if jitter > 0 {
 			d += time.Duration(rng.Int63n(int64(jitter)))
@@ -316,7 +318,7 @@ func (s *SimRuntime) SetShape(sp ShapeSpec) bool {
 // = 1) boundary.
 func (s *SimRuntime) RegionOutage(members []int, on bool) {
 	if !on {
-		s.C.Net.Heal()
+		s.C.Heal()
 		return
 	}
 	s.Partition(members)
@@ -334,13 +336,13 @@ func (s *SimRuntime) Step(rounds int) { s.C.RunRounds(rounds) }
 func (s *SimRuntime) Drain(rounds int, progress func() uint64) {
 	s.C.RunRounds(rounds)
 	s.C.Stop()
-	s.C.Sim.Run()
+	s.C.Drain()
 }
 
 func (s *SimRuntime) Ledger() *fairness.Ledger { return s.C.Ledger }
 
 func (s *SimRuntime) Traffic() (sent, recv, dropped uint64, ok bool) {
-	t := s.C.Net.TotalTraffic()
+	t := s.C.TotalTraffic()
 	return t.MsgsSent, t.MsgsRecv, t.Dropped, true
 }
 

@@ -57,6 +57,12 @@ type Scenario struct {
 	// RepairPenalty is the §3.2 instability charge per rejoin (sim only;
 	// the live ledger has no churn-penalty hook wired yet).
 	RepairPenalty float64
+	// Shards splits the sim column's kernel across that many per-core
+	// shards (default 1 = the legacy single-threaded engine, byte-for-
+	// byte). Runs are deterministic per (seed, Shards); different shard
+	// counts are different, equally valid executions because cross-shard
+	// messages quantise to round barriers. Live columns ignore it.
+	Shards int
 
 	// Live-runtime membership knobs: partial-view capacity (default 24 —
 	// large enough that a 32-peer scenario's views mix well, small
@@ -145,6 +151,9 @@ func (sc Scenario) withDefaults() Scenario {
 	}
 	if sc.BufferMaxAge <= 0 {
 		sc.BufferMaxAge = 10
+	}
+	if sc.Shards <= 0 {
+		sc.Shards = 1
 	}
 	if sc.ViewCap <= 0 {
 		sc.ViewCap = 24

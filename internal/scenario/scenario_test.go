@@ -548,3 +548,46 @@ func TestShapePresets(t *testing.T) {
 		t.Fatal("unknown preset accepted")
 	}
 }
+
+// TestShardedSimCalmStorm runs the calm and storm builtins on the
+// sharded sim column: every invariant must hold at every shard count,
+// and runs must be deterministic per (seed, shards). The CI race job
+// runs this sweep under -race — with the engine split across real
+// goroutines, any unsynchronised cross-shard access surfaces here.
+func TestShardedSimCalmStorm(t *testing.T) {
+	for _, name := range []string{"calm", "storm"} {
+		for _, shards := range []int{2, 4} {
+			sc, ok := ByName(name)
+			if !ok {
+				t.Fatalf("missing builtin %q", name)
+			}
+			sc.Shards = shards
+			t.Run(sc.Name+"-shards", func(t *testing.T) {
+				a := Execute(NewSimRuntime(sc, 42), sc, 42)
+				if !a.Ok() {
+					t.Fatalf("shards=%d invariant violations:\n%s", shards, a.String())
+				}
+				if a.Published == 0 || a.Deliveries == 0 {
+					t.Fatalf("shards=%d degenerate run:\n%s", shards, a.String())
+				}
+				b := Execute(NewSimRuntime(sc, 42), sc, 42)
+				if a.String() != b.String() {
+					t.Fatalf("shards=%d not deterministic:\n--- run 1\n%s--- run 2\n%s", shards, a.String(), b.String())
+				}
+			})
+		}
+	}
+}
+
+// TestShardsOneIsLegacyColumn: Shards=1 must produce byte-identical
+// results to the unset (legacy) default — the sharded runtime wraps the
+// single-threaded engine verbatim at shard count one.
+func TestShardsOneIsLegacyColumn(t *testing.T) {
+	sc, _ := ByName("storm")
+	legacy := Execute(NewSimRuntime(sc, 42), sc, 42)
+	sc.Shards = 1
+	one := Execute(NewSimRuntime(sc, 42), sc, 42)
+	if legacy.String() != one.String() {
+		t.Fatalf("Shards=1 diverged from the legacy column:\n--- legacy\n%s--- shards=1\n%s", legacy.String(), one.String())
+	}
+}

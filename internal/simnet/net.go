@@ -35,6 +35,25 @@ type Handler interface {
 	HandleMessage(msg Message)
 }
 
+// Refcounted payloads participate in the network's in-flight lifecycle:
+// the network retains once per message it accepts into flight (scheduled
+// locally or handed to the remote-shard hook) and releases once the
+// delivery attempt has fully completed — after the handler returns, or
+// at a delivery-time drop. A pooled payload may therefore be recycled
+// the moment its last release fires, never earlier, which is what makes
+// sharing one envelope across a whole gossip fanout safe.
+type Refcounted interface {
+	Retain()
+	Release()
+}
+
+// RemoteFunc receives a message whose destination lives on another
+// shard's network, along with the one-way delay already drawn from this
+// shard's RNG. The sharded cluster's implementation appends to a
+// per-(source, destination) mailbox that is merged — in fixed shard
+// order — into the destination network via InjectAt at round barriers.
+type RemoteFunc func(msg Message, delay time.Duration)
+
 // LatencyModel draws the one-way delay for a message.
 type LatencyModel func(rng *rand.Rand, from, to NodeID) time.Duration
 
@@ -76,12 +95,13 @@ type Config struct {
 type Network struct {
 	sim      *eventsim.Sim
 	cfg      Config
-	handlers []Handler
+	handlers []Handler // nil entries are remote placeholders (sharded runs)
 	up       []bool
 	group    []int // partition group; messages cross groups only when healed
 	split    bool
 	stats    []Traffic
 	total    Traffic
+	remote   RemoteFunc
 }
 
 // New creates an empty network over sim.
@@ -109,6 +129,40 @@ func (n *Network) AddNode(h Handler) NodeID {
 	n.group = append(n.group, 0)
 	n.stats = append(n.stats, Traffic{})
 	return id
+}
+
+// AddRemote reserves the next NodeID for a node that lives on another
+// shard's network. The slot has no handler; sends toward it are handed
+// to the RemoteFunc installed with SetRemote. Its stats slot accumulates
+// only what this network observes locally (delivery-time drops charged
+// to a remote sender); a sharded cluster sums the per-shard stats to
+// recover whole-population counters.
+func (n *Network) AddRemote() NodeID {
+	id := NodeID(len(n.handlers))
+	n.handlers = append(n.handlers, nil)
+	n.up = append(n.up, true)
+	n.group = append(n.group, 0)
+	n.stats = append(n.stats, Traffic{})
+	return id
+}
+
+// SetRemote installs the cross-shard hand-off for messages addressed to
+// AddRemote placeholders. Without one, such sends count as drops.
+func (n *Network) SetRemote(fn RemoteFunc) { n.remote = fn }
+
+// InjectAt schedules a message that already cleared the source shard's
+// loss and latency draws for local delivery at absolute virtual time at
+// (coerced to Now when in the past — the barrier-merge case for
+// messages whose nominal delivery time fell inside the closed window).
+// Crash and partition state still apply at delivery time, exactly as
+// they would for a locally-scheduled message.
+func (n *Network) InjectAt(at time.Duration, msg Message) {
+	n.sim.ScheduleMsgAt(at, n, eventsim.Msg{
+		From:    int32(msg.From),
+		To:      int32(msg.To),
+		Size:    int32(msg.Size),
+		Payload: msg.Payload,
+	})
 }
 
 // Len returns the number of registered nodes.
@@ -202,6 +256,25 @@ func (n *Network) Send(from, to NodeID, payload any, size int) {
 		return
 	}
 	delay := n.cfg.Latency(n.sim.Rand(), from, to)
+	if n.handlers[to] == nil {
+		// The destination lives on another shard: hand the message (and
+		// the delay already drawn from this shard's stream) to the
+		// mailbox hook. A missing hook is a wiring error observed as a
+		// counted drop so conservation survives it.
+		if n.remote == nil {
+			n.stats[from].Dropped++
+			n.total.Dropped++
+			return
+		}
+		if rc, ok := payload.(Refcounted); ok {
+			rc.Retain()
+		}
+		n.remote(Message{From: from, To: to, Payload: payload, Size: size}, delay)
+		return
+	}
+	if rc, ok := payload.(Refcounted); ok {
+		rc.Retain()
+	}
 	// The in-flight message rides inline in a pooled kernel event record:
 	// no per-send event allocation and no delivery closure (the old
 	// `func() { n.deliver(msg) }` capture cost one allocation per message).
@@ -223,6 +296,7 @@ func (n *Network) deliver(msg Message) {
 	if !n.up[msg.To] || (n.split && n.group[msg.From] != n.group[msg.To]) {
 		n.stats[msg.From].Dropped++
 		n.total.Dropped++
+		n.releasePayload(msg.Payload)
 		return
 	}
 	n.stats[msg.To].MsgsRecv++
@@ -230,6 +304,15 @@ func (n *Network) deliver(msg Message) {
 	n.total.MsgsRecv++
 	n.total.BytesRecv += uint64(msg.Size)
 	n.handlers[msg.To].HandleMessage(msg)
+	n.releasePayload(msg.Payload)
+}
+
+// releasePayload ends the in-flight retention taken in Send: the
+// delivery attempt is over and a pooled payload may recycle.
+func (n *Network) releasePayload(p any) {
+	if rc, ok := p.(Refcounted); ok {
+		rc.Release()
+	}
 }
 
 func (n *Network) valid(id NodeID) bool {
