@@ -7,7 +7,14 @@ PKGS    := ./...
 BENCH   ?= .
 OUT     ?= results
 
-.PHONY: all build test race bench microbench vet fmt-check fairvet staticcheck lint ci fairbench clean
+.PHONY: all build test race bench microbench vet fmt-check fairvet staticcheck lint lint-fast ci fairbench clean
+
+# fairvet memoizes its `go list -export` module-graph walk when
+# FAIRVET_CACHE names a directory (internal/analysis/cache.go); the
+# lint targets opt in so repeat runs skip the multi-second walk. The
+# cache self-invalidates on any source, module-file, or toolchain
+# change. Point it elsewhere (or at "") to opt out.
+FAIRVET_CACHE ?= $(CURDIR)/.fairvet-cache
 
 # staticcheck is version-pinned: a drifting linter turns every upgrade
 # into a triage session. Bump deliberately, re-triage, update
@@ -57,7 +64,22 @@ fmt-check:
 # conservation, buffer ownership, copy-on-write, hot-path allocation
 # discipline). Zero unsuppressed findings, every escape hatch verified.
 fairvet:
-	$(GO) run ./cmd/fairvet $(PKGS)
+	FAIRVET_CACHE=$(FAIRVET_CACHE) $(GO) run ./cmd/fairvet $(PKGS)
+
+# lint-fast is the inner-loop complement to `make lint`: fairvet only,
+# and only over the packages whose Go files changed (committed or not)
+# since the merge base with origin/main. Falls back to the whole tree
+# when that ref is unavailable (fresh clones, detached CI checkouts).
+lint-fast:
+	@if base=$$(git merge-base origin/main HEAD 2>/dev/null); then \
+		dirs=$$(git diff --name-only $$base -- '*.go' | grep -v '/testdata/' | xargs -r -n1 dirname | sort -u); \
+		pkgs=$$(for d in $$dirs; do [ -d "$$d" ] && printf './%s ' "$$d"; done); \
+		if [ -z "$$pkgs" ]; then echo "lint-fast: no Go packages changed since origin/main"; \
+		else echo "lint-fast: fairvet $$pkgs"; FAIRVET_CACHE=$(FAIRVET_CACHE) $(GO) run ./cmd/fairvet $$pkgs; fi; \
+	else \
+		echo "lint-fast: origin/main unavailable; running the full tree"; \
+		FAIRVET_CACHE=$(FAIRVET_CACHE) $(GO) run ./cmd/fairvet $(PKGS); \
+	fi
 
 # staticcheck runs only when the pinned binary is available (the tool
 # is an external module; offline or hermetic builds skip it with a

@@ -1,20 +1,25 @@
 // Command fairvet is the project's vet: a multichecker running the
 // fairgossip-specific analyzers that machine-enforce the repo's
 // invariants — fixed-seed determinism, exact drop conservation,
-// encode-once buffer ownership, copy-on-write publication, and
-// allocation-free hot paths. `make lint` runs it over the whole tree;
+// encode-once buffer ownership, copy-on-write publication,
+// allocation-free hot paths (interprocedurally, over the call graph),
+// goroutine-leak freedom, wire-kind switch exhaustiveness, and
+// annotated mutex discipline. `make lint` runs it over the whole tree;
 // a clean run means zero unsuppressed findings and a verified
 // justification on every //fair:ignore escape hatch.
 //
 // Usage:
 //
-//	fairvet [-rules r1,r2] [-list] [packages]
+//	fairvet [-rules r1,r2] [-list] [-json] [packages]
 //
 // Packages default to ./... relative to the current directory. Exit
-// status is 1 when findings remain, 2 on load errors.
+// status is 1 when findings remain, 2 on load or usage errors
+// (including a -rules naming no known rule). With -json, each finding
+// is one JSON object per line: {"file","line","col","rule","message"}.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -33,25 +38,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("fairvet", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "print the rule catalogue and exit")
+	jsonOut := fs.Bool("json", false, "emit findings as one JSON object per line")
 	ruleNames := fs.String("rules", "", "comma-separated subset of rules to run (default: all)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
 	if *list {
-		for _, a := range rules.All() {
-			fmt.Fprintf(stdout, "%s\n\t%s\n", a.Name, a.Doc)
-		}
-		fmt.Fprintf(stdout, "%s\n\t%s\n", analysis.DirectiveRule,
-			"Bookkeeping for the //fair: vocabulary itself: unknown directives, ignores naming unknown rules, missing justifications, and stale ignores that suppress nothing.")
+		printCatalogue(stdout)
 		return 0
 	}
 
 	active := rules.All()
 	if *ruleNames != "" {
-		active = rules.ByName(strings.Split(*ruleNames, ","))
+		var unknown []string
+		active, unknown = rules.ByName(strings.Split(*ruleNames, ","))
+		if len(unknown) > 0 {
+			fmt.Fprintf(stderr, "fairvet: unknown rule(s) in -rules: %s\n\nthe rule catalogue:\n", strings.Join(unknown, ", "))
+			printCatalogue(stderr)
+			return 2
+		}
 		if len(active) == 0 {
-			fmt.Fprintf(stderr, "fairvet: no known rules in -rules=%s\n", *ruleNames)
+			fmt.Fprintf(stderr, "fairvet: -rules named no rules\n")
 			return 2
 		}
 	}
@@ -72,11 +80,45 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	for _, f := range findings {
-		fmt.Fprintln(stdout, f)
+		if *jsonOut {
+			line, err := json.Marshal(jsonFinding{
+				File:    f.Position.Filename,
+				Line:    f.Position.Line,
+				Col:     f.Position.Column,
+				Rule:    f.Rule,
+				Message: f.Message,
+			})
+			if err != nil {
+				fmt.Fprintf(stderr, "fairvet: %v\n", err)
+				return 2
+			}
+			fmt.Fprintf(stdout, "%s\n", line)
+		} else {
+			fmt.Fprintln(stdout, f)
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(stderr, "fairvet: %d finding(s)\n", len(findings))
 		return 1
 	}
 	return 0
+}
+
+// jsonFinding is the -json line shape; the CI problem matcher in
+// .github/fairvet-problem-matcher.json parses the plain-text form, and
+// other tooling (editors, dashboards) consumes this one.
+type jsonFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
+func printCatalogue(w io.Writer) {
+	for _, a := range rules.All() {
+		fmt.Fprintf(w, "%s\n\t%s\n", a.Name, a.Doc)
+	}
+	fmt.Fprintf(w, "%s\n\t%s\n", analysis.DirectiveRule,
+		"Bookkeeping for the //fair: vocabulary itself: unknown directives, ignores naming unknown rules, missing justifications, and stale ignores that suppress nothing.")
 }

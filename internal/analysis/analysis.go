@@ -46,7 +46,23 @@ type Pass struct {
 	// module path, e.g. "fixtures/hotpath").
 	Path string
 
+	pkg   *Package
+	facts *FactStore
 	diags *[]Diagnostic
+}
+
+// ExportFact records a cross-package fact under key (see facts.go for
+// the key conventions). Facts survive for the rest of the Run: packages
+// are processed in dependency order, so a fact exported here is visible
+// to every later pass, including passes over importing packages.
+func (p *Pass) ExportFact(key string, fact any) {
+	p.facts.Export(key, fact)
+}
+
+// LookupFact returns the fact exported under key by this or any earlier
+// pass in the Run.
+func (p *Pass) LookupFact(key string) (any, bool) {
+	return p.facts.Lookup(key)
 }
 
 // Report records a finding at pos. Category subdivides a rule for

@@ -1,0 +1,171 @@
+package analysis
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// The loader's one expensive step is `go list -export -deps`: it makes
+// the go command compile export data for every dependency of every
+// target. On a warm build cache that is still a multi-second walk of
+// the module graph, and `make lint` pays it on every run. When the
+// FAIRVET_CACHE environment variable names a directory, listPackages
+// memoizes the raw `go list` output there, keyed by the query (module
+// dir, patterns, toolchain version) and validated by a stamp of every
+// input that could change the answer: the module files, each target's
+// Go sources (size+mtime), and the existence of each referenced export
+// file. Any mismatch — an edited file, a pruned build cache, a new
+// toolchain — silently falls back to a fresh `go list` and rewrites
+// the entry. The cache is opt-in precisely because it trades a
+// re-validation race (editing a file twice within one mtime tick) for
+// speed; CI and `make lint` opt in, one-off runs don't have to.
+
+func listPackages(dir string, patterns []string) ([]byte, error) {
+	cacheDir := os.Getenv("FAIRVET_CACHE")
+	if cacheDir == "" {
+		return runGoList(dir, patterns)
+	}
+	key := cacheKey(dir, patterns)
+	if out, ok := readListCache(cacheDir, key); ok {
+		return out, nil
+	}
+	out, err := runGoList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	writeListCache(cacheDir, key, dir, out)
+	return out, nil
+}
+
+func runGoList(dir string, patterns []string) ([]byte, error) {
+	args := append([]string{
+		"list", "-export", "-deps",
+		"-json=ImportPath,Name,Dir,Export,GoFiles,Imports,Standard,DepOnly,Incomplete,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	return out, nil
+}
+
+func cacheKey(dir string, patterns []string) string {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		abs = dir
+	}
+	h := sha256.Sum256([]byte(abs + "\x00" + strings.Join(patterns, "\x00") + "\x00" + runtime.Version()))
+	return hex.EncodeToString(h[:16])
+}
+
+// A stampEntry records one input file's identity at cache-write time.
+// Export files get existence-only stamps: their names are content
+// hashes inside the go build cache, so a stale name simply vanishes.
+type stampEntry struct {
+	Path      string
+	Size      int64
+	MtimeNano int64
+	ExistOnly bool
+}
+
+func readListCache(cacheDir, key string) ([]byte, bool) {
+	stampBytes, err := os.ReadFile(filepath.Join(cacheDir, key+".stamp.json"))
+	if err != nil {
+		return nil, false
+	}
+	var stamps []stampEntry
+	if json.Unmarshal(stampBytes, &stamps) != nil {
+		return nil, false
+	}
+	for _, s := range stamps {
+		fi, err := os.Stat(s.Path)
+		if err != nil {
+			return nil, false
+		}
+		if s.ExistOnly {
+			continue
+		}
+		if fi.Size() != s.Size || fi.ModTime().UnixNano() != s.MtimeNano {
+			return nil, false
+		}
+	}
+	out, err := os.ReadFile(filepath.Join(cacheDir, key+".list.json"))
+	if err != nil {
+		return nil, false
+	}
+	return out, true
+}
+
+func writeListCache(cacheDir, key, dir string, out []byte) {
+	var stamps []stampEntry
+	stampFile := func(path string, existOnly bool) {
+		fi, err := os.Stat(path)
+		if err != nil {
+			return
+		}
+		stamps = append(stamps, stampEntry{
+			Path:      path,
+			Size:      fi.Size(),
+			MtimeNano: fi.ModTime().UnixNano(),
+			ExistOnly: existOnly,
+		})
+	}
+	for _, name := range []string{"go.mod", "go.sum"} {
+		if p := filepath.Join(dir, name); fileExists(p) {
+			stampFile(p, false)
+		}
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return // don't cache output we can't even decode
+		}
+		if p.Export != "" {
+			stampFile(p.Export, true)
+		}
+		if p.Standard || p.DepOnly {
+			continue
+		}
+		for _, gf := range p.GoFiles {
+			path := gf
+			if !filepath.IsAbs(path) {
+				path = filepath.Join(p.Dir, gf)
+			}
+			stampFile(path, false)
+		}
+	}
+	stampBytes, err := json.Marshal(stamps)
+	if err != nil {
+		return
+	}
+	if os.MkdirAll(cacheDir, 0o755) != nil {
+		return
+	}
+	// Order matters for crash consistency: the stamp validates the list
+	// file, so write the list first — a stamp without a list just misses.
+	if os.WriteFile(filepath.Join(cacheDir, key+".list.json"), out, 0o644) != nil {
+		return
+	}
+	_ = os.WriteFile(filepath.Join(cacheDir, key+".stamp.json"), stampBytes, 0o644)
+}
+
+func fileExists(path string) bool {
+	_, err := os.Stat(path)
+	return err == nil
+}

@@ -1,0 +1,81 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestListPackagesCache exercises the FAIRVET_CACHE memoization of the
+// `go list -export` output: a second identical query is served
+// byte-identically from the cache, a drifted input stamp misses, and
+// the miss transparently falls back to a fresh go list.
+func TestListPackagesCache(t *testing.T) {
+	cacheDir := t.TempDir()
+	t.Setenv("FAIRVET_CACHE", cacheDir)
+	const dir = "rules/testdata"
+	patterns := []string{"./wirekind"}
+
+	out1, err := listPackages(dir, patterns)
+	if err != nil {
+		t.Fatalf("first listPackages: %v", err)
+	}
+	key := cacheKey(dir, patterns)
+	if _, err := os.Stat(filepath.Join(cacheDir, key+".list.json")); err != nil {
+		t.Fatalf("cache entry not written: %v", err)
+	}
+
+	out2, err := listPackages(dir, patterns)
+	if err != nil {
+		t.Fatalf("second listPackages: %v", err)
+	}
+	if !bytes.Equal(out1, out2) {
+		t.Errorf("cached output differs from the original")
+	}
+
+	// Drift one content-stamped input: the stamp must stop validating.
+	stampPath := filepath.Join(cacheDir, key+".stamp.json")
+	raw, err := os.ReadFile(stampPath)
+	if err != nil {
+		t.Fatalf("reading stamp: %v", err)
+	}
+	var stamps []stampEntry
+	if err := json.Unmarshal(raw, &stamps); err != nil {
+		t.Fatalf("decoding stamp: %v", err)
+	}
+	drifted := false
+	for i := range stamps {
+		if !stamps[i].ExistOnly {
+			stamps[i].Size++
+			drifted = true
+			break
+		}
+	}
+	if !drifted {
+		t.Fatal("stamp has no content-stamped entries to drift")
+	}
+	raw, err = json.Marshal(stamps)
+	if err != nil {
+		t.Fatalf("re-encoding stamp: %v", err)
+	}
+	if err := os.WriteFile(stampPath, raw, 0o644); err != nil {
+		t.Fatalf("rewriting stamp: %v", err)
+	}
+	if _, ok := readListCache(cacheDir, key); ok {
+		t.Error("drifted stamp still validates; stale go list output would be reused")
+	}
+
+	// The miss falls back to go list and rewrites the entry.
+	out3, err := listPackages(dir, patterns)
+	if err != nil {
+		t.Fatalf("listPackages after invalidation: %v", err)
+	}
+	if len(out3) == 0 {
+		t.Fatal("fallback go list returned nothing")
+	}
+	if _, ok := readListCache(cacheDir, key); !ok {
+		t.Error("cache entry not rewritten after the miss")
+	}
+}

@@ -1,0 +1,172 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// The call graph is the conservative static view interprocedural rules
+// walk: every call whose callee the type-checker can name — direct
+// function calls, method calls on concrete receivers, the callee inside
+// go and defer statements — becomes an edge. What it deliberately does
+// NOT resolve: calls through function-typed variables and calls on
+// interface receivers (the callee set is unknowable without whole-
+// program pointer analysis), which appear as sites with a nil Callee so
+// a rule can choose how conservative to be about them.
+
+// EdgeKind classifies how a call site transfers control.
+type EdgeKind int
+
+const (
+	// EdgeCall is an ordinary call: the callee runs on this goroutine
+	// before the next statement.
+	EdgeCall EdgeKind = iota
+	// EdgeGo spawns the callee on a new goroutine.
+	EdgeGo
+	// EdgeDefer schedules the callee for function exit.
+	EdgeDefer
+)
+
+// A CallSite is one call found in a function body (nested function
+// literals excluded — their calls only run if the literal itself is
+// invoked, and the literal is its own analysis subject).
+type CallSite struct {
+	Pos  token.Pos
+	Kind EdgeKind
+	// Callee is the statically resolved target, nil when the call is
+	// dynamic (a function-typed variable, a bound method value).
+	Callee *types.Func
+	// Iface marks a call on an interface receiver: Callee names the
+	// interface method, not a body.
+	Iface bool
+	// Lit is set when the callee is a function literal invoked (or
+	// spawned, or deferred) in place; Callee is nil for these.
+	Lit *ast.FuncLit
+}
+
+// A FuncNode is one function declared in the analyzed package.
+type FuncNode struct {
+	Fn    *types.Func
+	ID    string // FuncID(Fn)
+	Decl  *ast.FuncDecl
+	Calls []CallSite // sites in Decl.Body, outside nested literals
+}
+
+// A CallGraph indexes every declared function of one package.
+type CallGraph struct {
+	Funcs []*FuncNode // source order
+	ByID  map[string]*FuncNode
+	ByObj map[*types.Func]*FuncNode
+}
+
+// Graph returns the package's call graph, building it on first use.
+func (p *Pass) Graph() *CallGraph {
+	if p.pkg.graph == nil {
+		p.pkg.graph = buildCallGraph(p.Files, p.TypesInfo)
+	}
+	return p.pkg.graph
+}
+
+func buildCallGraph(files []*ast.File, info *types.Info) *CallGraph {
+	g := &CallGraph{
+		ByID:  make(map[string]*FuncNode),
+		ByObj: make(map[*types.Func]*FuncNode),
+	}
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			node := &FuncNode{
+				Fn:    fn,
+				ID:    FuncID(fn),
+				Decl:  fd,
+				Calls: CalleesIn(info, fd.Body),
+			}
+			g.Funcs = append(g.Funcs, node)
+			g.ByID[node.ID] = node
+			g.ByObj[fn] = node
+		}
+	}
+	return g
+}
+
+// CalleesIn walks body and returns every call site at this function's
+// level: nested function literals are not descended into (each literal
+// is a separate potential entry point), but a literal invoked, spawned,
+// or deferred in place is returned as a site with Lit set.
+func CalleesIn(info *types.Info, body ast.Node) []CallSite {
+	var sites []CallSite
+	var walk func(n ast.Node, kind EdgeKind) bool
+	classify := func(call *ast.CallExpr, kind EdgeKind) {
+		if lit, ok := call.Fun.(*ast.FuncLit); ok {
+			sites = append(sites, CallSite{Pos: call.Pos(), Kind: kind, Lit: lit})
+			// The literal's body runs with the call: descend at the same
+			// edge kind so its own sites are attributed here.
+			ast.Inspect(lit.Body, func(n ast.Node) bool { return walk(n, kind) })
+			return
+		}
+		fn, iface := resolveCallee(info, call)
+		sites = append(sites, CallSite{Pos: call.Pos(), Kind: kind, Callee: fn, Iface: iface})
+	}
+	walk = func(n ast.Node, kind EdgeKind) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // a value, not a call: its body is cold until invoked
+		case *ast.GoStmt:
+			classify(n.Call, EdgeGo)
+			// Arguments are evaluated on the spawning goroutine; any
+			// calls inside them are ordinary edges.
+			for _, arg := range n.Call.Args {
+				ast.Inspect(arg, func(m ast.Node) bool { return walk(m, EdgeCall) })
+			}
+			return false
+		case *ast.DeferStmt:
+			classify(n.Call, EdgeDefer)
+			for _, arg := range n.Call.Args {
+				ast.Inspect(arg, func(m ast.Node) bool { return walk(m, EdgeCall) })
+			}
+			return false
+		case *ast.CallExpr:
+			classify(n, kind)
+		}
+		return true
+	}
+	ast.Inspect(body, func(n ast.Node) bool { return walk(n, EdgeCall) })
+	return sites
+}
+
+// resolveCallee names the called function when the type-checker can:
+// package functions, methods (concrete or interface), and imported
+// functions. Builtins, conversions, and dynamic calls yield nil.
+func resolveCallee(info *types.Info, call *ast.CallExpr) (fn *types.Func, iface bool) {
+	var obj types.Object
+	switch e := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[e]
+	case *ast.SelectorExpr:
+		obj = info.Uses[e.Sel]
+		if sel, ok := info.Selections[e]; ok && sel.Kind() == types.MethodVal {
+			iface = types.IsInterface(sel.Recv())
+		}
+	case *ast.IndexExpr:
+		// Generic instantiation f[T](...): the identifier under the
+		// index names the function.
+		if id, ok := e.X.(*ast.Ident); ok {
+			obj = info.Uses[id]
+		}
+	default:
+		return nil, false
+	}
+	f, ok := obj.(*types.Func)
+	if !ok {
+		return nil, false
+	}
+	return f, iface
+}

@@ -20,25 +20,39 @@ import (
 //	                                friends); same verification.
 //	//fair:hotpath                  marks the following function as an
 //	                                allocation-free hot path; the
-//	                                hotpath rule checks its body.
+//	                                hotpath rule checks its body and,
+//	                                through exported facts, every
+//	                                function it transitively calls.
 //	//fair:deterministic            marks the file's package as
 //	                                sim-deterministic, extending the
 //	                                determinism rule's built-in package
 //	                                list (fixtures use this; new sim
 //	                                packages should too).
+//	//fair:guardedby <field>        on a struct field: every access must
+//	                                hold the named sibling mutex (the
+//	                                guardedby rule checks accessors).
+//
+// One comment may carry several directives back to back —
+// `//fair:ignore hotpath reason //fair:ignore goroleak reason` — for
+// lines where two rules fire at once. Files with CRLF line endings
+// parse identically: stray carriage returns are whitespace to the
+// field splitter.
 const (
 	DirIgnore        = "ignore"
 	DirWallclock     = "wallclock"
 	DirHotpath       = "hotpath"
 	DirDeterministic = "deterministic"
+	DirGuardedBy     = "guardedby"
 )
 
-// A Directive is one parsed //fair: comment.
+// A Directive is one parsed //fair: comment (or one segment of a
+// multi-directive comment).
 type Directive struct {
 	Comment *ast.Comment
 	Kind    string // one of the Dir* constants, or the raw unknown word
 	Known   bool   // Kind is one of the Dir* constants
 	Rule    string // DirIgnore only: the rule being suppressed
+	Arg     string // DirGuardedBy only: the guarding field name
 	Reason  string // DirIgnore, DirWallclock: the justification
 }
 
@@ -48,29 +62,42 @@ func ParseDirectives(f *ast.File) []Directive {
 	var ds []Directive
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
-			if d, ok := parseDirective(c); ok {
-				ds = append(ds, d)
-			}
+			ds = append(ds, parseComment(c)...)
 		}
 	}
 	return ds
 }
 
-func parseDirective(c *ast.Comment) (Directive, bool) {
-	text, ok := strings.CutPrefix(c.Text, "//fair:")
-	if !ok {
-		return Directive{}, false
+// parseComment returns the directives in one comment: nil for ordinary
+// comments, one entry per "//fair:" segment otherwise.
+func parseComment(c *ast.Comment) []Directive {
+	text := c.Text
+	if !strings.HasPrefix(text, "//fair:") {
+		return nil
 	}
 	// Fixture files append `// want "..."` expectations to the same
 	// comment; they are not part of the directive.
 	if i := strings.Index(text, "// want"); i >= 0 {
 		text = text[:i]
 	}
+	// Several directives may share one comment, each introduced by its
+	// own marker; the split's leading empty segment is the text before
+	// the first marker, i.e. nothing.
+	segs := strings.Split(text, "//fair:")
+	ds := make([]Directive, 0, len(segs)-1)
+	for _, seg := range segs[1:] {
+		ds = append(ds, parseSegment(c, seg))
+	}
+	return ds
+}
+
+func parseSegment(c *ast.Comment, seg string) Directive {
 	d := Directive{Comment: c}
-	fields := strings.Fields(text)
+	// Fields splits on any whitespace, so CRLF files' trailing \r needs
+	// no special casing.
+	fields := strings.Fields(seg)
 	if len(fields) == 0 {
-		d.Kind = ""
-		return d, true
+		return d // Kind "", Known false: audited as unknown
 	}
 	d.Kind = fields[0]
 	switch d.Kind {
@@ -83,10 +110,15 @@ func parseDirective(c *ast.Comment) (Directive, bool) {
 	case DirWallclock:
 		d.Reason = strings.Join(fields[1:], " ")
 		d.Known = true
+	case DirGuardedBy:
+		if len(fields) > 1 {
+			d.Arg = fields[1]
+		}
+		d.Known = true
 	case DirHotpath, DirDeterministic:
 		d.Known = true
 	}
-	return d, true
+	return d
 }
 
 // HasDirective reports whether the comment group contains a //fair:
@@ -97,11 +129,30 @@ func HasDirective(cg *ast.CommentGroup, kind string) bool {
 		return false
 	}
 	for _, c := range cg.List {
-		if d, ok := parseDirective(c); ok && d.Kind == kind {
-			return true
+		for _, d := range parseComment(c) {
+			if d.Kind == kind {
+				return true
+			}
 		}
 	}
 	return false
+}
+
+// DirectiveArg returns the argument of the first directive of the
+// given kind in the comment group ("" if absent). Guardedby checks use
+// it to read the guarding field name off a struct field's comment.
+func DirectiveArg(cg *ast.CommentGroup, kind string) (string, bool) {
+	if cg == nil {
+		return "", false
+	}
+	for _, c := range cg.List {
+		for _, d := range parseComment(c) {
+			if d.Kind == kind {
+				return d.Arg, true
+			}
+		}
+	}
+	return "", false
 }
 
 // FileMarkedDeterministic reports whether any comment in the file is a

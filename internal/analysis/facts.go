@@ -1,0 +1,69 @@
+package analysis
+
+import (
+	"go/types"
+)
+
+// The facts layer is the cross-function half of the framework: an
+// analyzer running on package P can export a fact about one of P's
+// functions (or fields, or types), and an analyzer running later — on P
+// or on any package that imports P — can look that fact up. It is the
+// offline counterpart of x/tools' Facts mechanism, with two deliberate
+// simplifications:
+//
+//   - Facts are keyed by stable strings, not object identity. The
+//     loader type-checks each target package from source but imports its
+//     dependencies from gc export data, so the *types.Object for
+//     gossip.(*Peer).Round seen while analyzing gossip is NOT the same
+//     pointer as the one seen while analyzing live. FuncID (the
+//     type-checker's FullName, e.g.
+//     "(*fairgossip/internal/gossip.Peer).Round") is identical in both
+//     views, so it is the key.
+//
+//   - Facts must be exported fully resolved. Run processes packages in
+//     dependency order (Load topologically sorts its targets), so by the
+//     time live is analyzed every fact about gossip already exists — but
+//     gossip's syntax is no longer in reach. An analyzer therefore
+//     resolves transitive properties (allocation-freedom, loop
+//     termination) within the package, against its own call graph plus
+//     the already-final facts of its dependencies, and exports only the
+//     finished answer.
+//
+// Analyzers namespace their keys ("hotpath:<FuncID>", "guardedby:<pkg>.
+// <Struct>.<field>") so two rules never collide on one object.
+
+// A FactStore accumulates exported facts across one Run. It is shared
+// by every pass in the run and is safe for the driver's sequential
+// package-by-package execution (no internal locking: analyzers run one
+// at a time).
+type FactStore struct {
+	m map[string]any
+}
+
+// NewFactStore returns an empty store. Run creates one per invocation;
+// tests that drive analyzers directly can too.
+func NewFactStore() *FactStore {
+	return &FactStore{m: make(map[string]any)}
+}
+
+// Export records fact under key, replacing any previous value.
+func (s *FactStore) Export(key string, fact any) {
+	s.m[key] = fact
+}
+
+// Lookup returns the fact exported under key, if any.
+func (s *FactStore) Lookup(key string) (any, bool) {
+	f, ok := s.m[key]
+	return f, ok
+}
+
+// FuncID returns the stable cross-package identity of a function: the
+// type-checker's FullName, which spells the package path and — for
+// methods — the receiver type, identically whether the function was
+// type-checked from source or imported from export data.
+func FuncID(fn *types.Func) string {
+	if fn == nil {
+		return ""
+	}
+	return fn.FullName()
+}

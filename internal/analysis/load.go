@@ -11,7 +11,6 @@ import (
 	"go/types"
 	"io"
 	"os"
-	"os/exec"
 	"path/filepath"
 	"runtime"
 )
@@ -22,10 +21,13 @@ type Package struct {
 	Name    string
 	Dir     string
 	GoFiles []string // absolute paths, build-constraint filtered, no tests
+	Imports []string // imported package paths (for dependency ordering)
 	Fset    *token.FileSet
 	Syntax  []*ast.File
 	Types   *types.Package
 	Info    *types.Info
+
+	graph *CallGraph // built lazily by Pass.Graph
 }
 
 // listedPackage is the subset of `go list -json` output the loader
@@ -36,6 +38,7 @@ type listedPackage struct {
 	Dir        string
 	Export     string
 	GoFiles    []string
+	Imports    []string
 	Standard   bool
 	DepOnly    bool
 	Incomplete bool
@@ -61,17 +64,9 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	args := append([]string{
-		"list", "-export", "-deps",
-		"-json=ImportPath,Name,Dir,Export,GoFiles,Standard,DepOnly,Incomplete,Error",
-	}, patterns...)
-	cmd := exec.Command("go", args...)
-	cmd.Dir = dir
-	var stderr bytes.Buffer
-	cmd.Stderr = &stderr
-	out, err := cmd.Output()
+	out, err := listPackages(dir, patterns)
 	if err != nil {
-		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+		return nil, err
 	}
 
 	exports := make(map[string]string)
@@ -107,7 +102,7 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	imp := importer.ForCompiler(fset, "gc", lookup)
 
 	var pkgs []*Package
-	for _, t := range targets {
+	for _, t := range sortDeps(targets) {
 		pkg, err := typeCheck(fset, imp, t)
 		if err != nil {
 			return nil, err
@@ -115,6 +110,40 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		pkgs = append(pkgs, pkg)
 	}
 	return pkgs, nil
+}
+
+// sortDeps orders targets dependencies-first. The facts layer depends
+// on this: a fact about a function in package P must be final before
+// any importer of P is analyzed, because P's syntax is out of reach by
+// then. `go list -deps` already emits a valid postorder, but the target
+// filter can disturb it, so the order is re-derived here from the
+// Imports lists (restricted to edges between targets; ties and
+// non-target imports fall back to the incoming order, which go list
+// keeps deterministic).
+func sortDeps(targets []*listedPackage) []*listedPackage {
+	isTarget := make(map[string]*listedPackage, len(targets))
+	for _, t := range targets {
+		isTarget[t.ImportPath] = t
+	}
+	seen := make(map[string]bool, len(targets))
+	var order []*listedPackage
+	var visit func(t *listedPackage)
+	visit = func(t *listedPackage) {
+		if seen[t.ImportPath] {
+			return
+		}
+		seen[t.ImportPath] = true
+		for _, imp := range t.Imports {
+			if dep, ok := isTarget[imp]; ok {
+				visit(dep)
+			}
+		}
+		order = append(order, t)
+	}
+	for _, t := range targets {
+		visit(t)
+	}
+	return order
 }
 
 func typeCheck(fset *token.FileSet, imp types.Importer, t *listedPackage) (*Package, error) {

@@ -1,0 +1,258 @@
+package rules
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"fairgossip/internal/analysis"
+)
+
+// Goroleak is the static twin of the zero-goroutine-leak Stop() tests:
+// those catch a leaked goroutine after the fact (a Stop() that hangs,
+// a goroutine count that never drops), this rule demands the proof up
+// front. Every `go` statement's spawned code must have a provable
+// termination path; an unconditional `for {}` whose body can never
+// break out, return, or panic pins its goroutine forever, and no
+// Stop() can collect it.
+//
+// The provable paths are syntactic and deliberately simple: a loop
+// with a real condition, a `range` loop (channels end at close,
+// collections are finite), or an unconditional loop containing a
+// return, a break that actually targets it (a `break` inside a
+// `select` or `switch` only exits that statement — the classic leak),
+// or a panic. Termination flows through the call graph: a spawned
+// function that calls (or defers) a never-returning helper — here or
+// in an already-analyzed dependency — is reported at the spawn site
+// with the chain. Calls through interfaces or function values are
+// assumed to return; //fair:ignore goroleak <reason> is the audited
+// hatch for loops whose stop path the analysis cannot see.
+var Goroleak = &analysis.Analyzer{
+	Name: "goroleak",
+	Doc:  "Every goroutine spawn must have a provable termination path: an unconditional for-loop with no reachable return, loop-targeting break, or panic — in the spawned body or anything it transitively calls — never terminates, so Stop() leaks the goroutine. //fair:ignore goroleak <reason> audits spawns whose stop path is invisible to the analysis.",
+	Run:  runGoroleak,
+}
+
+// A leakFact is the exported termination summary of one function: the
+// "goroleak:<FuncID>" fact downstream packages consume.
+type leakFact struct {
+	Terminates bool
+	Why        string // the non-terminating chain: "unconditional for-loop with no exit at live.go:889" or "calls loop → ..."
+}
+
+func runGoroleak(pass *analysis.Pass) error {
+	graph := pass.Graph()
+	st := &leakState{
+		pass:  pass,
+		graph: graph,
+		memo:  make(map[string]leakFact),
+		busy:  make(map[string]bool),
+	}
+	for _, node := range graph.Funcs {
+		fact, _ := st.terminates(node.Fn)
+		pass.ExportFact("goroleak:"+node.ID, fact)
+	}
+
+	// Every EdgeGo site runs on a fresh goroutine: `go f()` directly,
+	// and every call inside a `go func() { ... }()` literal (the call
+	// graph attributes those to the spawning function at EdgeGo).
+	for _, node := range graph.Funcs {
+		for _, site := range node.Calls {
+			if site.Kind != analysis.EdgeGo {
+				continue
+			}
+			if site.Lit != nil {
+				if why, ok := st.firstUnstoppable(site.Lit.Body); ok {
+					st.report(site.Pos, why)
+				}
+				continue // calls inside the literal are their own EdgeGo sites
+			}
+			if site.Callee == nil || site.Iface {
+				continue // dynamic spawn: the callee set is unknowable
+			}
+			fact, _ := st.terminates(site.Callee)
+			if !fact.Terminates {
+				st.report(site.Pos, fmt.Sprintf("calls %s → %s", shortFuncName(site.Callee), fact.Why))
+			}
+		}
+	}
+	return nil
+}
+
+type leakState struct {
+	pass  *analysis.Pass
+	graph *analysis.CallGraph
+	memo  map[string]leakFact
+	busy  map[string]bool
+}
+
+func (st *leakState) report(pos token.Pos, why string) {
+	st.pass.Reportf(pos, "leak",
+		"goroutine spawned here has no provable termination path: %s — select on a stop/done channel, bound the loop, or hatch with //fair:ignore goroleak <reason>", why)
+}
+
+// terminates resolves whether fn provably returns. stable is false when
+// the answer leaned on an in-progress node of a recursion cycle.
+func (st *leakState) terminates(fn *types.Func) (fact leakFact, stable bool) {
+	id := analysis.FuncID(fn)
+	if f, ok := st.memo[id]; ok {
+		return f, true
+	}
+	node, local := st.graph.ByID[id]
+	if !local {
+		if f, ok := st.pass.LookupFact("goroleak:" + id); ok {
+			if lf, ok := f.(leakFact); ok {
+				return lf, true
+			}
+		}
+		return leakFact{Terminates: true}, true // external without a fact: assume it returns
+	}
+	if st.busy[id] {
+		return leakFact{Terminates: true}, false
+	}
+	st.busy[id] = true
+	defer delete(st.busy, id)
+
+	stable = true
+	fact = leakFact{Terminates: true}
+	if why, ok := st.firstUnstoppable(node.Decl.Body); ok {
+		fact = leakFact{Terminates: false, Why: why}
+	} else {
+		for _, call := range node.Calls {
+			// Only calls that the function waits on block its return:
+			// ordinary calls and defers. An EdgeGo site inside it is a
+			// separate goroutine, checked at its own spawn.
+			if call.Kind == analysis.EdgeGo || call.Callee == nil || call.Iface {
+				continue
+			}
+			sub, subStable := st.terminates(call.Callee)
+			stable = stable && subStable
+			if !sub.Terminates {
+				fact = leakFact{Terminates: false, Why: fmt.Sprintf("calls %s → %s", shortFuncName(call.Callee), sub.Why)}
+				break
+			}
+		}
+	}
+	if stable {
+		st.memo[id] = fact
+	}
+	return fact, stable
+}
+
+// firstUnstoppable scans a body (skipping nested function literals —
+// each is its own analysis subject) for an unconditional for-loop with
+// no escape.
+func (st *leakState) firstUnstoppable(body ast.Node) (string, bool) {
+	var loop *ast.ForStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if loop != nil {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt:
+			if unconditional(n) && !stmtsEscape(n.Body.List, 0) {
+				loop = n
+				return false
+			}
+		}
+		return true
+	})
+	if loop == nil {
+		return "", false
+	}
+	p := st.pass.Fset.Position(loop.Pos())
+	return fmt.Sprintf("unconditional for-loop with no exit at %s:%d", shortFile(p.Filename), p.Line), true
+}
+
+func unconditional(loop *ast.ForStmt) bool {
+	if loop.Cond == nil {
+		return true
+	}
+	if id, ok := ast.Unparen(loop.Cond).(*ast.Ident); ok && id.Name == "true" {
+		return true
+	}
+	return false
+}
+
+// stmtsEscape reports whether any statement can transfer control out of
+// the loop under scrutiny. depth counts the breakable statements
+// (loops, switches, selects) between the loop and the statement: an
+// unlabeled break at depth > 0 exits the inner statement, not the loop
+// — which is exactly the `for { select { ...: break } }` leak this
+// rule exists to catch.
+func stmtsEscape(stmts []ast.Stmt, depth int) bool {
+	for _, s := range stmts {
+		if stmtEscapes(s, depth) {
+			return true
+		}
+	}
+	return false
+}
+
+func stmtEscapes(s ast.Stmt, depth int) bool {
+	switch s := s.(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.BranchStmt:
+		if s.Tok != token.BREAK {
+			return false
+		}
+		// A labeled break is taken as loop-targeting: mislabeling is a
+		// compile error for missing labels, and labeled inner loops are
+		// rare enough that the conservative direction is acceptance.
+		return s.Label != nil || depth == 0
+	case *ast.BlockStmt:
+		return stmtsEscape(s.List, depth)
+	case *ast.IfStmt:
+		if stmtEscapes(s.Body, depth) {
+			return true
+		}
+		if s.Else != nil && stmtEscapes(s.Else, depth) {
+			return true
+		}
+		return false
+	case *ast.LabeledStmt:
+		return stmtEscapes(s.Stmt, depth)
+	case *ast.ForStmt:
+		return stmtsEscape(s.Body.List, depth+1)
+	case *ast.RangeStmt:
+		return stmtsEscape(s.Body.List, depth+1)
+	case *ast.SwitchStmt:
+		return bodyListEscapes(s.Body, depth+1)
+	case *ast.TypeSwitchStmt:
+		return bodyListEscapes(s.Body, depth+1)
+	case *ast.SelectStmt:
+		return bodyListEscapes(s.Body, depth+1)
+	case *ast.ExprStmt:
+		return isPanicCall(s.X)
+	}
+	return false
+}
+
+func bodyListEscapes(body *ast.BlockStmt, depth int) bool {
+	for _, clause := range body.List {
+		switch c := clause.(type) {
+		case *ast.CaseClause:
+			if stmtsEscape(c.Body, depth) {
+				return true
+			}
+		case *ast.CommClause:
+			if stmtsEscape(c.Body, depth) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func isPanicCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}

@@ -1,0 +1,263 @@
+package rules
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"fairgossip/internal/analysis"
+)
+
+// GuardedBy is the static twin of the -race scenario sweeps: the
+// sweeps catch a data race the scheduler happens to exhibit, this rule
+// demands the lock discipline be visible in the source. A struct field
+// annotated `//fair:guardedby <mutex>` names the sibling
+// sync.Mutex/RWMutex that protects it; every access must then be
+// provably under that lock, where "provably" is one of three visible
+// shapes:
+//
+//   - the access sits in a method whose name ends in "Locked" — the
+//     repo's convention for lock-held helpers (holdLocked, takeLocked);
+//   - a call to <mutex>.Lock() or .RLock() textually precedes the
+//     access inside the same function (the dominant lock-at-entry
+//     shape; positional, so a lock released mid-function can fool it —
+//     the -race sweeps stay on as the dynamic backstop);
+//   - the struct value is a fresh local of the same function (&T{},
+//     T{}, new(T)): unescaped values are unshared by construction.
+//
+// Anything else is a finding, hatched — if truly safe — with
+// //fair:ignore guardedby <reason>.
+var GuardedBy = &analysis.Analyzer{
+	Name: "guardedby",
+	Doc:  "A struct field annotated //fair:guardedby <mutex> may only be accessed under that sibling lock: in a *Locked method, after a textually preceding <mutex>.Lock()/RLock() in the same function, or on a freshly constructed local. The annotation must name a sync.Mutex/RWMutex field of the same struct. //fair:ignore guardedby <reason> audits accesses whose safety the rule cannot see.",
+	Run:  runGuardedBy,
+}
+
+// A guardFact records one annotated field: the "guardedby:<pkg>.
+// <Struct>.<field>" fact importing packages consult for their own
+// accesses.
+type guardFact struct {
+	Mutex  string // the guarding sibling field's name
+	Struct string // the owning struct's name, for messages
+}
+
+func runGuardedBy(pass *analysis.Pass) error {
+	collectGuards(pass)
+	checkGuardedAccesses(pass)
+	return nil
+}
+
+// collectGuards finds every //fair:guardedby annotation on a struct
+// field, validates that it names a sibling mutex, and exports the fact.
+func collectGuards(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				arg, found := fieldGuardArg(field)
+				if !found {
+					continue
+				}
+				if arg == "" {
+					pass.Report(field.Pos(), "badannot",
+						"//fair:guardedby needs the guarding field's name: //fair:guardedby mu")
+					continue
+				}
+				if !structHasMutex(st, arg) {
+					pass.Reportf(field.Pos(), "badannot",
+						"//fair:guardedby names %q, which is not a sync.Mutex/RWMutex field of %s", arg, ts.Name.Name)
+					continue
+				}
+				for _, name := range field.Names {
+					key := "guardedby:" + pass.Pkg.Path() + "." + ts.Name.Name + "." + name.Name
+					pass.ExportFact(key, guardFact{Mutex: arg, Struct: ts.Name.Name})
+				}
+			}
+			return true
+		})
+	}
+}
+
+// fieldGuardArg reads the //fair:guardedby argument off a field's doc
+// or trailing comment.
+func fieldGuardArg(field *ast.Field) (string, bool) {
+	if arg, ok := analysis.DirectiveArg(field.Doc, analysis.DirGuardedBy); ok {
+		return arg, true
+	}
+	return analysis.DirectiveArg(field.Comment, analysis.DirGuardedBy)
+}
+
+// structHasMutex reports whether the struct literally declares a field
+// of the given name whose type spells a sync mutex (sync.Mutex,
+// sync.RWMutex, or a pointer to one). Syntactic on purpose: the
+// annotation and the mutex live in the same declaration, so the source
+// text is the contract.
+func structHasMutex(st *ast.StructType, name string) bool {
+	for _, field := range st.Fields.List {
+		for _, n := range field.Names {
+			if n.Name == name {
+				return isMutexType(field.Type)
+			}
+		}
+	}
+	return false
+}
+
+func isMutexType(e ast.Expr) bool {
+	if star, ok := e.(*ast.StarExpr); ok {
+		e = star.X
+	}
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	if !ok || pkg.Name != "sync" {
+		return false
+	}
+	return sel.Sel.Name == "Mutex" || sel.Sel.Name == "RWMutex"
+}
+
+// checkGuardedAccesses walks every function and audits each selector
+// that lands on an annotated field — declared here (facts just
+// exported) or in an already-analyzed dependency.
+func checkGuardedAccesses(pass *analysis.Pass) {
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			locked := strings.HasSuffix(fn.Name.Name, "Locked")
+			var defs map[types.Object]ast.Expr
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				fact, ok := guardFor(pass, sel)
+				if !ok {
+					return true
+				}
+				if locked {
+					return true
+				}
+				if lockPrecedes(fn.Body, fact.Mutex, sel.Pos()) {
+					return true
+				}
+				if defs == nil {
+					defs = collectDefs(info, fn.Body)
+				}
+				if freshLocal(info, defs, sel.X) {
+					return true
+				}
+				pass.Reportf(sel.Pos(), "unlocked",
+					"%s.%s is guarded by %s but no %s.Lock()/RLock() precedes this access in %s (and it is not a *Locked method): lock first, move the access into a Locked helper, or hatch it",
+					fact.Struct, sel.Sel.Name, fact.Mutex, fact.Mutex, fn.Name.Name)
+				return true
+			})
+		}
+	}
+}
+
+// guardFor resolves a selector to its guardedby fact, when the
+// selector is a direct field access on a named struct (embedded
+// promotions are left to the -race sweeps).
+func guardFor(pass *analysis.Pass, sel *ast.SelectorExpr) (guardFact, bool) {
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal || len(s.Index()) != 1 {
+		return guardFact{}, false
+	}
+	recv := s.Recv()
+	if ptr, ok := recv.Underlying().(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return guardFact{}, false
+	}
+	key := "guardedby:" + named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + sel.Sel.Name
+	f, ok := pass.LookupFact(key)
+	if !ok {
+		return guardFact{}, false
+	}
+	gf, ok := f.(guardFact)
+	return gf, ok
+}
+
+// lockPrecedes reports whether a call to <mutex>.Lock() or .RLock()
+// appears before pos in the body — the positional approximation of
+// "the lock is held here".
+func lockPrecedes(body *ast.BlockStmt, mutex string, pos token.Pos) bool {
+	held := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if held || n == nil || n.Pos() >= pos {
+			return !held
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		if owner, ok := sel.X.(*ast.SelectorExpr); ok && owner.Sel.Name == mutex {
+			held = true
+		} else if id, ok := sel.X.(*ast.Ident); ok && id.Name == mutex {
+			held = true
+		}
+		return !held
+	})
+	return held
+}
+
+// freshLocal reports whether the accessed value's root is a local
+// freshly constructed in this function (&T{}, T{}, new(T)): nothing
+// else can see it yet, so no lock is needed.
+func freshLocal(info *types.Info, defs map[types.Object]ast.Expr, e ast.Expr) bool {
+	root := e
+	for {
+		switch r := ast.Unparen(root).(type) {
+		case *ast.SelectorExpr:
+			root = r.X
+		case *ast.StarExpr:
+			root = r.X
+		case *ast.IndexExpr:
+			root = r.X
+		default:
+			id, ok := r.(*ast.Ident)
+			if !ok {
+				return false
+			}
+			obj := info.ObjectOf(id)
+			rhs, ok := defs[obj]
+			if !ok {
+				return false
+			}
+			return freshExpr(info, rhs)
+		}
+	}
+}
+
+func freshExpr(info *types.Info, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		_, ok := e.X.(*ast.CompositeLit)
+		return ok
+	case *ast.CallExpr:
+		return builtinName(info, e) == "new"
+	}
+	return false
+}

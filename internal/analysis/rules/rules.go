@@ -9,6 +9,7 @@ package rules
 import (
 	"go/ast"
 	"go/types"
+	"path/filepath"
 
 	"fairgossip/internal/analysis"
 )
@@ -21,6 +22,9 @@ func All() []*analysis.Analyzer {
 		BufOwn,
 		CowAtomic,
 		Hotpath,
+		Goroleak,
+		Wirekind,
+		GuardedBy,
 	}
 }
 
@@ -33,17 +37,28 @@ func Known() map[string]bool {
 	return m
 }
 
-// ByName resolves a comma-separated subset for fairvet -rules.
-func ByName(names []string) []*analysis.Analyzer {
-	var out []*analysis.Analyzer
+// ByName resolves a subset for fairvet -rules, returning the names
+// that matched nothing so the caller can refuse them: a typoed rule
+// name silently vetting nothing is worse than no vet at all.
+func ByName(names []string) (active []*analysis.Analyzer, unknown []string) {
 	for _, n := range names {
+		found := false
 		for _, a := range All() {
 			if a.Name == n {
-				out = append(out, a)
+				active = append(active, a)
+				found = true
 			}
 		}
+		if !found {
+			unknown = append(unknown, n)
+		}
 	}
-	return out
+	return active, unknown
+}
+
+// shortFile trims a path to its base name for finding messages.
+func shortFile(path string) string {
+	return filepath.Base(path)
 }
 
 // isTransportSend reports whether call is a transport-style send: a

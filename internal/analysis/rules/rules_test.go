@@ -31,6 +31,18 @@ func TestHotpathFixture(t *testing.T) {
 	analysis.RunFixture(t, "testdata", "hotpath", []*analysis.Analyzer{rules.Hotpath}, rules.Known())
 }
 
+func TestGoroleakFixture(t *testing.T) {
+	analysis.RunFixture(t, "testdata", "goroleak", []*analysis.Analyzer{rules.Goroleak}, rules.Known())
+}
+
+func TestWirekindFixture(t *testing.T) {
+	analysis.RunFixture(t, "testdata", "wirekind", []*analysis.Analyzer{rules.Wirekind}, rules.Known())
+}
+
+func TestGuardedByFixture(t *testing.T) {
+	analysis.RunFixture(t, "testdata", "guardedby", []*analysis.Analyzer{rules.GuardedBy}, rules.Known())
+}
+
 // TestIgnoreAuditFixture runs the full suite so every suppression audit
 // path fires: unknown directives, unknown rules, missing
 // justifications, stale ignores, and the one legal justified hatch.

@@ -1,0 +1,122 @@
+// Package goroleak seeds the spawn shapes the goroleak rule must
+// divide: unstoppable loops (direct, in a literal, and through callee
+// chains) versus the provable termination paths (stop-channel returns,
+// range over a channel, bounded loops, labeled breaks, panic).
+package goroleak
+
+// spinsForever is the textbook leak: nothing in the loop can exit it.
+func spinsForever() {
+	for {
+	}
+}
+
+// callsSpinner leaks transitively: its own body is loop-free but it
+// never returns from the call.
+func callsSpinner() {
+	spinsForever()
+}
+
+// defersSpinner never reaches its return either: the deferred call
+// runs at exit and then never finishes.
+func defersSpinner() {
+	defer spinsForever()
+}
+
+func spawnDirect() {
+	go spinsForever() // want `goroutine spawned here has no provable termination path: calls goroleak.spinsForever → unconditional for-loop with no exit`
+}
+
+func spawnTransitive() {
+	go callsSpinner() // want `calls goroleak.callsSpinner → calls goroleak.spinsForever → unconditional for-loop with no exit`
+}
+
+func spawnDeferred() {
+	go defersSpinner() // want `calls goroleak.defersSpinner → calls goroleak.spinsForever → unconditional for-loop`
+}
+
+// spawnSelectBreak is the classic near-miss: the break exits the
+// select, not the loop, so the goroutine spins on a closed channel.
+func spawnSelectBreak(stop chan struct{}) {
+	go func() { // want `no provable termination path`
+		for {
+			select {
+			case <-stop:
+				break
+			}
+		}
+	}()
+}
+
+// spawnStopChannel is the sanctioned shape: the stop case returns.
+func spawnStopChannel(stop chan struct{}, work chan int) {
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			case w := <-work:
+				_ = w
+			}
+		}
+	}()
+}
+
+// spawnRange ends when the channel closes: range loops terminate.
+func spawnRange(work chan int) {
+	go func() {
+		for w := range work {
+			_ = w
+		}
+	}()
+}
+
+// spawnBounded iterates a real condition.
+func spawnBounded() {
+	go func() {
+		for i := 0; i < 64; i++ {
+		}
+	}()
+}
+
+// spawnLabeledBreak exits through a loop-targeting labeled break.
+func spawnLabeledBreak(stop chan struct{}) {
+	go func() {
+	drain:
+		for {
+			select {
+			case <-stop:
+				break drain
+			}
+		}
+	}()
+}
+
+// spawnPanics unwinds: a goroutine that dies loudly is not a leak
+// (it is a different bug, caught by the crash).
+func spawnPanics() {
+	go func() {
+		for {
+			panic("unreachable state")
+		}
+	}()
+}
+
+// terminatingHelper returns; spawning it is fine even through a chain.
+func terminatingHelper(stop chan struct{}) {
+	for {
+		select {
+		case <-stop:
+			return
+		}
+	}
+}
+
+func spawnHelperChain(stop chan struct{}) {
+	go terminatingHelper(stop)
+}
+
+// spawnHatched is the audited exception: the analysis cannot see the
+// process-lifetime argument, so the hatch records it.
+func spawnHatched() {
+	go spinsForever() //fair:ignore goroleak this worker is process-lifetime by design; the harness reaps it at exit
+}

@@ -1,0 +1,80 @@
+// Package guardedby seeds the access shapes the guardedby rule must
+// divide: Locked-suffix helpers, lock-then-access, and fresh locals
+// (fine) versus bare reads and writes (findings), plus the malformed
+// annotations the rule must reject.
+package guardedby
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int //fair:guardedby mu
+}
+
+// bumpLocked relies on the repo's convention: *Locked helpers run with
+// the lock already held.
+func (c *counter) bumpLocked() { c.n++ }
+
+// Bump locks before touching n.
+func (c *counter) Bump() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// Peek reads n with no lock in sight.
+func (c *counter) Peek() int {
+	return c.n // want `counter.n is guarded by mu but no mu.Lock\(\)/RLock\(\) precedes this access in Peek`
+}
+
+// reset writes before locking: position matters.
+func (c *counter) reset() {
+	c.n = 0 // want `guarded by mu but no mu.Lock`
+	c.mu.Lock()
+	c.n = 0
+	c.mu.Unlock()
+}
+
+// fresh constructs the counter locally: nothing else can see it yet.
+func fresh() int {
+	c := &counter{}
+	c.n = 7
+	return c.n
+}
+
+func freshValue() counter {
+	var c counter
+	_ = c
+	d := counter{}
+	d.n = 3
+	return d
+}
+
+type gauge struct {
+	mu sync.RWMutex
+	v  int //fair:guardedby mu
+}
+
+// Read holds the read lock: RLock counts.
+func (g *gauge) Read() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.v
+}
+
+// hatched documents an access the rule cannot prove safe.
+func (g *gauge) hatched() int {
+	return g.v //fair:ignore guardedby the sole caller holds mu across this call; splitting the method would hide the invariant
+}
+
+// badMutexName annotates a guard that does not exist as a mutex.
+type badMutexName struct {
+	lock chan struct{}
+	n    int //fair:guardedby lock // want `//fair:guardedby names "lock", which is not a sync.Mutex/RWMutex field of badMutexName`
+}
+
+// missingArg forgets the guard name entirely.
+type missingArg struct {
+	mu sync.Mutex
+	n  int //fair:guardedby // want `//fair:guardedby needs the guarding field's name`
+}

@@ -1,0 +1,86 @@
+// Interprocedural cases: allocation-freedom flows bottom-up over the
+// call graph, so a hot body calling a dirty helper is a finding at the
+// call site with the callee chain — while owner-amortized appends,
+// caller-buffer appends, the deletion idiom, and hatched callees keep
+// their callers clean.
+package hotpath
+
+// allocHelper is dirty: its fact carries the make site.
+func allocHelper(n int) []byte {
+	return make([]byte, n)
+}
+
+// deepAlloc is dirty one level removed: the chain threads through it.
+func deepAlloc() []byte {
+	return allocHelper(8)
+}
+
+// cleanHelper allocates nothing.
+func cleanHelper(b []byte) int {
+	return len(b)
+}
+
+type ring struct {
+	buf []int
+}
+
+// ownerAppend grows the receiver's amortized storage: free by the
+// owner's contract, like the buffer slabs.
+func (r *ring) ownerAppend(v int) {
+	r.buf = append(r.buf, v)
+}
+
+// intoCaller appends into the caller's buffer: the wire codec shape,
+// free by contract.
+func intoCaller(dst []byte, b byte) []byte {
+	return append(dst, b)
+}
+
+// del is the in-place deletion idiom: both halves slice the same base,
+// so the append can never grow.
+func del(xs []int, i int) []int {
+	return append(xs[:i], xs[i+1:]...)
+}
+
+// hatchedInside is itself annotated and has its one allocation audited
+// where it happens, so callers need no second hatch.
+//
+//fair:hotpath
+func hatchedInside() *ring {
+	return &ring{} //fair:ignore hotpath constructed once per peer at boot, not per message
+}
+
+// hotCallsAlloc calls a dirty helper directly.
+//
+//fair:hotpath
+func hotCallsAlloc(n int) []byte {
+	return allocHelper(n) // want `call to hotpath.allocHelper in a hot path is not allocation-free: make/new at interproc.go`
+}
+
+// hotCallsDeep sees the chain through an intermediate helper; the free
+// helper shapes stay silent.
+//
+//fair:hotpath
+func hotCallsDeep(r *ring, xs []int, scratch []byte) int {
+	r.ownerAppend(1)
+	xs = del(xs, 0)
+	scratch = intoCaller(scratch, 7)
+	b := deepAlloc() // want `call to hotpath.deepAlloc in a hot path is not allocation-free: calls hotpath.allocHelper → make/new at interproc.go`
+	return cleanHelper(b) + len(xs) + len(scratch)
+}
+
+// hotHatchedCall audits the dirty call at the site where the finding
+// lands.
+//
+//fair:hotpath
+func hotHatchedCall(n int) []byte {
+	return allocHelper(n) //fair:ignore hotpath the boot path allocates once; steady state reuses the buffer
+}
+
+// hotCallsHatched calls a helper whose allocation is already hatched
+// inside: the fact is clean, no finding and no second hatch.
+//
+//fair:hotpath
+func hotCallsHatched() *ring {
+	return hatchedInside()
+}

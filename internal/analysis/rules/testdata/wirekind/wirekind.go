@@ -1,0 +1,116 @@
+// Package wirekind seeds the switch shapes the wirekind rule must
+// divide: exhaustive switches and accounting defaults (fine) versus
+// missing kinds with no default or a silently-falling-through default
+// (the black hole).
+package wirekind
+
+type kind uint8
+
+const (
+	kindPing kind = iota
+	kindData
+	kindBye
+	maxKind = kindBye // a bound, not a member: the [Kk]ind prefix excludes it
+)
+
+var dropped int
+
+// exhaustive handles every declared kind: no default needed.
+func exhaustive(k kind) int {
+	switch k {
+	case kindPing:
+		return 1
+	case kindData:
+		return 2
+	case kindBye:
+		return 3
+	}
+	return 0
+}
+
+// grouped covers the family with a multi-value case.
+func grouped(k kind) bool {
+	switch k {
+	case kindPing, kindBye:
+		return false
+	case kindData:
+		return true
+	}
+	return false
+}
+
+// missingNoDefault silently skips kindBye: a peer speaking the newer
+// vocabulary is black-holed.
+func missingNoDefault(k kind) int {
+	n := 0
+	switch k { // want `switch over wirekind kinds does not handle wirekind.kindBye and has no default`
+	case kindPing:
+		n = 1
+	case kindData:
+		n = 2
+	}
+	return n
+}
+
+// missingSilentDefault is worse: the default swallows the stranger
+// without a trace.
+func missingSilentDefault(k kind) int {
+	n := 0
+	switch k { // want `does not handle wirekind.kindBye, wirekind.kindData and its default does not visibly account`
+	case kindPing:
+		n = 1
+	default:
+		n = 9
+	}
+	return n
+}
+
+// countingDefault accounts for the stranger: fine.
+func countingDefault(k kind) int {
+	switch k {
+	case kindPing:
+		return 1
+	default:
+		dropped++
+		return 0
+	}
+}
+
+// refusingDefault rejects the stranger with a return: fine.
+func refusingDefault(k kind) (int, bool) {
+	switch k {
+	case kindPing:
+	default:
+		return 0, false
+	}
+	return 1, true
+}
+
+// panickingDefault refuses loudly: fine.
+func panickingDefault(k kind) int {
+	switch k {
+	case kindPing:
+		return 1
+	default:
+		panic("unknown kind")
+	}
+}
+
+// notAKindSwitch has no Kind-family case labels: out of scope.
+func notAKindSwitch(n int) int {
+	switch n {
+	case 1:
+		return 10
+	}
+	return 0
+}
+
+// hatched records a deliberate subset: upstream decoding already
+// rejected every other kind.
+func hatched(k kind) int {
+	switch k { //fair:ignore wirekind the decoder upstream rejects everything but kindPing before this switch runs
+	case kindPing:
+		return 1
+	}
+	return 0
+}

@@ -50,6 +50,11 @@ func Run(pkgs []*Package, analyzers []*Analyzer, known map[string]bool) ([]Findi
 		active[a.Name] = true
 	}
 
+	// One fact store spans the whole run: Load returns packages in
+	// dependency order, so facts exported while analyzing a package are
+	// final by the time its importers run.
+	facts := NewFactStore()
+
 	var findings []Finding
 	for _, pkg := range pkgs {
 		var diags []Diagnostic
@@ -61,6 +66,8 @@ func Run(pkgs []*Package, analyzers []*Analyzer, known map[string]bool) ([]Findi
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.Info,
 				Path:      pkg.Path,
+				pkg:       pkg,
+				facts:     facts,
 				diags:     &diags,
 			}
 			if err := a.Run(pass); err != nil {
@@ -126,7 +133,7 @@ func collectSuppressors(pkg *Package, known, active map[string]bool) ([]*suppres
 				audit = append(audit, Finding{
 					Position: pos, Rule: DirectiveRule, Category: "unknown",
 					Message: fmt.Sprintf("unknown //fair: directive %q (want %s)", d.Kind,
-						strings.Join([]string{DirIgnore, DirWallclock, DirHotpath, DirDeterministic}, ", ")),
+						strings.Join([]string{DirIgnore, DirWallclock, DirHotpath, DirDeterministic, DirGuardedBy}, ", ")),
 				})
 				continue
 			}

@@ -132,7 +132,7 @@ func (p *Peer) Publish(ev *pubsub.Event) {
 //fair:hotpath
 func (p *Peer) Round() {
 	p.rounds++
-	events := p.buffer.Select(p.rng, p.cfg.Batch, p.cfg.Policy)
+	events := p.buffer.Select(p.rng, p.cfg.Batch, p.cfg.Policy) //fair:ignore hotpath in-flight Msg payloads hold the selection beyond this round, so the slice cannot be reused; BenchmarkDisseminationRound tracks the cost
 	if len(events) > 0 {
 		size := MsgWireSize(events)
 		var payload any = Msg{Events: events} //fair:ignore hotpath one boxed Msg per round, shared by every fanout send; BenchmarkDisseminationRound tracks the per-round cost
@@ -140,7 +140,7 @@ func (p *Peer) Round() {
 			p.net.Send(p.ID, q, payload, size)
 		}
 	}
-	p.antiEntropyRound()
+	p.antiEntropyRound() //fair:ignore hotpath the anti-entropy digest is a deliberate fresh copy (it travels in an in-flight message), paid once every antiEntropyEvery rounds
 	p.buffer.Tick()
 }
 

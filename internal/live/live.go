@@ -272,8 +272,8 @@ type Cluster struct {
 
 	stop    chan struct{}
 	wg      sync.WaitGroup
-	started bool
-	stopped bool
+	started bool       //fair:guardedby mu
+	stopped bool       //fair:guardedby mu
 	mu      sync.Mutex // guards started/stopped and structural growth (Join)
 }
 
@@ -318,6 +318,7 @@ type peer struct {
 	env     wire.Envelope      // decode scratch: backing arrays are reused
 	targets []simnet.NodeID    // SampleInto scratch for partner selection
 	sample  []int              // int-converted partner scratch
+	sel     []*pubsub.Event    // SelectInto scratch: the selection dies at encode
 	entOut  []wire.ViewEntry   // membership encode scratch
 	entIn   []membership.Entry // membership decode conversion scratch
 }
@@ -910,7 +911,7 @@ func (p *peer) round() {
 	// Membership maintenance runs for free-riders too (they stay
 	// reachable, like core's defectors), never for crashed peers.
 	if p.rounds%p.c.cfg.ShuffleEvery == 0 {
-		p.membershipRound()
+		p.membershipRound() //fair:ignore hotpath shuffle offers are deliberate fresh copies (they travel in in-flight messages), paid once every ShuffleEvery rounds
 	}
 	// A free-rider receives and delivers but never forwards; its buffer
 	// still ages so it does not hoard a backlog to replay on reform.
@@ -1023,7 +1024,9 @@ func (p *peer) announce() {
 //
 //fair:hotpath
 func (p *peer) gossip() {
-	events := p.buffer.Select(p.rng, p.batch, p.c.cfg.Policy)
+	// The selection runs over peer-owned scratch: it dies at the encode
+	// below, so unlike the envelope it never leaves this frame.
+	events := p.buffer.SelectInto(p.rng, &p.sel, p.batch, p.c.cfg.Policy)
 	if len(events) == 0 {
 		return
 	}
@@ -1032,8 +1035,7 @@ func (p *peer) gossip() {
 		return
 	}
 	// The envelope buffer must be fresh each round — receivers hold it
-	// asynchronously — so this is one of the round path's two
-	// allocations (the other is Select's fresh slice).
+	// asynchronously — so it is the round path's one allocation.
 	buf, err := wire.AppendEnvelope(make([]byte, 0, wire.EnvelopeSize(events)), uint32(p.id), events) //fair:ignore hotpath receivers hold the envelope asynchronously, so it cannot be pooled; TestLiveRoundPathAllocs pins the round at exactly this allocation
 	if err != nil {
 		// Unencodable events (a topic beyond the u16 framing, say)

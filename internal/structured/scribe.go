@@ -1,6 +1,14 @@
 package structured
 
+// The package is sim-deterministic: ROADMAP item 3 wires it into the
+// live runtime as a pluggable Disseminator, so it is held to the same
+// fixed-seed reproducibility bar as the sim packages now, before the
+// refactor lands.
+//fair:deterministic
+
 import (
+	"sort"
+
 	"fairgossip/internal/fairness"
 )
 
@@ -161,12 +169,14 @@ func (s *Scribe) Publish(node int, topic string, eventSize int) (int, error) {
 	return delivered, nil
 }
 
-// Subscribers returns the current subscriber set of a topic.
+// Subscribers returns the current subscriber set of a topic, in node
+// order (map iteration is scheduler-random; callers compare and report).
 func (s *Scribe) Subscribers(topic string) []int {
 	out := make([]int, 0, len(s.subs[topic]))
 	for n := range s.subs[topic] {
 		out = append(out, n)
 	}
+	sort.Ints(out)
 	return out
 }
 
@@ -181,6 +191,7 @@ func (s *Scribe) TreeMembers(topic string) []int {
 	for n := range t.parent {
 		out = append(out, n)
 	}
+	sort.Ints(out)
 	return out
 }
 
@@ -198,6 +209,7 @@ func (s *Scribe) UninterestedForwarders(topic string) []int {
 			out = append(out, n)
 		}
 	}
+	sort.Ints(out)
 	return out
 }
 

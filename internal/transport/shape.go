@@ -99,13 +99,13 @@ type ShapedNet struct {
 	outageGen int32
 	drops     atomic.Uint64
 
-	mu      sync.Mutex // guards rng, links, queue, seq, closed, running
-	rng     *rand.Rand
-	links   map[uint64]*linkBucket
-	queue   deferredQueue
-	seq     uint64
-	closed  bool
-	running bool // dispatcher goroutine started (lazily, on first hold)
+	mu      sync.Mutex             // guards rng, links, queue, seq, closed, running
+	rng     *rand.Rand             //fair:guardedby mu
+	links   map[uint64]*linkBucket //fair:guardedby mu
+	queue   deferredQueue          //fair:guardedby mu
+	seq     uint64                 //fair:guardedby mu
+	closed  bool                   //fair:guardedby mu
+	running bool                   //fair:guardedby mu -- dispatcher goroutine started (lazily, on first hold)
 
 	wake      chan struct{}
 	halt      chan struct{}
